@@ -1,0 +1,294 @@
+//! AutoEval: the paper's testbench evaluation harness (Table II).
+//!
+//! | level | definition |
+//! |---|---|
+//! | Failed | codes have syntax errors |
+//! | Eval0  | codes have no syntax errors |
+//! | Eval1  | passed Eval0; the testbench reports *passed* with the golden RTL as DUT |
+//! | Eval2  | passed Eval1; over 10 mutants of the golden RTL, the testbench's pass/fail reports agree with the golden testbench's on ≥80% |
+//!
+//! Eval2 is the paper's headline "pass ratio" metric: it measures whether
+//! a generated testbench *discriminates* like a trusted one, not merely
+//! whether it flatters the golden design.
+
+#![warn(missing_docs)]
+
+use correctbench_checker::compile_module;
+use correctbench_dataset::Problem;
+use correctbench_llm::CheckerArtifact;
+use correctbench_tbgen::{generate_driver, generate_scenarios, run_testbench_parsed, ScenarioResult};
+use correctbench_verilog::mutate::mutate_module;
+use correctbench_verilog::pretty::print_file;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A testbench as AutoEval sees it (mirrors `correctbench::HybridTb`
+/// without depending on the core crate, so evaluation stays a leaf).
+#[derive(Clone, Debug)]
+pub struct EvalTb {
+    /// The scenario list.
+    pub scenarios: correctbench_tbgen::ScenarioSet,
+    /// Driver source.
+    pub driver: String,
+    /// Checker artifact.
+    pub checker: CheckerArtifact,
+}
+
+/// The evaluation outcome, ordered `Failed < Eval0 < Eval1 < Eval2`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EvalLevel {
+    /// Syntax errors in driver or checker.
+    Failed,
+    /// Syntactically sound.
+    Eval0,
+    /// Reports "passed" on the golden DUT.
+    Eval1,
+    /// Mutant reports agree with the golden testbench on ≥80% of mutants.
+    Eval2,
+}
+
+impl EvalLevel {
+    /// All levels in ascending order.
+    pub const ALL: [EvalLevel; 4] = [
+        EvalLevel::Failed,
+        EvalLevel::Eval0,
+        EvalLevel::Eval1,
+        EvalLevel::Eval2,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalLevel::Failed => "Failed",
+            EvalLevel::Eval0 => "Eval0",
+            EvalLevel::Eval1 => "Eval1",
+            EvalLevel::Eval2 => "Eval2",
+        }
+    }
+}
+
+/// Number of mutant DUTs used by Eval2 (paper: 10).
+pub const EVAL2_MUTANTS: usize = 10;
+
+/// Required report-agreement fraction (paper: 80%).
+pub const EVAL2_AGREEMENT: f64 = 0.8;
+
+/// The testbench's own pass/fail report on one DUT: "passed" means no
+/// scenario *failed* (missing scenarios cannot fail a report — the
+/// testbench does not know what it does not test, which is exactly why
+/// Eval1 is not exhaustive).
+fn tb_report(
+    problem: &Problem,
+    tb: &EvalTb,
+    driver: &correctbench_verilog::ast::SourceFile,
+    dut: &correctbench_verilog::ast::SourceFile,
+) -> Option<bool> {
+    match run_testbench_parsed(dut, driver, &tb.checker.program, problem, &tb.scenarios) {
+        Ok(run) => {
+            let any_seen = run
+                .results
+                .iter()
+                .any(|r| !matches!(r, ScenarioResult::Missing));
+            if !any_seen {
+                return None;
+            }
+            Some(!run.results.iter().any(|r| matches!(r, ScenarioResult::Fail)))
+        }
+        Err(_) => None,
+    }
+}
+
+/// Generates the `EVAL2_MUTANTS` mutant DUT sources for a problem,
+/// deterministic in `seed`. Every mutant parses and elaborates.
+pub fn eval2_mutants(problem: &Problem, seed: u64) -> Vec<String> {
+    let golden = correctbench_verilog::parse(&problem.golden_rtl)
+        .expect("golden RTL parses by dataset invariant");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe7a1_2);
+    let mut mutants = Vec::with_capacity(EVAL2_MUTANTS);
+    let mut guard = 0;
+    while mutants.len() < EVAL2_MUTANTS && guard < EVAL2_MUTANTS * 20 {
+        guard += 1;
+        let mut file = golden.clone();
+        let n = 1 + rng.gen_range(0..2);
+        if let Some(m) = file.module_mut(&problem.name) {
+            if mutate_module(m, &mut rng, n).is_empty() {
+                continue;
+            }
+        }
+        let src = print_file(&file);
+        let ok = correctbench_verilog::parse(&src)
+            .ok()
+            .and_then(|f| correctbench_verilog::elaborate(&f, &problem.name).ok())
+            .is_some();
+        if ok {
+            mutants.push(src);
+        }
+    }
+    mutants
+}
+
+/// The golden (trusted) testbench for a problem: canonical scenarios,
+/// generated driver, checker compiled from the golden RTL.
+pub fn golden_testbench(problem: &Problem, seed: u64) -> EvalTb {
+    let scenarios = generate_scenarios(problem, seed ^ 0x601d);
+    let driver = generate_driver(problem, &scenarios);
+    let checker = CheckerArtifact::clean(
+        compile_module(&problem.golden_module()).expect("golden RTL compiles to checker IR"),
+    );
+    EvalTb {
+        scenarios,
+        driver,
+        checker,
+    }
+}
+
+/// Evaluates `tb` for `problem`, returning the highest level reached.
+/// `seed` fixes the Eval2 mutant set (use the same seed when comparing
+/// methods).
+pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
+    // Eval0: syntax.
+    let Some(driver) = correctbench_verilog::parse(&tb.driver)
+        .ok()
+        .filter(|f| f.modules.iter().any(|m| m.name == correctbench_tbgen::TB_MODULE))
+    else {
+        return EvalLevel::Failed;
+    };
+    if tb.checker.broken {
+        return EvalLevel::Failed;
+    }
+
+    // Eval1: the golden DUT must elaborate with the driver and report pass.
+    let golden_dut = correctbench_verilog::parse(&problem.golden_rtl)
+        .expect("golden RTL parses by dataset invariant");
+    match tb_report(problem, tb, &driver, &golden_dut) {
+        Some(true) => {}
+        Some(false) => return EvalLevel::Eval0,
+        None => return EvalLevel::Failed, // driver does not even elaborate
+    }
+
+    // Eval2: agreement with the golden testbench over mutant DUTs.
+    let golden_tb = golden_testbench(problem, seed);
+    let golden_driver = correctbench_verilog::parse(&golden_tb.driver)
+        .expect("generated golden driver parses");
+    let mutants = eval2_mutants(problem, seed);
+    if mutants.is_empty() {
+        return EvalLevel::Eval2; // no usable mutants: vacuous agreement
+    }
+    let mut agree = 0usize;
+    let mut counted = 0usize;
+    for m in &mutants {
+        let Ok(mutant) = correctbench_verilog::parse(m) else {
+            continue;
+        };
+        let mine = tb_report(problem, tb, &driver, &mutant);
+        let golden = tb_report(problem, &golden_tb, &golden_driver, &mutant);
+        match (mine, golden) {
+            (Some(a), Some(b)) => {
+                counted += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+            (None, None) => {
+                counted += 1;
+                agree += 1;
+            }
+            _ => counted += 1,
+        }
+    }
+    if counted == 0 || (agree as f64 / counted as f64) >= EVAL2_AGREEMENT {
+        EvalLevel::Eval2
+    } else {
+        EvalLevel::Eval1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctbench_dataset::problem;
+
+    #[test]
+    fn golden_testbench_reaches_eval2() {
+        for name in ["alu_8", "counter_8", "seq_det_101", "mux6_4"] {
+            let p = problem(name).expect("problem");
+            let tb = golden_testbench(&p, 3);
+            assert_eq!(evaluate(&p, &tb, 3), EvalLevel::Eval2, "{name}");
+        }
+    }
+
+    #[test]
+    fn broken_driver_fails() {
+        let p = problem("and_8").expect("problem");
+        let mut tb = golden_testbench(&p, 3);
+        tb.driver = tb.driver.replace("endmodule", "");
+        assert_eq!(evaluate(&p, &tb, 3), EvalLevel::Failed);
+    }
+
+    #[test]
+    fn broken_checker_fails() {
+        let p = problem("and_8").expect("problem");
+        let mut tb = golden_testbench(&p, 3);
+        tb.checker.broken = true;
+        assert_eq!(evaluate(&p, &tb, 3), EvalLevel::Failed);
+    }
+
+    #[test]
+    fn buggy_checker_stops_at_eval0() {
+        use rand::SeedableRng;
+        let p = problem("alu_8").expect("problem");
+        let mut stopped = 0;
+        for seed in 0..10u64 {
+            let mut tb = golden_testbench(&p, 3);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            correctbench_checker::mutate_ir(&mut tb.checker.program, &mut rng, 2);
+            let lvl = evaluate(&p, &tb, 3);
+            if lvl <= EvalLevel::Eval0 {
+                stopped += 1;
+            }
+        }
+        // Most 2-defect checkers should disagree with the golden DUT.
+        assert!(stopped >= 7, "only {stopped}/10 buggy checkers caught");
+    }
+
+    #[test]
+    fn thin_testbench_passes_eval1_fails_eval2() {
+        // Keep only the first scenario: the golden DUT still "passes",
+        // but mutants are no longer killed like the golden TB kills them.
+        let p = problem("alu_8").expect("problem");
+        let mut caught_gap = false;
+        for seed in 0..8u64 {
+            let mut tb = golden_testbench(&p, seed);
+            tb.scenarios.scenarios.truncate(1);
+            tb.driver = correctbench_tbgen::generate_driver(&p, &tb.scenarios);
+            let lvl = evaluate(&p, &tb, seed);
+            assert!(lvl >= EvalLevel::Eval1, "thin TB must still pass Eval1");
+            if lvl == EvalLevel::Eval1 {
+                caught_gap = true;
+            }
+        }
+        assert!(
+            caught_gap,
+            "a one-scenario TB should fail Eval2 for at least one mutant set"
+        );
+    }
+
+    #[test]
+    fn mutants_are_deterministic_and_valid() {
+        let p = problem("counter_8").expect("problem");
+        let a = eval2_mutants(&p, 9);
+        let b = eval2_mutants(&p, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), EVAL2_MUTANTS);
+        for m in &a {
+            correctbench_verilog::parse(m).expect("mutant parses");
+        }
+    }
+
+    #[test]
+    fn levels_ordered() {
+        assert!(EvalLevel::Failed < EvalLevel::Eval0);
+        assert!(EvalLevel::Eval0 < EvalLevel::Eval1);
+        assert!(EvalLevel::Eval1 < EvalLevel::Eval2);
+    }
+}

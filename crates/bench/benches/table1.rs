@@ -1,0 +1,33 @@
+//! `cargo bench` entry that regenerates a scaled-down Table I (and prints
+//! it), so the benchmark suite exercises the full pipeline end to end.
+//! Use the `table1` *binary* with `--full` for the complete 156-task,
+//! 5-repetition reproduction.
+
+use correctbench::{Config, Method};
+use correctbench_bench::experiment::{render_table1, render_table3, run_sweep};
+use correctbench_bench::RunArgs;
+use correctbench_llm::ModelKind;
+
+fn main() {
+    let args = RunArgs {
+        problems: Some(24),
+        reps: 1,
+        seed: 2025,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    let problems = args.problem_set();
+    let t0 = std::time::Instant::now();
+    let records = run_sweep(
+        &problems,
+        &Method::ALL,
+        ModelKind::Gpt4o,
+        args.reps,
+        &Config::default(),
+        args.seed,
+        args.threads,
+    );
+    println!("(scaled-down: {} problems, 1 rep — run the table1 binary with --full for the paper-scale table)", problems.len());
+    println!("{}", render_table1(&records));
+    println!("{}", render_table3(&records));
+    println!("bench wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,40 @@
+//! Ablation of the coverage-based self-validation extension (the paper's
+//! stated future work, implemented here): sweeps the minimum input
+//! toggle-coverage threshold and reports Eval2 pass ratio and token cost.
+//! Moderate thresholds catch thin testbenches the RS matrix alone cannot
+//! indict; aggressive thresholds burn reboots on fine testbenches.
+
+use correctbench::{Config, Method};
+use correctbench_bench::experiment::{aggregate, run_sweep, Group};
+use correctbench_bench::RunArgs;
+use correctbench_llm::ModelKind;
+
+fn main() {
+    let args = RunArgs::parse(Some(24), 2);
+    let problems = args.problem_set();
+    println!("ABLATION: COVERAGE-BASED SELF-VALIDATION (future-work extension)");
+    println!("min-coverage  Eval2-pass  tokens/task");
+    for threshold in [None, Some(0.5), Some(0.8), Some(0.95)] {
+        let cfg = Config {
+            min_input_coverage: threshold,
+            ..Config::default()
+        };
+        let records = run_sweep(
+            &problems,
+            &[Method::CorrectBench],
+            ModelKind::Gpt4o,
+            args.reps,
+            &cfg,
+            args.seed,
+            args.threads,
+        );
+        let cell = aggregate(&records, Group::Total, Method::CorrectBench);
+        let label = threshold.map_or("off".to_string(), |t| format!("{t:.2}"));
+        println!(
+            "{:<13} {:>8.2}%  {:>9.1}k",
+            label,
+            cell.ratio(2) * 100.0,
+            (cell.mean_input_tokens + cell.mean_output_tokens) / 1000.0
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 7** (performance on different LLMs): the stacked
+//! Eval2 / Eval1 / Eval0 / Failed distribution of each method under the
+//! gpt-4o, claude-3.5-sonnet and gpt-4o-mini profiles.
+
+use correctbench::{Config, Method};
+use correctbench_autoeval::EvalLevel;
+use correctbench_bench::experiment::run_sweep;
+use correctbench_bench::RunArgs;
+use correctbench_llm::ModelKind;
+
+fn main() {
+    let args = RunArgs::parse(Some(36), 1);
+    let problems = args.problem_set();
+    eprintln!(
+        "fig7: {} problems x {} reps x 3 methods x 3 models on {} threads",
+        problems.len(),
+        args.reps,
+        args.threads
+    );
+    println!("FIG 7: PERFORMANCE OF CORRECTBENCH ON DIFFERENT LLMS");
+    for model in ModelKind::ALL {
+        println!("\n-- {model} --");
+        println!("method        Eval2    Eval1    Eval0    Failed");
+        let records = run_sweep(
+            &problems,
+            &Method::ALL,
+            model,
+            args.reps,
+            &Config::default(),
+            args.seed,
+            args.threads,
+        );
+        for method in Method::ALL {
+            let runs: Vec<_> = records.iter().filter(|r| r.method == method).collect();
+            let n = runs.len().max(1) as f64;
+            let frac = |lvl: EvalLevel| {
+                runs.iter().filter(|r| r.level == lvl).count() as f64 / n * 100.0
+            };
+            println!(
+                "{:<13} {:>5.1}%  {:>6.1}%  {:>6.1}%  {:>6.1}%",
+                method.name(),
+                frac(EvalLevel::Eval2),
+                frac(EvalLevel::Eval1),
+                frac(EvalLevel::Eval0),
+                frac(EvalLevel::Failed)
+            );
+        }
+    }
+}

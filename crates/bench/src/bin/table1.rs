@@ -1,0 +1,35 @@
+//! Regenerates **Table I** (main results): Eval0/1/2 pass ratios and
+//! average passed-task counts for CorrectBench vs AutoBench vs the
+//! direct baseline, over Total / CMB / SEQ groups.
+//!
+//! ```text
+//! cargo run --release -p correctbench-bench --bin table1 -- --full
+//! ```
+
+use correctbench::{Config, Method};
+use correctbench_bench::experiment::{render_table1, run_sweep};
+use correctbench_bench::RunArgs;
+use correctbench_llm::ModelKind;
+
+fn main() {
+    let args = RunArgs::parse(Some(48), 2);
+    let problems = args.problem_set();
+    eprintln!(
+        "table1: {} problems x {} reps x 3 methods on {} threads (gpt-4o profile)",
+        problems.len(),
+        args.reps,
+        args.threads
+    );
+    let t0 = std::time::Instant::now();
+    let records = run_sweep(
+        &problems,
+        &Method::ALL,
+        ModelKind::Gpt4o,
+        args.reps,
+        &Config::default(),
+        args.seed,
+        args.threads,
+    );
+    println!("{}", render_table1(&records));
+    eprintln!("elapsed: {:?}", t0.elapsed());
+}

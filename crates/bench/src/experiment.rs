@@ -1,0 +1,355 @@
+//! The experiment engine: runs (method × problem × repetition) cells and
+//! aggregates them into the paper's tables and figures.
+
+use correctbench::{run_method, Config, Method, Outcome};
+use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
+use correctbench_dataset::{CircuitKind, Problem};
+use correctbench_llm::{ModelKind, ModelProfile, SimulatedLlm, TokenUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// One evaluated pipeline run.
+#[derive(Clone, Debug)]
+pub struct TaskRecord {
+    /// Problem name.
+    pub problem: String,
+    /// Combinational or sequential.
+    pub kind: CircuitKind,
+    /// Which method produced the testbench.
+    pub method: Method,
+    /// Which model profile drove it.
+    pub model: ModelKind,
+    /// Repetition index.
+    pub rep: u64,
+    /// AutoEval outcome.
+    pub level: EvalLevel,
+    /// Token usage of the run.
+    pub tokens: TokenUsage,
+    /// Corrections performed (CorrectBench only).
+    pub corrections: u32,
+    /// Reboots performed (CorrectBench only).
+    pub reboots: u32,
+    /// The final checker came from the corrector.
+    pub final_from_corrector: bool,
+    /// The validator rejected at least one candidate.
+    pub validator_intervened: bool,
+    /// Final validator verdict was "correct".
+    pub validated: bool,
+}
+
+/// Runs one (method, problem, rep) cell.
+pub fn run_task(
+    method: Method,
+    problem: &Problem,
+    model: ModelKind,
+    rep: u64,
+    cfg: &Config,
+    base_seed: u64,
+) -> TaskRecord {
+    let seed = mix(base_seed, problem.name.as_bytes(), method as u64, rep);
+    let mut llm = SimulatedLlm::new(ModelProfile::for_model(model), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x777);
+    let outcome: Outcome = run_method(method, problem, &mut llm, cfg, &mut rng);
+    let tb = EvalTb {
+        scenarios: outcome.tb.scenarios.clone(),
+        driver: outcome.tb.driver.clone(),
+        checker: outcome.tb.checker.clone(),
+    };
+    // The Eval2 mutant set is shared across methods/reps (seeded by the
+    // problem alone) so comparisons are apples-to-apples.
+    let eval_seed = mix(base_seed, problem.name.as_bytes(), 0, 0);
+    let level = evaluate(problem, &tb, eval_seed);
+    TaskRecord {
+        problem: problem.name.clone(),
+        kind: problem.kind,
+        method,
+        model,
+        rep,
+        level,
+        tokens: outcome.tokens,
+        corrections: outcome.corrections,
+        reboots: outcome.reboots,
+        final_from_corrector: outcome.final_from_corrector,
+        validator_intervened: outcome.validator_intervened,
+        validated: outcome.validated,
+    }
+}
+
+fn mix(base: u64, name: &[u8], a: u64, b: u64) -> u64 {
+    let mut h = base ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    for &byte in name {
+        h = h.wrapping_mul(0x100_0000_01b3) ^ byte as u64;
+    }
+    h
+}
+
+/// Runs a sweep over problems × methods × repetitions, parallel across
+/// problems.
+pub fn run_sweep(
+    problems: &[Problem],
+    methods: &[Method],
+    model: ModelKind,
+    reps: u64,
+    cfg: &Config,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TaskRecord> {
+    let records = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= problems.len() {
+                    break;
+                }
+                let p = &problems[i];
+                let mut local = Vec::new();
+                for &method in methods {
+                    for rep in 0..reps {
+                        local.push(run_task(method, p, model, rep, cfg, base_seed));
+                    }
+                }
+                eprint!("[{}/{}] {}\r", i + 1, problems.len(), p.name);
+                records.lock().expect("poisoned").extend(local);
+            });
+        }
+    });
+    let mut out = records.into_inner().expect("poisoned");
+    out.sort_by(|a, b| {
+        (a.problem.as_str(), a.method as u8, a.rep).cmp(&(b.problem.as_str(), b.method as u8, b.rep))
+    });
+    out
+}
+
+/// Task-group filter used by the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// All 156 tasks.
+    Total,
+    /// The 81 combinational tasks.
+    Cmb,
+    /// The 75 sequential tasks.
+    Seq,
+}
+
+impl Group {
+    /// Row order of Table I.
+    pub const ALL: [Group; 3] = [Group::Total, Group::Cmb, Group::Seq];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::Total => "Total",
+            Group::Cmb => "CMB",
+            Group::Seq => "SEQ",
+        }
+    }
+
+    /// Whether `kind` belongs to the group.
+    pub fn contains(self, kind: CircuitKind) -> bool {
+        match self {
+            Group::Total => true,
+            Group::Cmb => kind == CircuitKind::Combinational,
+            Group::Seq => kind == CircuitKind::Sequential,
+        }
+    }
+}
+
+/// Aggregated statistics of one (group, method) cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellStats {
+    /// Number of (task, rep) runs in the cell.
+    pub runs: usize,
+    /// Number of distinct tasks.
+    pub tasks: usize,
+    /// Repetitions.
+    pub reps: u64,
+    /// Runs reaching at least Eval0 / Eval1 / Eval2.
+    pub at_least: [usize; 3],
+    /// Mean input/output tokens per run.
+    pub mean_input_tokens: f64,
+    /// Mean output tokens per run.
+    pub mean_output_tokens: f64,
+}
+
+impl CellStats {
+    /// Pass ratio at a level (`0` ⇒ Eval0 …).
+    pub fn ratio(&self, level_idx: usize) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.at_least[level_idx] as f64 / self.runs as f64
+        }
+    }
+
+    /// Average number of passing tasks per repetition (the paper's
+    /// "#Tasks" columns).
+    pub fn avg_tasks(&self, level_idx: usize) -> f64 {
+        if self.reps == 0 {
+            0.0
+        } else {
+            self.at_least[level_idx] as f64 / self.reps as f64
+        }
+    }
+}
+
+/// Aggregates records into a (group, method) cell.
+pub fn aggregate(records: &[TaskRecord], group: Group, method: Method) -> CellStats {
+    let selected: Vec<&TaskRecord> = records
+        .iter()
+        .filter(|r| r.method == method && group.contains(r.kind))
+        .collect();
+    let mut stats = CellStats {
+        runs: selected.len(),
+        ..CellStats::default()
+    };
+    let mut names = std::collections::HashSet::new();
+    let mut max_rep = 0;
+    let mut in_tok = 0u64;
+    let mut out_tok = 0u64;
+    for r in &selected {
+        names.insert(&r.problem);
+        max_rep = max_rep.max(r.rep + 1);
+        in_tok += r.tokens.input_tokens;
+        out_tok += r.tokens.output_tokens;
+        for (i, lvl) in [EvalLevel::Eval0, EvalLevel::Eval1, EvalLevel::Eval2]
+            .iter()
+            .enumerate()
+        {
+            if r.level >= *lvl {
+                stats.at_least[i] += 1;
+            }
+        }
+    }
+    stats.tasks = names.len();
+    stats.reps = max_rep;
+    if stats.runs > 0 {
+        stats.mean_input_tokens = in_tok as f64 / stats.runs as f64;
+        stats.mean_output_tokens = out_tok as f64 / stats.runs as f64;
+    }
+    stats
+}
+
+/// Renders Table I from a sweep's records.
+pub fn render_table1(records: &[TaskRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE I: MAIN RESULTS (reproduction)\n");
+    s.push_str(
+        "Group  Metric  CorrectBench        AutoBench           Baseline\n",
+    );
+    for group in Group::ALL {
+        for (i, metric) in ["Eval2", "Eval1", "Eval0"].iter().enumerate() {
+            let idx = 2 - i;
+            let cells: Vec<String> = Method::ALL
+                .iter()
+                .map(|&m| {
+                    let c = aggregate(records, group, m);
+                    format!("{:6.2}% ({:6.1})", c.ratio(idx) * 100.0, c.avg_tasks(idx))
+                })
+                .collect();
+            s.push_str(&format!(
+                "{:<6} {:<7} {}\n",
+                group.name(),
+                metric,
+                cells.join("  ")
+            ));
+        }
+    }
+    s
+}
+
+/// Table III: contributions of validator and corrector.
+pub fn render_table3(records: &[TaskRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE III: CONTRIBUTIONS OF VALIDATOR AND CORRECTOR (avg Eval2-passed tasks per repetition)\n");
+    s.push_str("Group  CorrectBench  AutoBench  Gain   Val.   Corr.\n");
+    for group in Group::ALL {
+        let cb = aggregate(records, group, Method::CorrectBench);
+        let ab = aggregate(records, group, Method::AutoBench);
+        let reps = cb.reps.max(1) as f64;
+        let passed: Vec<&TaskRecord> = records
+            .iter()
+            .filter(|r| {
+                r.method == Method::CorrectBench
+                    && group.contains(r.kind)
+                    && r.level >= EvalLevel::Eval2
+            })
+            .collect();
+        let val = passed.iter().filter(|r| r.validator_intervened).count() as f64 / reps;
+        let corr = passed.iter().filter(|r| r.final_from_corrector).count() as f64 / reps;
+        s.push_str(&format!(
+            "{:<6} {:<13.1} {:<10.1} {:<6.1} {:<6.1} {:<6.1}\n",
+            group.name(),
+            cb.avg_tasks(2),
+            ab.avg_tasks(2),
+            cb.avg_tasks(2) - ab.avg_tasks(2),
+            val,
+            corr
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Vec<TaskRecord> {
+        let problems: Vec<Problem> = ["and_8", "counter_8"]
+            .iter()
+            .map(|n| correctbench_dataset::problem(n).expect("problem"))
+            .collect();
+        run_sweep(
+            &problems,
+            &Method::ALL,
+            ModelKind::Gpt4o,
+            1,
+            &Config::default(),
+            99,
+            2,
+        )
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let records = tiny_sweep();
+        assert_eq!(records.len(), 2 * 3);
+        for m in Method::ALL {
+            assert!(records.iter().any(|r| r.method == m));
+        }
+    }
+
+    #[test]
+    fn sweep_deterministic() {
+        let a = tiny_sweep();
+        let b = tiny_sweep();
+        let la: Vec<_> = a.iter().map(|r| (r.problem.clone(), r.method, r.level)).collect();
+        let lb: Vec<_> = b.iter().map(|r| (r.problem.clone(), r.method, r.level)).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn aggregation_counts() {
+        let records = tiny_sweep();
+        let total = aggregate(&records, Group::Total, Method::CorrectBench);
+        assert_eq!(total.runs, 2);
+        assert_eq!(total.tasks, 2);
+        let cmb = aggregate(&records, Group::Cmb, Method::CorrectBench);
+        assert_eq!(cmb.runs, 1);
+        // at_least is monotone decreasing.
+        assert!(total.at_least[0] >= total.at_least[1]);
+        assert!(total.at_least[1] >= total.at_least[2]);
+    }
+
+    #[test]
+    fn tables_render() {
+        let records = tiny_sweep();
+        let t1 = render_table1(&records);
+        assert!(t1.contains("CorrectBench"));
+        assert!(t1.contains("SEQ"));
+        let t3 = render_table3(&records);
+        assert!(t3.contains("Gain"));
+    }
+}

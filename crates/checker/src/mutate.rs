@@ -1,0 +1,249 @@
+//! IR mutation: the model of LLM checker bugs.
+//!
+//! The simulated LLM "writes" a checker by compiling the golden RTL and
+//! injecting these mutations. Each [`IrMutation`] records the original node
+//! so the corrector can revert it — the reproduction's mechanistic analog
+//! of the LLM fixing the flagged lines of its Python checker.
+
+use crate::ir::*;
+use correctbench_verilog::logic::LogicVec;
+use rand::Rng;
+
+/// One applied, revertible IR mutation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct IrMutation {
+    /// Which node changed.
+    pub node: NodeId,
+    /// The node's definition before the change.
+    pub original: NodeDef,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl IrMutation {
+    /// Undoes this mutation on `prog`.
+    pub fn revert(&self, prog: &mut CheckerProgram) {
+        prog.nodes[self.node.0 as usize] = self.original.clone();
+    }
+}
+
+/// Applies up to `n` random mutations to `prog`, returning what was done.
+pub fn mutate_ir(prog: &mut CheckerProgram, rng: &mut impl Rng, n: usize) -> Vec<IrMutation> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        match mutate_ir_once(prog, rng) {
+            Some(m) => out.push(m),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Applies one random mutation, or `None` when the program has no sites.
+pub fn mutate_ir_once(prog: &mut CheckerProgram, rng: &mut impl Rng) -> Option<IrMutation> {
+    let sites = prog.op_nodes();
+    if sites.is_empty() {
+        return None;
+    }
+    // Try a few sites; some may have no applicable action.
+    for _ in 0..16 {
+        let id = sites[rng.gen_range(0..sites.len())];
+        let original = prog.nodes[id.0 as usize].clone();
+        let width = original.width;
+        let mutated = mutate_node(&original.node, width, rng);
+        if let Some((node, description)) = mutated {
+            prog.nodes[id.0 as usize] = NodeDef { node, width };
+            return Some(IrMutation {
+                node: id,
+                original,
+                description,
+            });
+        }
+    }
+    None
+}
+
+fn mutate_node(node: &Node, width: usize, rng: &mut impl Rng) -> Option<(Node, String)> {
+    match node {
+        Node::Bin { op, a, b, signed } => {
+            let cands = bin_swaps(*op);
+            if cands.is_empty() {
+                // Operand swap still changes non-commutative semantics.
+                if matches!(op, IrBinOp::Sub | IrBinOp::Shl | IrBinOp::Shr | IrBinOp::AShr) {
+                    return Some((
+                        Node::Bin {
+                            op: *op,
+                            a: *b,
+                            b: *a,
+                            signed: *signed,
+                        },
+                        format!("swapped operands of {op}"),
+                    ));
+                }
+                return None;
+            }
+            let new = cands[rng.gen_range(0..cands.len())];
+            Some((
+                Node::Bin {
+                    op: new,
+                    a: *a,
+                    b: *b,
+                    signed: *signed,
+                },
+                format!("ir op {op} -> {new}"),
+            ))
+        }
+        Node::Un { op, a } => {
+            let new = match op {
+                IrUnOp::Not => return Some((Node::Ext { a: *a, signed: false }, "dropped not".into())),
+                IrUnOp::Neg => return Some((Node::Ext { a: *a, signed: false }, "dropped neg".into())),
+                IrUnOp::RedAnd => IrUnOp::RedOr,
+                IrUnOp::RedOr => IrUnOp::RedAnd,
+                IrUnOp::RedXor => IrUnOp::RedOr,
+                IrUnOp::LogicNot => IrUnOp::Bool,
+                IrUnOp::Bool => IrUnOp::LogicNot,
+            };
+            Some((Node::Un { op: new, a: *a }, format!("ir unop swapped to {new:?}")))
+        }
+        Node::Mux { sel, t, f } => Some((
+            Node::Mux {
+                sel: *sel,
+                t: *f,
+                f: *t,
+            },
+            "swapped mux branches".to_string(),
+        )),
+        Node::Const(v) if v.is_fully_known() => {
+            let choice = rng.gen_range(0..3u8);
+            let new = match choice {
+                0 => v.add(&LogicVec::from_u64(width, 1)),
+                1 => v.sub(&LogicVec::from_u64(width, 1)),
+                _ => {
+                    let mut x = v.clone();
+                    let bit = rng.gen_range(0..width);
+                    use correctbench_verilog::logic::Bit;
+                    let flipped = match x.bit(bit) {
+                        Bit::Zero => Bit::One,
+                        _ => Bit::Zero,
+                    };
+                    x.set_bit(bit, flipped);
+                    x
+                }
+            };
+            if new == *v {
+                return None;
+            }
+            let desc = format!(
+                "const {} -> {}",
+                v.to_decimal_string(),
+                new.to_decimal_string()
+            );
+            Some((Node::Const(new), desc))
+        }
+        _ => None,
+    }
+}
+
+fn bin_swaps(op: IrBinOp) -> Vec<IrBinOp> {
+    use IrBinOp::*;
+    match op {
+        Add => vec![Sub, Or],
+        Sub => vec![Add],
+        Mul => vec![Add],
+        Div => vec![Mod],
+        Mod => vec![Div],
+        And => vec![Or, Xor],
+        Or => vec![And, Xor],
+        Xor => vec![Or, And],
+        Eq => vec![CaseEq],
+        LtU => vec![LtS],
+        LtS => vec![LtU],
+        Shl => vec![Shr],
+        Shr => vec![Shl, AShr],
+        AShr => vec![Shr],
+        CaseEq => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_module;
+    use crate::eval::{step, CheckerState};
+    use correctbench_verilog::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    const SRC: &str = "module alu(input [7:0] a, b, input [1:0] op, output reg [7:0] y);\nalways @(*) begin\ncase (op)\n2'd0: y = a + b;\n2'd1: y = a - b;\n2'd2: y = a & b;\ndefault: y = a | b;\nendcase\nend\nendmodule";
+
+    fn golden() -> CheckerProgram {
+        let f = parse(SRC).expect("parse");
+        compile_module(&f.modules[0]).expect("compile")
+    }
+
+    fn run(prog: &CheckerProgram, a: u64, b: u64, op: u64) -> Option<u64> {
+        let mut st = CheckerState::new(prog);
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), LogicVec::from_u64(8, a));
+        inputs.insert("b".to_string(), LogicVec::from_u64(8, b));
+        inputs.insert("op".to_string(), LogicVec::from_u64(2, op));
+        step(prog, &mut st, &inputs).expect("step")["y"].to_u64()
+    }
+
+    #[test]
+    fn mutation_revert_restores_program() {
+        let golden = golden();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prog = golden.clone();
+            let muts = mutate_ir(&mut prog, &mut rng, 2);
+            assert!(!muts.is_empty(), "seed {seed}");
+            for m in muts.iter().rev() {
+                m.revert(&mut prog);
+            }
+            assert_eq!(prog, golden, "seed {seed}: revert incomplete");
+        }
+    }
+
+    #[test]
+    fn mutations_usually_change_behaviour() {
+        let gold = golden();
+        let mut changed = 0;
+        let total = 30;
+        'outer: for seed in 0..total {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut prog = gold.clone();
+            if mutate_ir(&mut prog, &mut rng, 1).is_empty() {
+                continue;
+            }
+            for a in [0u64, 1, 7, 200, 255] {
+                for b in [0u64, 3, 255] {
+                    for op in 0..4 {
+                        if run(&prog, a, b, op) != run(&gold, a, b, op) {
+                            changed += 1;
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            changed * 10 >= total * 5,
+            "only {changed}/{total} mutations changed observable behaviour"
+        );
+    }
+
+    #[test]
+    fn no_sites_means_none() {
+        let mut p = CheckerProgram::default();
+        p.push(
+            Node::Input {
+                name: "a".to_string(),
+            },
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(mutate_ir_once(&mut p, &mut rng).is_none());
+    }
+}

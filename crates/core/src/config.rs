@@ -1,0 +1,144 @@
+//! Pipeline configuration: iteration limits and validation criteria.
+
+/// Validation criterion for the RS matrix (paper Section III-B2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ValidationCriterion {
+    /// `100%-wrong`: a scenario is wrong only when *every* RTL disagrees
+    /// with the testbench; no green-row override.
+    Wrong100,
+    /// `70%-wrong`: a scenario is wrong when ≥70% of RTLs disagree, with
+    /// the 25%-green-row override. The paper's chosen criterion.
+    Wrong70,
+    /// `50%-wrong`: like `70%-wrong` at a 50% threshold.
+    Wrong50,
+    /// Ablation: explicit threshold and row-rule switch.
+    Custom {
+        /// Fraction of disagreeing RTLs that marks a scenario wrong.
+        wrong_fraction: f64,
+        /// Enable the 25%-green-row override.
+        green_row_rule: bool,
+    },
+    /// Extension (paper future work, "more advanced validation
+    /// criteria"): plausibility-weighted voting. Each RTL row votes with
+    /// weight equal to its green fraction, so mostly-broken designs —
+    /// whose red cells say little about the testbench — are discounted
+    /// instead of diluting every column toward the threshold.
+    Weighted {
+        /// Weighted disagreement fraction that marks a scenario wrong.
+        wrong_fraction: f64,
+    },
+}
+
+impl ValidationCriterion {
+    /// The disagreement fraction at which a scenario is flagged wrong.
+    pub fn wrong_fraction(self) -> f64 {
+        match self {
+            ValidationCriterion::Wrong100 => 1.0,
+            ValidationCriterion::Wrong70 => 0.7,
+            ValidationCriterion::Wrong50 => 0.5,
+            ValidationCriterion::Custom { wrong_fraction, .. } => wrong_fraction,
+            ValidationCriterion::Weighted { wrong_fraction } => wrong_fraction,
+        }
+    }
+
+    /// Whether an entirely-green row in ≥25% of RTLs overrides a wrong
+    /// verdict.
+    pub fn green_row_rule(self) -> bool {
+        match self {
+            ValidationCriterion::Wrong100 => false,
+            ValidationCriterion::Wrong70 | ValidationCriterion::Wrong50 => true,
+            ValidationCriterion::Custom { green_row_rule, .. } => green_row_rule,
+            ValidationCriterion::Weighted { .. } => true,
+        }
+    }
+
+    /// Display name used in figures.
+    pub fn name(self) -> String {
+        match self {
+            ValidationCriterion::Wrong100 => "100%-wrong".to_string(),
+            ValidationCriterion::Wrong70 => "70%-wrong".to_string(),
+            ValidationCriterion::Wrong50 => "50%-wrong".to_string(),
+            ValidationCriterion::Custom {
+                wrong_fraction,
+                green_row_rule,
+            } => format!(
+                "{:.0}%-wrong{}",
+                wrong_fraction * 100.0,
+                if green_row_rule { "" } else { " (no row rule)" }
+            ),
+            ValidationCriterion::Weighted { wrong_fraction } => {
+                format!("{:.0}%-weighted", wrong_fraction * 100.0)
+            }
+        }
+    }
+}
+
+/// CorrectBench configuration (paper defaults in [`Default`]).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// I_C^max — correction attempts per reboot cycle (paper: 3).
+    pub max_corrections: u32,
+    /// I_R^max — reboot attempts (paper: 10).
+    pub max_reboots: u32,
+    /// NR — validator RTL group size (paper: 20).
+    pub num_validation_rtls: usize,
+    /// Validation criterion (paper: 70%-wrong).
+    pub criterion: ValidationCriterion,
+    /// AutoBench syntax auto-debug rounds per artifact.
+    pub syntax_debug_rounds: u32,
+    /// Probability the AutoBench scenario-list check notices a missing
+    /// scenario in the driver (the paper reports the stage exists but not
+    /// a success rate; this models its imperfection).
+    pub scenario_check_recall: f64,
+    /// Fraction of entirely-green rows that forces a correct verdict.
+    pub green_row_fraction: f64,
+    /// Experimental coverage-based self-validation (the paper's stated
+    /// future work): when set, a testbench whose driver-covered scenarios
+    /// toggle less than this fraction of DUT input bits is validated
+    /// wrong even if the RS matrix looks clean. `None` disables it.
+    pub min_input_coverage: Option<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_corrections: 3,
+            max_reboots: 10,
+            num_validation_rtls: 20,
+            criterion: ValidationCriterion::Wrong70,
+            syntax_debug_rounds: 3,
+            scenario_check_recall: 0.6,
+            green_row_fraction: 0.25,
+            min_input_coverage: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = Config::default();
+        assert_eq!(c.max_corrections, 3);
+        assert_eq!(c.max_reboots, 10);
+        assert_eq!(c.num_validation_rtls, 20);
+        assert_eq!(c.criterion, ValidationCriterion::Wrong70);
+    }
+
+    #[test]
+    fn criterion_parameters() {
+        assert_eq!(ValidationCriterion::Wrong100.wrong_fraction(), 1.0);
+        assert!(!ValidationCriterion::Wrong100.green_row_rule());
+        assert_eq!(ValidationCriterion::Wrong70.wrong_fraction(), 0.7);
+        assert!(ValidationCriterion::Wrong70.green_row_rule());
+        let c = ValidationCriterion::Custom {
+            wrong_fraction: 0.8,
+            green_row_rule: false,
+        };
+        assert_eq!(c.wrong_fraction(), 0.8);
+        assert!(!c.green_row_rule());
+        assert!(c.name().contains("80%"));
+    }
+}

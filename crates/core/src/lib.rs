@@ -1,0 +1,49 @@
+//! CorrectBench: automatic testbench generation with functional
+//! self-validation and self-correction — a from-scratch Rust
+//! reproduction of the DATE 2025 paper.
+//!
+//! The pipeline takes only a natural-language spec
+//! ([`correctbench_dataset::Problem::spec`]) and produces a hybrid
+//! testbench ([`HybridTb`]): a Verilog driver plus a checker reference
+//! model. The novelty over plain generation is the loop in
+//! [`pipeline::run_correctbench`]:
+//!
+//! * the **validator** simulates a group of independently-generated
+//!   "imperfect" RTL designs under the candidate testbench and judges
+//!   the per-scenario columns of the resulting RS matrix;
+//! * the **corrector** feeds the validator's per-scenario bug report
+//!   back to the LLM in a two-stage why/where/how conversation;
+//! * the **action agent** chooses Correcting / Rebooting / Pass with
+//!   the paper's budgets (I_C^max = 3, I_R^max = 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use correctbench::{Config, run_correctbench};
+//! use correctbench_llm::{ModelKind, ModelProfile, SimulatedLlm};
+//! use rand::SeedableRng;
+//!
+//! let problem = correctbench_dataset::problem("and_8").expect("known problem");
+//! let mut llm = SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), 7);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let outcome = run_correctbench(&problem, &mut llm, &Config::default(), &mut rng);
+//! assert!(outcome.tb.scenarios.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod corrector;
+pub mod generator;
+pub mod pipeline;
+pub mod testbench;
+pub mod validator;
+
+pub use config::{Config, ValidationCriterion};
+pub use corrector::correct;
+pub use generator::{generate_autobench, generate_direct};
+pub use pipeline::{
+    run_autobench, run_baseline, run_correctbench, run_method, Action, Method, Outcome,
+};
+pub use testbench::HybridTb;
+pub use validator::{build_rs_matrix, judge, validate, RsCell, RsMatrix, Validation, Verdict};

@@ -1,0 +1,653 @@
+//! The 81 combinational problems.
+//!
+//! Families mirror the HDLBits classes the paper's dataset draws from:
+//! basic gates, multiplexers, arithmetic, comparators, encoders/decoders,
+//! bit manipulation, and small multi-function datapaths.
+
+use crate::{scenario_spec_for, CircuitKind, Difficulty, PortSpec, Problem};
+
+fn p(
+    name: &str,
+    difficulty: Difficulty,
+    behaviour: &str,
+    rtl: String,
+    ports: Vec<PortSpec>,
+) -> Problem {
+    let iface = rtl
+        .lines()
+        .take_while(|l| !l.contains(");"))
+        .chain(rtl.lines().find(|l| l.contains(");")))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let spec = format!(
+        "You are given a combinational RTL design task.\n\
+         The DUT is a Verilog module named `{name}`.\n\
+         Interface:\n{iface}\n\
+         Behaviour: {behaviour}\n\
+         The design is purely combinational: outputs depend only on the \
+         current input values, with no clock and no internal state."
+    );
+    Problem {
+        name: name.to_string(),
+        kind: CircuitKind::Combinational,
+        spec,
+        golden_rtl: rtl,
+        ports,
+        difficulty,
+        scenario_spec: scenario_spec_for(difficulty, CircuitKind::Combinational),
+    }
+}
+
+fn unary_gate(name: &str, width: usize, expr: &str, behaviour: &str) -> Problem {
+    let range = range_str(width);
+    let rtl = format!(
+        "module {name} (\n    input {range}a,\n    output {range}y\n);\n    assign y = {expr};\nendmodule\n"
+    );
+    p(
+        name,
+        Difficulty::Easy,
+        behaviour,
+        rtl,
+        vec![PortSpec::input("a", width), PortSpec::output("y", width)],
+    )
+}
+
+fn binary_gate(name: &str, width: usize, op: &str, behaviour: &str) -> Problem {
+    let range = range_str(width);
+    let rtl = format!(
+        "module {name} (\n    input {range}a,\n    input {range}b,\n    output {range}y\n);\n    assign y = a {op} b;\nendmodule\n"
+    );
+    p(
+        name,
+        Difficulty::Easy,
+        behaviour,
+        rtl,
+        vec![
+            PortSpec::input("a", width),
+            PortSpec::input("b", width),
+            PortSpec::output("y", width),
+        ],
+    )
+}
+
+fn range_str(width: usize) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+/// Builds the full combinational catalogue (81 problems).
+pub fn problems() -> Vec<Problem> {
+    let mut v: Vec<Problem> = Vec::with_capacity(81);
+
+    // ---- basic gates (12) ----
+    v.push(unary_gate("not_1", 1, "~a", "y is the logical inverse of the single-bit input a."));
+    v.push(unary_gate("not_8", 8, "~a", "y is the bitwise inverse of the 8-bit input a."));
+    v.push(binary_gate("and_1", 1, "&", "y = a AND b for single-bit inputs."));
+    v.push(binary_gate("and_8", 8, "&", "y is the bitwise AND of the two 8-bit inputs."));
+    v.push(binary_gate("or_1", 1, "|", "y = a OR b for single-bit inputs."));
+    v.push(binary_gate("or_8", 8, "|", "y is the bitwise OR of the two 8-bit inputs."));
+    v.push(binary_gate("xor_1", 1, "^", "y = a XOR b for single-bit inputs."));
+    v.push(binary_gate("xor_8", 8, "^", "y is the bitwise XOR of the two 8-bit inputs."));
+    v.push({
+        let rtl = "module nand_4 (\n    input [3:0] a,\n    input [3:0] b,\n    output [3:0] y\n);\n    assign y = ~(a & b);\nendmodule\n".to_string();
+        p("nand_4", Difficulty::Easy, "y is the bitwise NAND of the two 4-bit inputs.", rtl,
+          vec![PortSpec::input("a", 4), PortSpec::input("b", 4), PortSpec::output("y", 4)])
+    });
+    v.push({
+        let rtl = "module nor_4 (\n    input [3:0] a,\n    input [3:0] b,\n    output [3:0] y\n);\n    assign y = ~(a | b);\nendmodule\n".to_string();
+        p("nor_4", Difficulty::Easy, "y is the bitwise NOR of the two 4-bit inputs.", rtl,
+          vec![PortSpec::input("a", 4), PortSpec::input("b", 4), PortSpec::output("y", 4)])
+    });
+    v.push({
+        let rtl = "module xnor_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = ~(a ^ b);\nendmodule\n".to_string();
+        p("xnor_8", Difficulty::Easy, "y is the bitwise XNOR of the two 8-bit inputs.", rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module gates_3 (\n    input a,\n    input b,\n    output y_and,\n    output y_or,\n    output y_xor\n);\n    assign y_and = a & b;\n    assign y_or = a | b;\n    assign y_xor = a ^ b;\nendmodule\n".to_string();
+        p("gates_3", Difficulty::Easy,
+          "Three outputs compute AND, OR and XOR of the single-bit inputs a and b simultaneously.",
+          rtl,
+          vec![PortSpec::input("a", 1), PortSpec::input("b", 1),
+               PortSpec::output("y_and", 1), PortSpec::output("y_or", 1), PortSpec::output("y_xor", 1)])
+    });
+
+    // ---- multiplexers / demultiplexers (8) ----
+    for width in [1usize, 8, 16] {
+        let name = format!("mux2_{width}");
+        let range = range_str(width);
+        let rtl = format!(
+            "module {name} (\n    input sel,\n    input {range}a,\n    input {range}b,\n    output {range}y\n);\n    assign y = sel ? b : a;\nendmodule\n"
+        );
+        v.push(p(
+            &name,
+            Difficulty::Easy,
+            "2-to-1 multiplexer: y = a when sel is 0, y = b when sel is 1.",
+            rtl,
+            vec![
+                PortSpec::input("sel", 1),
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("y", width),
+            ],
+        ));
+    }
+    v.push({
+        let rtl = "module mux4_8 (\n    input [1:0] sel,\n    input [7:0] d0,\n    input [7:0] d1,\n    input [7:0] d2,\n    input [7:0] d3,\n    output reg [7:0] y\n);\n    always @(*) begin\n        case (sel)\n            2'd0: y = d0;\n            2'd1: y = d1;\n            2'd2: y = d2;\n            default: y = d3;\n        endcase\n    end\nendmodule\n".to_string();
+        p("mux4_8", Difficulty::Medium,
+          "4-to-1 multiplexer over 8-bit data inputs d0..d3 selected by the 2-bit sel.",
+          rtl,
+          vec![PortSpec::input("sel", 2), PortSpec::input("d0", 8), PortSpec::input("d1", 8),
+               PortSpec::input("d2", 8), PortSpec::input("d3", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module mux8_4 (\n    input [2:0] sel,\n    input [31:0] d,\n    output [3:0] y\n);\n    assign y = d[sel * 4 +: 4];\nendmodule\n".to_string();
+        p("mux8_4", Difficulty::Medium,
+          "8-to-1 multiplexer: the 32-bit input d packs eight 4-bit words; y is word number sel (word 0 in bits [3:0]).",
+          rtl,
+          vec![PortSpec::input("sel", 3), PortSpec::input("d", 32), PortSpec::output("y", 4)])
+    });
+    v.push({
+        // Mirrors the paper's Fig. 3 demo: sel plus data0..data5.
+        let rtl = "module mux6_4 (\n    input [2:0] sel,\n    input [3:0] data0,\n    input [3:0] data1,\n    input [3:0] data2,\n    input [3:0] data3,\n    input [3:0] data4,\n    input [3:0] data5,\n    output reg [3:0] out\n);\n    always @(*) begin\n        case (sel)\n            3'd0: out = data0;\n            3'd1: out = data1;\n            3'd2: out = data2;\n            3'd3: out = data3;\n            3'd4: out = data4;\n            3'd5: out = data5;\n            default: out = 4'd0;\n        endcase\n    end\nendmodule\n".to_string();
+        p("mux6_4", Difficulty::Medium,
+          "6-to-1 multiplexer: out = dataN for sel = N in 0..5; for sel = 6 or 7 out is 0.",
+          rtl,
+          vec![PortSpec::input("sel", 3),
+               PortSpec::input("data0", 4), PortSpec::input("data1", 4), PortSpec::input("data2", 4),
+               PortSpec::input("data3", 4), PortSpec::input("data4", 4), PortSpec::input("data5", 4),
+               PortSpec::output("out", 4)])
+    });
+    v.push({
+        let rtl = "module demux2_4 (\n    input sel,\n    input [3:0] d,\n    output [3:0] y0,\n    output [3:0] y1\n);\n    assign y0 = sel ? 4'd0 : d;\n    assign y1 = sel ? d : 4'd0;\nendmodule\n".to_string();
+        p("demux2_4", Difficulty::Easy,
+          "1-to-2 demultiplexer: the 4-bit input d is routed to y0 when sel is 0 and to y1 when sel is 1; the unselected output is 0.",
+          rtl,
+          vec![PortSpec::input("sel", 1), PortSpec::input("d", 4),
+               PortSpec::output("y0", 4), PortSpec::output("y1", 4)])
+    });
+    v.push({
+        let rtl = "module demux4_1 (\n    input [1:0] sel,\n    input d,\n    output [3:0] y\n);\n    assign y = d ? (4'b0001 << sel) : 4'b0000;\nendmodule\n".to_string();
+        p("demux4_1", Difficulty::Easy,
+          "1-to-4 demultiplexer: output bit sel equals d, all other bits are 0.",
+          rtl,
+          vec![PortSpec::input("sel", 2), PortSpec::input("d", 1), PortSpec::output("y", 4)])
+    });
+
+    // ---- adders / subtractors (11) ----
+    for width in [4usize, 8, 16] {
+        let name = format!("adder_{width}");
+        let rtl = format!(
+            "module {name} (\n    input [{hi}:0] a,\n    input [{hi}:0] b,\n    output [{hi}:0] sum,\n    output cout\n);\n    assign {{cout, sum}} = a + b;\nendmodule\n",
+            hi = width - 1
+        );
+        v.push(p(
+            &name,
+            Difficulty::Easy,
+            "Unsigned adder: {cout, sum} is the full (width+1)-bit sum of a and b; cout is the carry out.",
+            rtl,
+            vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("sum", width),
+                PortSpec::output("cout", 1),
+            ],
+        ));
+    }
+    v.push({
+        let rtl = "module half_adder (\n    input a,\n    input b,\n    output s,\n    output c\n);\n    assign s = a ^ b;\n    assign c = a & b;\nendmodule\n".to_string();
+        p("half_adder", Difficulty::Easy, "Half adder: s = a XOR b, c = a AND b.", rtl,
+          vec![PortSpec::input("a", 1), PortSpec::input("b", 1),
+               PortSpec::output("s", 1), PortSpec::output("c", 1)])
+    });
+    v.push({
+        let rtl = "module full_adder (\n    input a,\n    input b,\n    input cin,\n    output s,\n    output cout\n);\n    assign {cout, s} = a + b + cin;\nendmodule\n".to_string();
+        p("full_adder", Difficulty::Easy,
+          "Full adder: {cout, s} is the 2-bit sum of a, b and carry-in cin.", rtl,
+          vec![PortSpec::input("a", 1), PortSpec::input("b", 1), PortSpec::input("cin", 1),
+               PortSpec::output("s", 1), PortSpec::output("cout", 1)])
+    });
+    for width in [4usize, 8] {
+        let name = format!("subtractor_{width}");
+        let rtl = format!(
+            "module {name} (\n    input [{hi}:0] a,\n    input [{hi}:0] b,\n    output [{hi}:0] diff,\n    output borrow\n);\n    assign diff = a - b;\n    assign borrow = a < b;\nendmodule\n",
+            hi = width - 1
+        );
+        v.push(p(
+            &name,
+            Difficulty::Easy,
+            "Unsigned subtractor: diff = a - b (modulo 2^width); borrow is 1 when a < b.",
+            rtl,
+            vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("diff", width),
+                PortSpec::output("borrow", 1),
+            ],
+        ));
+    }
+    v.push({
+        let rtl = "module addsub_8 (\n    input sub,\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = sub ? a - b : a + b;\nendmodule\n".to_string();
+        p("addsub_8", Difficulty::Medium,
+          "Adder-subtractor: y = a + b when sub is 0, y = a - b when sub is 1 (both modulo 256).",
+          rtl,
+          vec![PortSpec::input("sub", 1), PortSpec::input("a", 8), PortSpec::input("b", 8),
+               PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module incr_8 (\n    input [7:0] a,\n    output [7:0] y\n);\n    assign y = a + 8'd1;\nendmodule\n".to_string();
+        p("incr_8", Difficulty::Easy, "Incrementer: y = a + 1 modulo 256.", rtl,
+          vec![PortSpec::input("a", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module negate_8 (\n    input [7:0] a,\n    output [7:0] y\n);\n    assign y = 8'd0 - a;\nendmodule\n".to_string();
+        p("negate_8", Difficulty::Easy, "Two's-complement negation: y = -a modulo 256.", rtl,
+          vec![PortSpec::input("a", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module abs_8 (\n    input signed [7:0] a,\n    output [7:0] y\n);\n    assign y = a[7] ? (8'd0 - a) : a;\nendmodule\n".to_string();
+        p("abs_8", Difficulty::Medium,
+          "Absolute value of a signed 8-bit input: y = a when a >= 0, y = -a otherwise (note -128 maps to 128 = 0x80).",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::output("y", 8)])
+    });
+
+    // ---- min/max/comparators (8) ----
+    v.push({
+        let rtl = "module min2_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = (a < b) ? a : b;\nendmodule\n".to_string();
+        p("min2_8", Difficulty::Easy, "y is the smaller of the two unsigned 8-bit inputs.", rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module max2_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = (a > b) ? a : b;\nendmodule\n".to_string();
+        p("max2_8", Difficulty::Easy, "y is the larger of the two unsigned 8-bit inputs.", rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+    for width in [4usize, 8] {
+        let name = format!("comparator_{width}");
+        let rtl = format!(
+            "module {name} (\n    input [{hi}:0] a,\n    input [{hi}:0] b,\n    output eq,\n    output lt,\n    output gt\n);\n    assign eq = a == b;\n    assign lt = a < b;\n    assign gt = a > b;\nendmodule\n",
+            hi = width - 1
+        );
+        v.push(p(
+            &name,
+            Difficulty::Easy,
+            "Unsigned comparator with three one-hot outputs: eq (a == b), lt (a < b), gt (a > b).",
+            rtl,
+            vec![
+                PortSpec::input("a", width),
+                PortSpec::input("b", width),
+                PortSpec::output("eq", 1),
+                PortSpec::output("lt", 1),
+                PortSpec::output("gt", 1),
+            ],
+        ));
+    }
+    v.push({
+        let rtl = "module signed_lt_8 (\n    input signed [7:0] a,\n    input signed [7:0] b,\n    output y\n);\n    assign y = a < b;\nendmodule\n".to_string();
+        p("signed_lt_8", Difficulty::Medium,
+          "Signed comparison: y = 1 when a < b interpreting both 8-bit inputs as two's-complement.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module equality_16 (\n    input [15:0] a,\n    input [15:0] b,\n    output y\n);\n    assign y = a == b;\nendmodule\n".to_string();
+        p("equality_16", Difficulty::Easy, "y = 1 exactly when the two 16-bit inputs are equal.", rtl,
+          vec![PortSpec::input("a", 16), PortSpec::input("b", 16), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module in_range_8 (\n    input [7:0] x,\n    input [7:0] lo,\n    input [7:0] hi,\n    output y\n);\n    assign y = (x >= lo) && (x <= hi);\nendmodule\n".to_string();
+        p("in_range_8", Difficulty::Medium,
+          "Range check: y = 1 when lo <= x <= hi (all unsigned 8-bit).",
+          rtl,
+          vec![PortSpec::input("x", 8), PortSpec::input("lo", 8), PortSpec::input("hi", 8),
+               PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module sat_add_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    wire [8:0] full;\n    assign full = a + b;\n    assign y = full[8] ? 8'hff : full[7:0];\nendmodule\n".to_string();
+        p("sat_add_8", Difficulty::Medium,
+          "Saturating unsigned adder: y = a + b, clamped to 255 when the true sum exceeds 255.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+
+    // ---- ALUs / multipliers (4) ----
+    v.push({
+        let rtl = "module alu_8 (\n    input [1:0] op,\n    input [7:0] a,\n    input [7:0] b,\n    output reg [7:0] y\n);\n    always @(*) begin\n        case (op)\n            2'd0: y = a + b;\n            2'd1: y = a - b;\n            2'd2: y = a & b;\n            default: y = a | b;\n        endcase\n    end\nendmodule\n".to_string();
+        p("alu_8", Difficulty::Medium,
+          "4-operation ALU: op 0 adds, op 1 subtracts, op 2 bitwise-ANDs, op 3 bitwise-ORs the 8-bit operands.",
+          rtl,
+          vec![PortSpec::input("op", 2), PortSpec::input("a", 8), PortSpec::input("b", 8),
+               PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module alu_16 (\n    input [2:0] op,\n    input [15:0] a,\n    input [15:0] b,\n    output reg [15:0] y,\n    output zero\n);\n    always @(*) begin\n        case (op)\n            3'd0: y = a + b;\n            3'd1: y = a - b;\n            3'd2: y = a & b;\n            3'd3: y = a | b;\n            3'd4: y = a ^ b;\n            3'd5: y = ~a;\n            3'd6: y = a << 1;\n            default: y = a >> 1;\n        endcase\n    end\n    assign zero = y == 16'd0;\nendmodule\n".to_string();
+        p("alu_16", Difficulty::Hard,
+          "8-operation 16-bit ALU (add, sub, and, or, xor, not-a, shift-left-1, shift-right-1 for op = 0..7) with a zero flag that is 1 when y == 0.",
+          rtl,
+          vec![PortSpec::input("op", 3), PortSpec::input("a", 16), PortSpec::input("b", 16),
+               PortSpec::output("y", 16), PortSpec::output("zero", 1)])
+    });
+    v.push({
+        let rtl = "module mul_4 (\n    input [3:0] a,\n    input [3:0] b,\n    output [7:0] y\n);\n    assign y = a * b;\nendmodule\n".to_string();
+        p("mul_4", Difficulty::Medium,
+          "Unsigned 4x4 multiplier with a full 8-bit product.",
+          rtl,
+          vec![PortSpec::input("a", 4), PortSpec::input("b", 4), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module mul_8_low (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = a * b;\nendmodule\n".to_string();
+        p("mul_8_low", Difficulty::Medium,
+          "Unsigned 8x8 multiplier keeping only the low 8 bits of the product.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+
+    // ---- parity / popcount / leading zeros (5) ----
+    v.push({
+        let rtl = "module parity_even_8 (\n    input [7:0] d,\n    output y\n);\n    assign y = ^d;\nendmodule\n".to_string();
+        p("parity_even_8", Difficulty::Easy,
+          "Even-parity generator: y is the XOR of all 8 input bits (1 when the count of ones is odd).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module parity_odd_16 (\n    input [15:0] d,\n    output y\n);\n    assign y = ~(^d);\nendmodule\n".to_string();
+        p("parity_odd_16", Difficulty::Easy,
+          "Odd-parity generator: y = 1 when the 16-bit input has an even number of ones (XNOR reduction).",
+          rtl,
+          vec![PortSpec::input("d", 16), PortSpec::output("y", 1)])
+    });
+    for width in [8usize, 16] {
+        let name = format!("popcount_{width}");
+        let out_w = if width == 8 { 4 } else { 5 };
+        let rtl = format!(
+            "module {name} (\n    input [{hi}:0] d,\n    output reg [{ohi}:0] n\n);\n    integer i;\n    always @(*) begin\n        n = {ow}'d0;\n        for (i = 0; i < {width}; i = i + 1) begin\n            if (d[i]) n = n + {ow}'d1;\n        end\n    end\nendmodule\n",
+            hi = width - 1,
+            ohi = out_w - 1,
+            ow = out_w
+        );
+        v.push(p(
+            &name,
+            Difficulty::Medium,
+            "Population count: n is the number of 1 bits in d.",
+            rtl,
+            vec![PortSpec::input("d", width), PortSpec::output("n", out_w)],
+        ));
+    }
+    v.push({
+        let rtl = "module clz_8 (\n    input [7:0] d,\n    output reg [3:0] n\n);\n    integer i;\n    reg found;\n    always @(*) begin\n        n = 4'd0;\n        found = 1'b0;\n        for (i = 0; i < 8; i = i + 1) begin\n            if (!found) begin\n                if (d[7 - i]) found = 1'b1;\n                else n = n + 4'd1;\n            end\n        end\n    end\nendmodule\n".to_string();
+        p("clz_8", Difficulty::Hard,
+          "Count leading zeros: n is the number of consecutive 0 bits starting from bit 7 down to the first 1; n = 8 when d == 0.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("n", 4)])
+    });
+
+    // ---- bit manipulation (11) ----
+    for width in [8usize, 16] {
+        let name = format!("reverse_{width}");
+        let rtl = format!(
+            "module {name} (\n    input [{hi}:0] d,\n    output reg [{hi}:0] y\n);\n    integer i;\n    always @(*) begin\n        for (i = 0; i < {width}; i = i + 1) begin\n            y[i] = d[{hi} - i];\n        end\n    end\nendmodule\n",
+            hi = width - 1
+        );
+        v.push(p(
+            &name,
+            Difficulty::Medium,
+            "Bit reversal: output bit i equals input bit (width-1-i).",
+            rtl,
+            vec![PortSpec::input("d", width), PortSpec::output("y", width)],
+        ));
+    }
+    v.push({
+        let rtl = "module swap_bytes_16 (\n    input [15:0] d,\n    output [15:0] y\n);\n    assign y = {d[7:0], d[15:8]};\nendmodule\n".to_string();
+        p("swap_bytes_16", Difficulty::Easy,
+          "Byte swap: the low byte of d becomes the high byte of y and vice versa.",
+          rtl,
+          vec![PortSpec::input("d", 16), PortSpec::output("y", 16)])
+    });
+    v.push({
+        let rtl = "module nibble_swap_8 (\n    input [7:0] d,\n    output [7:0] y\n);\n    assign y = {d[3:0], d[7:4]};\nendmodule\n".to_string();
+        p("nibble_swap_8", Difficulty::Easy,
+          "Nibble swap: y = {d[3:0], d[7:4]}.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module rotl_8 (\n    input [7:0] d,\n    input [2:0] n,\n    output [7:0] y\n);\n    wire [15:0] ext;\n    assign ext = {d, d} << n;\n    assign y = ext[15:8];\nendmodule\n".to_string();
+        p("rotl_8", Difficulty::Medium,
+          "Rotate left: y is d rotated left by n positions (n in 0..7); bits shifted out of the top re-enter at the bottom.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module rotr_8 (\n    input [7:0] d,\n    input [2:0] n,\n    output [7:0] y\n);\n    wire [15:0] ext;\n    assign ext = {d, d} >> n;\n    assign y = ext[7:0];\nendmodule\n".to_string();
+        p("rotr_8", Difficulty::Medium,
+          "Rotate right: y is d rotated right by n positions (n in 0..7).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module shl_8 (\n    input [7:0] d,\n    input [2:0] n,\n    output [7:0] y\n);\n    assign y = d << n;\nendmodule\n".to_string();
+        p("shl_8", Difficulty::Easy,
+          "Logical shift left by a variable amount n (zeros shifted in from the right).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module shr_8 (\n    input [7:0] d,\n    input [2:0] n,\n    output [7:0] y\n);\n    assign y = d >> n;\nendmodule\n".to_string();
+        p("shr_8", Difficulty::Easy,
+          "Logical shift right by a variable amount n (zeros shifted in from the left).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module asr_8 (\n    input signed [7:0] d,\n    input [2:0] n,\n    output signed [7:0] y\n);\n    assign y = d >>> n;\nendmodule\n".to_string();
+        p("asr_8", Difficulty::Medium,
+          "Arithmetic shift right: the sign bit of the signed 8-bit input is replicated into the vacated positions.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module isolate_lsb_8 (\n    input [7:0] d,\n    output [7:0] y\n);\n    assign y = d & (8'd0 - d);\nendmodule\n".to_string();
+        p("isolate_lsb_8", Difficulty::Medium,
+          "Isolate the lowest set bit: y = d AND (-d); y = 0 when d = 0.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module bit_splice_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    assign y = {a[3:0], b[7:4]};\nendmodule\n".to_string();
+        p("bit_splice_8", Difficulty::Easy,
+          "Splice: the high nibble of y is the low nibble of a; the low nibble of y is the high nibble of b.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+
+    // ---- encoders / decoders (7) ----
+    v.push({
+        let rtl = "module decoder_2to4 (\n    input en,\n    input [1:0] a,\n    output [3:0] y\n);\n    assign y = en ? (4'b0001 << a) : 4'b0000;\nendmodule\n".to_string();
+        p("decoder_2to4", Difficulty::Easy,
+          "2-to-4 decoder with enable: when en is 1, output bit a is set and all others are 0; when en is 0 all outputs are 0.",
+          rtl,
+          vec![PortSpec::input("en", 1), PortSpec::input("a", 2), PortSpec::output("y", 4)])
+    });
+    v.push({
+        let rtl = "module decoder_3to8 (\n    input [2:0] a,\n    output [7:0] y\n);\n    assign y = 8'b0000_0001 << a;\nendmodule\n".to_string();
+        p("decoder_3to8", Difficulty::Easy,
+          "3-to-8 decoder: exactly output bit a is 1.",
+          rtl,
+          vec![PortSpec::input("a", 3), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module encoder_4to2 (\n    input [3:0] d,\n    output reg [1:0] y\n);\n    always @(*) begin\n        case (d)\n            4'b0001: y = 2'd0;\n            4'b0010: y = 2'd1;\n            4'b0100: y = 2'd2;\n            4'b1000: y = 2'd3;\n            default: y = 2'd0;\n        endcase\n    end\nendmodule\n".to_string();
+        p("encoder_4to2", Difficulty::Medium,
+          "One-hot 4-to-2 encoder: y is the index of the single set bit in d; y = 0 for non-one-hot inputs.",
+          rtl,
+          vec![PortSpec::input("d", 4), PortSpec::output("y", 2)])
+    });
+    v.push({
+        let rtl = "module priority_enc_8 (\n    input [7:0] d,\n    output reg [2:0] y,\n    output valid\n);\n    integer i;\n    always @(*) begin\n        y = 3'd0;\n        for (i = 0; i < 8; i = i + 1) begin\n            if (d[i]) y = i[2:0];\n        end\n    end\n    assign valid = d != 8'd0;\nendmodule\n".to_string();
+        p("priority_enc_8", Difficulty::Hard,
+          "Priority encoder: y is the index of the highest set bit of d; valid = 1 when d is non-zero (y = 0 when d = 0).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 3), PortSpec::output("valid", 1)])
+    });
+    v.push({
+        let rtl = "module onehot_check_8 (\n    input [7:0] d,\n    output reg y\n);\n    integer i;\n    reg [3:0] n;\n    always @(*) begin\n        n = 4'd0;\n        for (i = 0; i < 8; i = i + 1) begin\n            if (d[i]) n = n + 4'd1;\n        end\n        y = n == 4'd1;\n    end\nendmodule\n".to_string();
+        p("onehot_check_8", Difficulty::Medium,
+          "One-hot checker: y = 1 exactly when d has exactly one bit set.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module thermometer_4 (\n    input [2:0] n,\n    output [6:0] y\n);\n    assign y = (7'd1 << n) - 7'd1;\nendmodule\n".to_string();
+        p("thermometer_4", Difficulty::Medium,
+          "Thermometer encoder: the n lowest output bits are 1 and the rest 0 (n in 0..7).",
+          rtl,
+          vec![PortSpec::input("n", 3), PortSpec::output("y", 7)])
+    });
+    v.push({
+        let rtl = "module seven_seg (\n    input [3:0] d,\n    output reg [6:0] seg\n);\n    always @(*) begin\n        case (d)\n            4'h0: seg = 7'b0111111;\n            4'h1: seg = 7'b0000110;\n            4'h2: seg = 7'b1011011;\n            4'h3: seg = 7'b1001111;\n            4'h4: seg = 7'b1100110;\n            4'h5: seg = 7'b1101101;\n            4'h6: seg = 7'b1111101;\n            4'h7: seg = 7'b0000111;\n            4'h8: seg = 7'b1111111;\n            4'h9: seg = 7'b1101111;\n            4'ha: seg = 7'b1110111;\n            4'hb: seg = 7'b1111100;\n            4'hc: seg = 7'b0111001;\n            4'hd: seg = 7'b1011110;\n            4'he: seg = 7'b1111001;\n            default: seg = 7'b1110001;\n        endcase\n    end\nendmodule\n".to_string();
+        p("seven_seg", Difficulty::Hard,
+          "Hexadecimal seven-segment decoder with active-high segments ordered {g,f,e,d,c,b,a}; the standard 0-F glyphs are produced.",
+          rtl,
+          vec![PortSpec::input("d", 4), PortSpec::output("seg", 7)])
+    });
+
+    // ---- codes (4) ----
+    v.push({
+        let rtl = "module gray_encode_8 (\n    input [7:0] b,\n    output [7:0] g\n);\n    assign g = b ^ (b >> 1);\nendmodule\n".to_string();
+        p("gray_encode_8", Difficulty::Medium,
+          "Binary-to-Gray conversion: g = b XOR (b >> 1).",
+          rtl,
+          vec![PortSpec::input("b", 8), PortSpec::output("g", 8)])
+    });
+    v.push({
+        let rtl = "module gray_decode_8 (\n    input [7:0] g,\n    output reg [7:0] b\n);\n    integer i;\n    always @(*) begin\n        b[7] = g[7];\n        for (i = 6; i >= 0; i = i - 1) begin\n            b[i] = b[i + 1] ^ g[i];\n        end\n    end\nendmodule\n".to_string();
+        p("gray_decode_8", Difficulty::Hard,
+          "Gray-to-binary conversion: b[7] = g[7] and b[i] = b[i+1] XOR g[i] for i from 6 down to 0.",
+          rtl,
+          vec![PortSpec::input("g", 8), PortSpec::output("b", 8)])
+    });
+    v.push({
+        let rtl = "module bcd_valid (\n    input [3:0] d,\n    output y\n);\n    assign y = d <= 4'd9;\nendmodule\n".to_string();
+        p("bcd_valid", Difficulty::Easy,
+          "BCD validity: y = 1 when the 4-bit input is a valid decimal digit (0..9).",
+          rtl,
+          vec![PortSpec::input("d", 4), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module bcd_incr (\n    input [3:0] d,\n    output [3:0] y\n);\n    assign y = (d >= 4'd9) ? 4'd0 : d + 4'd1;\nendmodule\n".to_string();
+        p("bcd_incr", Difficulty::Medium,
+          "BCD digit increment: y = d + 1, wrapping 9 to 0; inputs above 9 also wrap to 0.",
+          rtl,
+          vec![PortSpec::input("d", 4), PortSpec::output("y", 4)])
+    });
+
+    // ---- voting / misc datapaths (11) ----
+    v.push({
+        let rtl = "module majority_3 (\n    input a,\n    input b,\n    input c,\n    output y\n);\n    assign y = (a & b) | (a & c) | (b & c);\nendmodule\n".to_string();
+        p("majority_3", Difficulty::Easy,
+          "3-input majority vote: y = 1 when at least two of a, b, c are 1.",
+          rtl,
+          vec![PortSpec::input("a", 1), PortSpec::input("b", 1), PortSpec::input("c", 1),
+               PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module majority_5 (\n    input [4:0] d,\n    output reg y\n);\n    integer i;\n    reg [2:0] n;\n    always @(*) begin\n        n = 3'd0;\n        for (i = 0; i < 5; i = i + 1) begin\n            if (d[i]) n = n + 3'd1;\n        end\n        y = n >= 3'd3;\n    end\nendmodule\n".to_string();
+        p("majority_5", Difficulty::Medium,
+          "5-input majority vote: y = 1 when three or more of the five input bits are 1.",
+          rtl,
+          vec![PortSpec::input("d", 5), PortSpec::output("y", 1)])
+    });
+    v.push({
+        let rtl = "module sign_extend_4_12 (\n    input [3:0] d,\n    output [11:0] y\n);\n    assign y = {{8{d[3]}}, d};\nendmodule\n".to_string();
+        p("sign_extend_4_12", Difficulty::Easy,
+          "Sign extension from 4 to 12 bits: the top 8 output bits replicate d[3].",
+          rtl,
+          vec![PortSpec::input("d", 4), PortSpec::output("y", 12)])
+    });
+    v.push({
+        let rtl = "module cond_invert_8 (\n    input inv,\n    input [7:0] d,\n    output [7:0] y\n);\n    assign y = d ^ {8{inv}};\nendmodule\n".to_string();
+        p("cond_invert_8", Difficulty::Easy,
+          "Conditional inverter: y = ~d when inv is 1, y = d otherwise (XOR with the replicated control).",
+          rtl,
+          vec![PortSpec::input("inv", 1), PortSpec::input("d", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module sum3_8 (\n    input [7:0] a,\n    input [7:0] b,\n    input [7:0] c,\n    output [9:0] y\n);\n    assign y = a + b + c;\nendmodule\n".to_string();
+        p("sum3_8", Difficulty::Medium,
+          "Three-operand adder with a 10-bit result so no carries are lost.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::input("c", 8),
+               PortSpec::output("y", 10)])
+    });
+    v.push({
+        let rtl = "module avg2_8 (\n    input [7:0] a,\n    input [7:0] b,\n    output [7:0] y\n);\n    wire [8:0] s;\n    assign s = a + b;\n    assign y = s[8:1];\nendmodule\n".to_string();
+        p("avg2_8", Difficulty::Medium,
+          "Floor average of two unsigned bytes: y = (a + b) / 2 computed without overflow.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module parity_append_8 (\n    input [7:0] d,\n    output [8:0] y\n);\n    assign y = {d, ^d};\nendmodule\n".to_string();
+        p("parity_append_8", Difficulty::Easy,
+          "Parity append: y carries d in its top 8 bits and the XOR-reduction parity bit in bit 0.",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::output("y", 9)])
+    });
+    v.push({
+        let rtl = "module min3_8 (\n    input [7:0] a,\n    input [7:0] b,\n    input [7:0] c,\n    output [7:0] y\n);\n    wire [7:0] ab;\n    assign ab = (a < b) ? a : b;\n    assign y = (ab < c) ? ab : c;\nendmodule\n".to_string();
+        p("min3_8", Difficulty::Medium,
+          "Three-way unsigned minimum of the 8-bit inputs.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::input("c", 8),
+               PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module max3_8 (\n    input [7:0] a,\n    input [7:0] b,\n    input [7:0] c,\n    output [7:0] y\n);\n    wire [7:0] ab;\n    assign ab = (a > b) ? a : b;\n    assign y = (ab > c) ? ab : c;\nendmodule\n".to_string();
+        p("max3_8", Difficulty::Medium,
+          "Three-way unsigned maximum of the 8-bit inputs.",
+          rtl,
+          vec![PortSpec::input("a", 8), PortSpec::input("b", 8), PortSpec::input("c", 8),
+               PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module and_enable_8 (\n    input en,\n    input [7:0] d,\n    output [7:0] y\n);\n    assign y = en ? d : 8'd0;\nendmodule\n".to_string();
+        p("and_enable_8", Difficulty::Easy,
+          "Enable gate: y = d when en is 1, otherwise all zeros.",
+          rtl,
+          vec![PortSpec::input("en", 1), PortSpec::input("d", 8), PortSpec::output("y", 8)])
+    });
+    v.push({
+        let rtl = "module mask_low_8 (\n    input [7:0] d,\n    input [2:0] n,\n    output [7:0] y\n);\n    assign y = d & ((8'd1 << n) - 8'd1);\nendmodule\n".to_string();
+        p("mask_low_8", Difficulty::Medium,
+          "Low-bit mask: y keeps the n least significant bits of d and clears the rest (n in 0..7; n = 0 gives 0).",
+          rtl,
+          vec![PortSpec::input("d", 8), PortSpec::input("n", 3), PortSpec::output("y", 8)])
+    });
+
+    assert_eq!(v.len(), 81, "combinational catalogue must have 81 problems");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_81() {
+        assert_eq!(problems().len(), 81);
+    }
+
+    #[test]
+    fn golden_rtl_compiles_to_checker_ir() {
+        for prob in problems() {
+            let m = prob.golden_module();
+            correctbench_checker::compile_module(&m)
+                .unwrap_or_else(|e| panic!("{}: checker compile failed: {e}", prob.name));
+        }
+    }
+}

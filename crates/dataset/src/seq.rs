@@ -1,0 +1,405 @@
+//! The 75 sequential problems.
+//!
+//! Families mirror the HDLBits sequential classes: flip-flops and
+//! registers, counters, shift registers and LFSRs, edge detection,
+//! timers, serial datapaths, and finite state machines (the class the
+//! paper singles out as hardest). All designs use a single rising-edge
+//! clock named `clk` and synchronous active-high resets.
+
+use crate::{scenario_spec_for, CircuitKind, Difficulty, PortSpec, Problem};
+
+fn p(
+    name: &str,
+    difficulty: Difficulty,
+    behaviour: &str,
+    rtl: String,
+    ports: Vec<PortSpec>,
+) -> Problem {
+    let iface = rtl
+        .lines()
+        .take_while(|l| !l.contains(");"))
+        .chain(rtl.lines().find(|l| l.contains(");")))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let spec = format!(
+        "You are given a sequential RTL design task.\n\
+         The DUT is a Verilog module named `{name}` clocked on the rising \
+         edge of `clk`.\n\
+         Interface:\n{iface}\n\
+         Behaviour: {behaviour}\n\
+         All state updates happen on the rising clock edge; any reset is \
+         synchronous and active-high. Registers power up unknown (x) until \
+         first written."
+    );
+    Problem {
+        name: name.to_string(),
+        kind: CircuitKind::Sequential,
+        spec,
+        golden_rtl: rtl,
+        ports,
+        difficulty,
+        scenario_spec: scenario_spec_for(difficulty, CircuitKind::Sequential),
+    }
+}
+
+fn inp(name: &str, w: usize) -> PortSpec {
+    PortSpec::input(name, w)
+}
+
+fn out(name: &str, w: usize) -> PortSpec {
+    PortSpec::output(name, w)
+}
+
+/// Builds the full sequential catalogue (75 problems).
+pub fn problems() -> Vec<Problem> {
+    let mut v: Vec<Problem> = Vec::with_capacity(75);
+
+    // ---- flip-flops and registers (10) ----
+    v.push(p("dff", Difficulty::Easy,
+        "A single D flip-flop: q takes the value of d on every rising clock edge.",
+        "module dff (\n    input clk,\n    input d,\n    output reg q\n);\n    always @(posedge clk) q <= d;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("d", 1), out("q", 1)]));
+    v.push(p("dff_8", Difficulty::Easy,
+        "An 8-bit register: q takes d on every rising clock edge.",
+        "module dff_8 (\n    input clk,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) q <= d;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("dff_en_8", Difficulty::Easy,
+        "An 8-bit register with clock enable: q takes d on the rising edge only when en is 1, otherwise it holds its value.",
+        "module dff_en_8 (\n    input clk,\n    input en,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (en) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("en", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("dff_rst_8", Difficulty::Easy,
+        "An 8-bit register with synchronous active-high reset to 0; otherwise q takes d each edge.",
+        "module dff_rst_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("dff_en_rst_8", Difficulty::Medium,
+        "An 8-bit register with synchronous reset (highest priority) and clock enable: rst clears q to 0; else q takes d only when en is 1.",
+        "module dff_en_rst_8 (\n    input clk,\n    input rst,\n    input en,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("dff_set_8", Difficulty::Easy,
+        "An 8-bit register with synchronous set: when set is 1 q becomes all ones, otherwise q takes d.",
+        "module dff_set_8 (\n    input clk,\n    input set,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (set) q <= 8'hff;\n        else q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("set", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("toggle_ff", Difficulty::Easy,
+        "A T flip-flop with synchronous reset: q toggles on each rising edge when t is 1, holds when t is 0, and clears when rst is 1.",
+        "module toggle_ff (\n    input clk,\n    input rst,\n    input t,\n    output reg q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 1'b0;\n        else if (t) q <= ~q;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("t", 1), out("q", 1)]));
+    v.push(p("mux_dff", Difficulty::Medium,
+        "A multiplexed register: on each rising edge q takes a when sel is 0 and b when sel is 1.",
+        "module mux_dff (\n    input clk,\n    input sel,\n    input [3:0] a,\n    input [3:0] b,\n    output reg [3:0] q\n);\n    always @(posedge clk) q <= sel ? b : a;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("sel", 1), inp("a", 4), inp("b", 4), out("q", 4)]));
+    v.push(p("pipe2_8", Difficulty::Easy,
+        "A two-stage pipeline: q is the input d delayed by exactly two clock cycles.",
+        "module pipe2_8 (\n    input clk,\n    input [7:0] d,\n    output [7:0] q\n);\n    reg [7:0] s1, s2;\n    always @(posedge clk) begin\n        s1 <= d;\n        s2 <= s1;\n    end\n    assign q = s2;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("pipe3_4", Difficulty::Medium,
+        "A three-stage pipeline: q is the 4-bit input d delayed by exactly three clock cycles.",
+        "module pipe3_4 (\n    input clk,\n    input [3:0] d,\n    output [3:0] q\n);\n    reg [3:0] s1, s2, s3;\n    always @(posedge clk) begin\n        s1 <= d;\n        s2 <= s1;\n        s3 <= s2;\n    end\n    assign q = s3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("d", 4), out("q", 4)]));
+
+    // ---- counters (12) ----
+    v.push(p("counter_4", Difficulty::Easy,
+        "A free-running 4-bit up counter with synchronous reset to 0.",
+        "module counter_4 (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 4'd0;\n        else q <= q + 4'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 4)]));
+    v.push(p("counter_8", Difficulty::Easy,
+        "A free-running 8-bit up counter with synchronous reset to 0, wrapping 255 to 0.",
+        "module counter_8 (\n    input clk,\n    input rst,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else q <= q + 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 8)]));
+    v.push(p("counter_en_8", Difficulty::Easy,
+        "An 8-bit up counter with synchronous reset and enable; it increments only when en is 1.",
+        "module counter_en_8 (\n    input clk,\n    input rst,\n    input en,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en) q <= q + 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), out("q", 8)]));
+    v.push(p("counter_down_8", Difficulty::Easy,
+        "An 8-bit down counter with synchronous reset to 255, wrapping 0 to 255.",
+        "module counter_down_8 (\n    input clk,\n    input rst,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'hff;\n        else q <= q - 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 8)]));
+    v.push(p("counter_updown_8", Difficulty::Medium,
+        "An 8-bit up/down counter: counts up when up is 1, down when up is 0, with synchronous reset to 0.",
+        "module counter_updown_8 (\n    input clk,\n    input rst,\n    input up,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (up) q <= q + 8'd1;\n        else q <= q - 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("up", 1), out("q", 8)]));
+    v.push(p("counter_mod10", Difficulty::Medium,
+        "A decade counter: counts 0 through 9 and wraps back to 0; synchronous reset to 0.",
+        "module counter_mod10 (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 4'd0;\n        else if (q == 4'd9) q <= 4'd0;\n        else q <= q + 4'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 4)]));
+    v.push(p("counter_mod12", Difficulty::Medium,
+        "A modulo-12 counter: counts 0 through 11 then wraps to 0; synchronous reset to 0.",
+        "module counter_mod12 (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 4'd0;\n        else if (q == 4'd11) q <= 4'd0;\n        else q <= q + 4'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 4)]));
+    v.push(p("counter_sat_8", Difficulty::Medium,
+        "A saturating 8-bit counter: increments when en is 1 but sticks at 255 instead of wrapping; synchronous reset to 0.",
+        "module counter_sat_8 (\n    input clk,\n    input rst,\n    input en,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en && q != 8'hff) q <= q + 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), out("q", 8)]));
+    v.push(p("counter_mod6", Difficulty::Medium,
+        "A modulo-6 counter with enable: counts 0..5 when en is 1, wraps to 0; synchronous reset.",
+        "module counter_mod6 (\n    input clk,\n    input rst,\n    input en,\n    output reg [2:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 3'd0;\n        else if (en) begin\n            if (q == 3'd5) q <= 3'd0;\n            else q <= q + 3'd1;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), out("q", 3)]));
+    v.push(p("bcd_counter_8", Difficulty::Hard,
+        "A two-digit BCD counter: the low nibble counts 0-9 and carries into the high nibble, which also counts 0-9; 99 wraps to 00. Synchronous reset to 0.",
+        "module bcd_counter_8 (\n    input clk,\n    input rst,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'h00;\n        else if (q[3:0] == 4'd9) begin\n            q[3:0] <= 4'd0;\n            if (q[7:4] == 4'd9) q[7:4] <= 4'd0;\n            else q[7:4] <= q[7:4] + 4'd1;\n        end\n        else q[3:0] <= q[3:0] + 4'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 8)]));
+    v.push(p("gray_counter_4", Difficulty::Hard,
+        "A 4-bit Gray-code counter: the output follows the Gray sequence (binary counter XOR its shift); synchronous reset to 0.",
+        "module gray_counter_4 (\n    input clk,\n    input rst,\n    output [3:0] g\n);\n    reg [3:0] b;\n    always @(posedge clk) begin\n        if (rst) b <= 4'd0;\n        else b <= b + 4'd1;\n    end\n    assign g = b ^ (b >> 1);\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("g", 4)]));
+    v.push(p("event_counter_8", Difficulty::Hard,
+        "Counts rising edges of the slow input tick: q increments once per 0-to-1 transition of tick (detected by comparing with the previous sample); synchronous reset clears both q and the sample register.",
+        "module event_counter_8 (\n    input clk,\n    input rst,\n    input tick,\n    output reg [7:0] q\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            q <= 8'd0;\n            prev <= 1'b0;\n        end\n        else begin\n            if (tick && !prev) q <= q + 8'd1;\n            prev <= tick;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("tick", 1), out("q", 8)]));
+
+    // ---- shift registers / LFSRs (11) ----
+    v.push(p("sipo_8", Difficulty::Easy,
+        "Serial-in parallel-out shift register: each rising edge shifts q left by one and inserts din as the new LSB.",
+        "module sipo_8 (\n    input clk,\n    input din,\n    output reg [7:0] q\n);\n    always @(posedge clk) q <= {q[6:0], din};\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("din", 1), out("q", 8)]));
+    v.push(p("shift_en_8", Difficulty::Medium,
+        "Left shift register with enable and synchronous reset: shifts in din as LSB only when en is 1.",
+        "module shift_en_8 (\n    input clk,\n    input rst,\n    input en,\n    input din,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en) q <= {q[6:0], din};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), inp("din", 1), out("q", 8)]));
+    v.push(p("shift_right_8", Difficulty::Easy,
+        "Right shift register: each edge shifts q right by one, inserting din as the new MSB.",
+        "module shift_right_8 (\n    input clk,\n    input din,\n    output reg [7:0] q\n);\n    always @(posedge clk) q <= {din, q[7:1]};\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("din", 1), out("q", 8)]));
+    v.push(p("shift_load_8", Difficulty::Medium,
+        "Loadable shift register: when load is 1 q takes d in parallel; otherwise it shifts left inserting 0.",
+        "module shift_load_8 (\n    input clk,\n    input load,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (load) q <= d;\n        else q <= {q[6:0], 1'b0};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("load", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("shift18", Difficulty::Hard,
+        "The paper's arithmetic-shifter task: a 64-bit shift register. When load is 1, q takes data. Otherwise, when ena is 1, amount selects the operation: 2'b00 shifts left by 1, 2'b01 shifts left by 8, 2'b10 arithmetic-shifts right by 1, 2'b11 arithmetic-shifts right by 8 (the sign bit q[63] is replicated).",
+        "module shift18 (\n    input clk,\n    input load,\n    input ena,\n    input [1:0] amount,\n    input [63:0] data,\n    output reg [63:0] q\n);\n    always @(posedge clk) begin\n        if (load) q <= data;\n        else if (ena) begin\n            case (amount)\n                2'b00: q <= q << 1;\n                2'b01: q <= q << 8;\n                2'b10: q <= {q[63], q[63:1]};\n                default: q <= {{8{q[63]}}, q[63:8]};\n            endcase\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("load", 1), inp("ena", 1), inp("amount", 2), inp("data", 64), out("q", 64)]));
+    v.push(p("rotate_reg_8", Difficulty::Medium,
+        "Rotating register: when load is 1 q takes d; otherwise when en is 1 q rotates left by one position.",
+        "module rotate_reg_8 (\n    input clk,\n    input load,\n    input en,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (load) q <= d;\n        else if (en) q <= {q[6:0], q[7]};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("load", 1), inp("en", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("ring_counter_4", Difficulty::Medium,
+        "A 4-bit ring counter: reset loads 0001; each subsequent edge rotates the single hot bit left.",
+        "module ring_counter_4 (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 4'b0001;\n        else q <= {q[2:0], q[3]};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 4)]));
+    v.push(p("johnson_4", Difficulty::Medium,
+        "A 4-bit Johnson (twisted-ring) counter: reset clears q; each edge shifts left inserting the inverted MSB, giving the 8-state Johnson sequence.",
+        "module johnson_4 (\n    input clk,\n    input rst,\n    output reg [3:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 4'b0000;\n        else q <= {q[2:0], ~q[3]};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 4)]));
+    v.push(p("lfsr_5", Difficulty::Hard,
+        "A 5-bit Galois LFSR with taps at positions 5 and 3 (polynomial x^5 + x^3 + 1): reset loads 5'h1; each edge shifts right with the output bit feeding back into the tapped positions.",
+        "module lfsr_5 (\n    input clk,\n    input rst,\n    output reg [4:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 5'h1;\n        else q <= {q[0], q[4], q[3] ^ q[0], q[2], q[1]};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 5)]));
+    v.push(p("lfsr_8", Difficulty::Hard,
+        "An 8-bit Fibonacci LFSR: feedback bit is q[7] XOR q[5] XOR q[4] XOR q[3]; each edge shifts left inserting the feedback bit; reset loads 8'h01.",
+        "module lfsr_8 (\n    input clk,\n    input rst,\n    output reg [7:0] q\n);\n    wire fb;\n    assign fb = q[7] ^ q[5] ^ q[4] ^ q[3];\n    always @(posedge clk) begin\n        if (rst) q <= 8'h01;\n        else q <= {q[6:0], fb};\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 8)]));
+    v.push(p("history_4", Difficulty::Easy,
+        "Input history: q holds the last four samples of the 1-bit input din, most recent in bit 0.",
+        "module history_4 (\n    input clk,\n    input din,\n    output reg [3:0] q\n);\n    always @(posedge clk) q <= {q[2:0], din};\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("din", 1), out("q", 4)]));
+
+    // ---- accumulators / trackers (6) ----
+    v.push(p("accumulator_8", Difficulty::Medium,
+        "An accumulator: when en is 1 the 8-bit input d is added into q (modulo 256); synchronous reset clears q.",
+        "module accumulator_8 (\n    input clk,\n    input rst,\n    input en,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en) q <= q + d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("accumulator_sat_8", Difficulty::Hard,
+        "A saturating accumulator: adds d into q when en is 1 but clamps at 255 instead of wrapping; synchronous reset clears q.",
+        "module accumulator_sat_8 (\n    input clk,\n    input rst,\n    input en,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    wire [8:0] sum;\n    assign sum = q + d;\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (en) begin\n            if (sum[8]) q <= 8'hff;\n            else q <= sum[7:0];\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("max_tracker_8", Difficulty::Medium,
+        "Running maximum: q holds the largest value of d seen since the last synchronous reset (reset clears q to 0).",
+        "module max_tracker_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (d > q) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("min_tracker_8", Difficulty::Medium,
+        "Running minimum: q holds the smallest value of d seen since the last synchronous reset (reset sets q to 255).",
+        "module min_tracker_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'hff;\n        else if (d < q) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("running_xor_8", Difficulty::Easy,
+        "Running XOR: each edge q becomes q XOR d; synchronous reset clears q.",
+        "module running_xor_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else q <= q ^ d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("last_nonzero_8", Difficulty::Medium,
+        "Hold last non-zero: q takes d whenever d is non-zero, otherwise holds; synchronous reset clears q.",
+        "module last_nonzero_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (d != 8'd0) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+
+    // ---- edge detection / sampling (7) ----
+    v.push(p("edge_rise", Difficulty::Medium,
+        "Rising-edge detector: y pulses 1 for one cycle when the sampled input goes 0 to 1 (compares din with its previous sample); synchronous reset clears the sample register and output.",
+        "module edge_rise (\n    input clk,\n    input rst,\n    input din,\n    output reg y\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            prev <= 1'b0;\n            y <= 1'b0;\n        end\n        else begin\n            y <= din & ~prev;\n            prev <= din;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("edge_fall", Difficulty::Medium,
+        "Falling-edge detector: y pulses 1 for one cycle when the sampled input goes 1 to 0; synchronous reset clears state.",
+        "module edge_fall (\n    input clk,\n    input rst,\n    input din,\n    output reg y\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            prev <= 1'b0;\n            y <= 1'b0;\n        end\n        else begin\n            y <= ~din & prev;\n            prev <= din;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("edge_any", Difficulty::Medium,
+        "Any-edge detector: y pulses 1 for one cycle whenever the sampled input differs from its previous sample; synchronous reset clears state.",
+        "module edge_any (\n    input clk,\n    input rst,\n    input din,\n    output reg y\n);\n    reg prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            prev <= 1'b0;\n            y <= 1'b0;\n        end\n        else begin\n            y <= din ^ prev;\n            prev <= din;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("edge_capture_4", Difficulty::Hard,
+        "Per-bit falling-edge capture: each bit of q is set when the corresponding bit of the 4-bit input goes 1 to 0, and stays set until a synchronous reset clears the whole register.",
+        "module edge_capture_4 (\n    input clk,\n    input rst,\n    input [3:0] din,\n    output reg [3:0] q\n);\n    reg [3:0] prev;\n    always @(posedge clk) begin\n        if (rst) begin\n            q <= 4'd0;\n            prev <= din;\n        end\n        else begin\n            q <= q | (prev & ~din);\n            prev <= din;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 4), out("q", 4)]));
+    v.push(p("sample_hold_8", Difficulty::Easy,
+        "Sample and hold: q captures d on the edge where trig is 1 and holds otherwise; synchronous reset clears q.",
+        "module sample_hold_8 (\n    input clk,\n    input rst,\n    input trig,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (trig) q <= d;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("trig", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("delay_line_3_4", Difficulty::Medium,
+        "A three-cycle delay line for a 4-bit bus (output q equals the input d three rising edges ago; no reset, registers start unknown).",
+        "module delay_line_3_4 (\n    input clk,\n    input [3:0] d,\n    output [3:0] q\n);\n    reg [3:0] a, b, c;\n    always @(posedge clk) begin\n        a <= d;\n        b <= a;\n        c <= b;\n    end\n    assign q = c;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("d", 4), out("q", 4)]));
+    v.push(p("alternator", Difficulty::Easy,
+        "An output that toggles every cycle while en is 1 and holds while en is 0; synchronous reset clears it.",
+        "module alternator (\n    input clk,\n    input rst,\n    input en,\n    output reg q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 1'b0;\n        else if (en) q <= ~q;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("en", 1), out("q", 1)]));
+
+    // ---- dividers / timers / pulse generators (8) ----
+    v.push(p("clock_div2", Difficulty::Easy,
+        "Divide-by-two: q toggles on every rising edge of clk; synchronous reset clears q.",
+        "module clock_div2 (\n    input clk,\n    input rst,\n    output reg q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 1'b0;\n        else q <= ~q;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 1)]));
+    v.push(p("clock_div4", Difficulty::Medium,
+        "Divide-by-four: q toggles every second rising edge (a 2-bit counter's MSB); synchronous reset clears the counter.",
+        "module clock_div4 (\n    input clk,\n    input rst,\n    output q\n);\n    reg [1:0] cnt;\n    always @(posedge clk) begin\n        if (rst) cnt <= 2'd0;\n        else cnt <= cnt + 2'd1;\n    end\n    assign q = cnt[1];\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("q", 1)]));
+    v.push(p("pulse_every_4", Difficulty::Medium,
+        "Pulse generator: y is 1 for exactly one cycle out of every four (when the internal 2-bit counter is 3); synchronous reset clears the counter.",
+        "module pulse_every_4 (\n    input clk,\n    input rst,\n    output y\n);\n    reg [1:0] cnt;\n    always @(posedge clk) begin\n        if (rst) cnt <= 2'd0;\n        else cnt <= cnt + 2'd1;\n    end\n    assign y = cnt == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("y", 1)]));
+    v.push(p("heartbeat_5", Difficulty::Medium,
+        "Heartbeat: y pulses 1 for one cycle every five cycles (internal modulo-5 counter reaching 4); synchronous reset clears the counter.",
+        "module heartbeat_5 (\n    input clk,\n    input rst,\n    output y\n);\n    reg [2:0] cnt;\n    always @(posedge clk) begin\n        if (rst) cnt <= 3'd0;\n        else if (cnt == 3'd4) cnt <= 3'd0;\n        else cnt <= cnt + 3'd1;\n    end\n    assign y = cnt == 3'd4;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("y", 1)]));
+    v.push(p("timer_8", Difficulty::Hard,
+        "A countdown timer: load captures d into the counter; the counter then decrements to zero and stops; done is 1 while the counter is zero.",
+        "module timer_8 (\n    input clk,\n    input load,\n    input [7:0] d,\n    output done\n);\n    reg [7:0] cnt;\n    always @(posedge clk) begin\n        if (load) cnt <= d;\n        else if (cnt != 8'd0) cnt <= cnt - 8'd1;\n    end\n    assign done = cnt == 8'd0;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("load", 1), inp("d", 8), out("done", 1)]));
+    v.push(p("timer_en_8", Difficulty::Hard,
+        "A countdown timer with enable: load captures d; while en is 1 the counter decrements toward zero and holds at zero; done flags zero.",
+        "module timer_en_8 (\n    input clk,\n    input load,\n    input en,\n    input [7:0] d,\n    output done\n);\n    reg [7:0] cnt;\n    always @(posedge clk) begin\n        if (load) cnt <= d;\n        else if (en && cnt != 8'd0) cnt <= cnt - 8'd1;\n    end\n    assign done = cnt == 8'd0;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("load", 1), inp("en", 1), inp("d", 8), out("done", 1)]));
+    v.push(p("watchdog_4", Difficulty::Hard,
+        "A watchdog: a 4-bit counter increments each cycle; kick clears it synchronously; expired is 1 when the counter has reached 15 (and the counter holds there).",
+        "module watchdog_4 (\n    input clk,\n    input rst,\n    input kick,\n    output expired\n);\n    reg [3:0] cnt;\n    always @(posedge clk) begin\n        if (rst) cnt <= 4'd0;\n        else if (kick) cnt <= 4'd0;\n        else if (cnt != 4'd15) cnt <= cnt + 4'd1;\n    end\n    assign expired = cnt == 4'd15;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("kick", 1), out("expired", 1)]));
+    v.push(p("debounce_3", Difficulty::Hard,
+        "A debouncer: the output q follows din only after din has held the same value for three consecutive samples; a counter tracks agreement between din and q.",
+        "module debounce_3 (\n    input clk,\n    input rst,\n    input din,\n    output reg q\n);\n    reg [1:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            q <= 1'b0;\n            cnt <= 2'd0;\n        end\n        else if (din == q) cnt <= 2'd0;\n        else if (cnt == 2'd2) begin\n            q <= din;\n            cnt <= 2'd0;\n        end\n        else cnt <= cnt + 2'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("q", 1)]));
+
+    // ---- serial datapaths (6) ----
+    v.push(p("parity_serial", Difficulty::Medium,
+        "Running parity over a serial bit stream: q toggles whenever din is 1; synchronous reset clears q (q = XOR of all bits since reset).",
+        "module parity_serial (\n    input clk,\n    input rst,\n    input din,\n    output reg q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 1'b0;\n        else q <= q ^ din;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("q", 1)]));
+    v.push(p("ones_counter_8", Difficulty::Medium,
+        "Counts the 1 bits seen on the serial input since reset: q increments on each cycle where din is 1; synchronous reset clears q.",
+        "module ones_counter_8 (\n    input clk,\n    input rst,\n    input din,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (din) q <= q + 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("q", 8)]));
+    v.push(p("zero_run_3", Difficulty::Hard,
+        "Detects a run of three consecutive 0 samples on din: y is 1 while the last three samples were all 0 (a saturating run-length counter); synchronous reset clears the counter.",
+        "module zero_run_3 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [1:0] run;\n    always @(posedge clk) begin\n        if (rst) run <= 2'd0;\n        else if (din) run <= 2'd0;\n        else if (run != 2'd3) run <= run + 2'd1;\n    end\n    assign y = run == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("serial_twos_comp", Difficulty::Hard,
+        "A serial two's complementer (LSB first): output bits equal the input until after the first 1 bit has been seen, then all subsequent bits are inverted; synchronous reset restarts the stream.",
+        "module serial_twos_comp (\n    input clk,\n    input rst,\n    input din,\n    output reg dout\n);\n    reg seen;\n    always @(posedge clk) begin\n        if (rst) begin\n            seen <= 1'b0;\n            dout <= 1'b0;\n        end\n        else begin\n            if (seen) dout <= ~din;\n            else dout <= din;\n            if (din) seen <= 1'b1;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("dout", 1)]));
+    v.push(p("threshold_counter_8", Difficulty::Medium,
+        "Counts samples above a threshold: q increments on each cycle where the 8-bit input d is strictly greater than 8'd100; synchronous reset clears q.",
+        "module threshold_counter_8 (\n    input clk,\n    input rst,\n    input [7:0] d,\n    output reg [7:0] q\n);\n    always @(posedge clk) begin\n        if (rst) q <= 8'd0;\n        else if (d > 8'd100) q <= q + 8'd1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("d", 8), out("q", 8)]));
+    v.push(p("sticky_overflow_8", Difficulty::Medium,
+        "Sticky overflow flag: v is set when the addition a + b (performed combinationally each cycle and registered) carries out of 8 bits, and stays set until synchronous reset.",
+        "module sticky_overflow_8 (\n    input clk,\n    input rst,\n    input [7:0] a,\n    input [7:0] b,\n    output reg v\n);\n    wire [8:0] s;\n    assign s = a + b;\n    always @(posedge clk) begin\n        if (rst) v <= 1'b0;\n        else if (s[8]) v <= 1'b1;\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("a", 8), inp("b", 8), out("v", 1)]));
+
+    // ---- sequence detectors (6) ----
+    v.push(p("seq_det_101", Difficulty::Hard,
+        "Overlapping Mealy-style detector for the pattern 101 on din, registered: y pulses 1 on the cycle after the final 1 of each occurrence; overlaps allowed (state machine over the last matched prefix). Synchronous reset returns to the idle state.",
+        "module seq_det_101 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [1:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 2'd0;\n        else begin\n            case (s)\n                2'd0: if (din) s <= 2'd1;\n                2'd1: if (!din) s <= 2'd2;\n                2'd2: if (din) s <= 2'd3; else s <= 2'd0;\n                default: if (din) s <= 2'd1; else s <= 2'd2;\n            endcase\n        end\n    end\n    assign y = s == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("seq_det_110", Difficulty::Hard,
+        "Overlapping detector for the pattern 110: y is 1 in the state reached after observing 1,1,0 in order; overlaps allowed; synchronous reset to idle.",
+        "module seq_det_110 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [1:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 2'd0;\n        else begin\n            case (s)\n                2'd0: if (din) s <= 2'd1;\n                2'd1: if (din) s <= 2'd2;\n                2'd2: if (!din) s <= 2'd3;\n                default: if (din) s <= 2'd1; else s <= 2'd0;\n            endcase\n        end\n    end\n    assign y = s == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("seq_det_111", Difficulty::Medium,
+        "Detects three consecutive 1 samples: y is 1 whenever the last three samples of din were all 1 (saturating run counter); synchronous reset clears it.",
+        "module seq_det_111 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [1:0] run;\n    always @(posedge clk) begin\n        if (rst) run <= 2'd0;\n        else if (!din) run <= 2'd0;\n        else if (run != 2'd3) run <= run + 2'd1;\n    end\n    assign y = run == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("seq_det_1101", Difficulty::Hard,
+        "Overlapping detector for the 4-bit pattern 1101: a 5-state machine walks prefixes (1, 11, 110, 1101); y is 1 in the accept state; overlaps allowed; synchronous reset to idle.",
+        "module seq_det_1101 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [2:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 3'd0;\n        else begin\n            case (s)\n                3'd0: if (din) s <= 3'd1;\n                3'd1: if (din) s <= 3'd2;\n                3'd2: if (!din) s <= 3'd3; \n                3'd3: if (din) s <= 3'd4; else s <= 3'd0;\n                default: if (din) s <= 3'd2; else s <= 3'd0;\n            endcase\n        end\n    end\n    assign y = s == 3'd4;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("seq_det_alt", Difficulty::Hard,
+        "Alternation detector: y is 1 when the last four samples of din strictly alternated (1010 or 0101), computed from a 4-bit history shift register; synchronous reset clears the history.",
+        "module seq_det_alt (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [3:0] h;\n    always @(posedge clk) begin\n        if (rst) h <= 4'd0;\n        else h <= {h[2:0], din};\n    end\n    assign y = (h == 4'b1010) || (h == 4'b0101);\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+    v.push(p("seq_det_moore_101", Difficulty::Hard,
+        "Moore-style detector for 101 without overlap: after a full match the machine returns to idle, so back-to-back overlapping occurrences are not double-counted; y is 1 only in the accept state.",
+        "module seq_det_moore_101 (\n    input clk,\n    input rst,\n    input din,\n    output y\n);\n    reg [1:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 2'd0;\n        else begin\n            case (s)\n                2'd0: if (din) s <= 2'd1;\n                2'd1: if (!din) s <= 2'd2;\n                2'd2: if (din) s <= 2'd3; else s <= 2'd0;\n                default: s <= 2'd0;\n            endcase\n        end\n    end\n    assign y = s == 2'd3;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("din", 1), out("y", 1)]));
+
+    // ---- FSMs (9) ----
+    v.push(p("fsm_2state", Difficulty::Medium,
+        "A two-state machine: in state IDLE the output y is 0 and go moves to RUN; in RUN y is 1 and stop returns to IDLE. Synchronous reset to IDLE.",
+        "module fsm_2state (\n    input clk,\n    input rst,\n    input go,\n    input stop,\n    output y\n);\n    reg s;\n    always @(posedge clk) begin\n        if (rst) s <= 1'b0;\n        else if (!s && go) s <= 1'b1;\n        else if (s && stop) s <= 1'b0;\n    end\n    assign y = s;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("go", 1), inp("stop", 1), out("y", 1)]));
+    v.push(p("fsm_3state", Difficulty::Hard,
+        "A three-state cycle machine: states A, B, C (encoded 0, 1, 2). When step is 1 the machine advances A->B->C->A; output y is the current state code. Synchronous reset to A.",
+        "module fsm_3state (\n    input clk,\n    input rst,\n    input step,\n    output [1:0] y\n);\n    reg [1:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 2'd0;\n        else if (step) begin\n            if (s == 2'd2) s <= 2'd0;\n            else s <= s + 2'd1;\n        end\n    end\n    assign y = s;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("step", 1), out("y", 2)]));
+    v.push(p("traffic_light", Difficulty::Hard,
+        "A traffic light controller: RED for 3 cycles, GREEN for 3 cycles, YELLOW for 1 cycle, repeating. The 2-bit output encodes RED=0, GREEN=1, YELLOW=2. An internal counter times the states; synchronous reset to RED with the counter cleared.",
+        "module traffic_light (\n    input clk,\n    input rst,\n    output [1:0] light\n);\n    reg [1:0] s;\n    reg [1:0] cnt;\n    always @(posedge clk) begin\n        if (rst) begin\n            s <= 2'd0;\n            cnt <= 2'd0;\n        end\n        else begin\n            case (s)\n                2'd0: if (cnt == 2'd2) begin s <= 2'd1; cnt <= 2'd0; end else cnt <= cnt + 2'd1;\n                2'd1: if (cnt == 2'd2) begin s <= 2'd2; cnt <= 2'd0; end else cnt <= cnt + 2'd1;\n                default: begin s <= 2'd0; cnt <= 2'd0; end\n            endcase\n        end\n    end\n    assign light = s;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), out("light", 2)]));
+    v.push(p("vending_15", Difficulty::Hard,
+        "A vending machine accepting nickels (5) and dimes (10) toward a 15-unit price: inputs nickel and dime (at most one per cycle) accumulate credit; dispense pulses 1 on the cycle after credit reaches at least 15, then credit resets to 0 (no change given). Synchronous reset clears credit.",
+        "module vending_15 (\n    input clk,\n    input rst,\n    input nickel,\n    input dime,\n    output dispense\n);\n    reg [4:0] credit;\n    reg fired;\n    wire [4:0] next;\n    assign next = credit + (nickel ? 5'd5 : 5'd0) + (dime ? 5'd10 : 5'd0);\n    always @(posedge clk) begin\n        if (rst) begin\n            credit <= 5'd0;\n            fired <= 1'b0;\n        end\n        else if (next >= 5'd15) begin\n            credit <= 5'd0;\n            fired <= 1'b1;\n        end\n        else begin\n            credit <= next;\n            fired <= 1'b0;\n        end\n    end\n    assign dispense = fired;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("nickel", 1), inp("dime", 1), out("dispense", 1)]));
+    v.push(p("arbiter_2", Difficulty::Hard,
+        "A round-robin arbiter for two requesters: grants are one-hot; when both request, the grant alternates (the requester granted last loses the tie); a grant holds while its request stays high and the other is absent or loses the tie. Synchronous reset clears grants and priority.",
+        "module arbiter_2 (\n    input clk,\n    input rst,\n    input [1:0] req,\n    output reg [1:0] grant\n);\n    reg last;\n    always @(posedge clk) begin\n        if (rst) begin\n            grant <= 2'b00;\n            last <= 1'b0;\n        end\n        else begin\n            if (req == 2'b11) begin\n                if (last) begin grant <= 2'b01; last <= 1'b0; end\n                else begin grant <= 2'b10; last <= 1'b1; end\n            end\n            else if (req == 2'b01) begin grant <= 2'b01; last <= 1'b0; end\n            else if (req == 2'b10) begin grant <= 2'b10; last <= 1'b1; end\n            else grant <= 2'b00;\n        end\n    end\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("req", 2), out("grant", 2)]));
+    v.push(p("fsm_onehot_3", Difficulty::Hard,
+        "A one-hot encoded three-state machine: states 001, 010, 100; advance moves to the next state (wrapping) when adv is 1; output is the raw one-hot state vector. Synchronous reset to 001.",
+        "module fsm_onehot_3 (\n    input clk,\n    input rst,\n    input adv,\n    output [2:0] state\n);\n    reg [2:0] s;\n    always @(posedge clk) begin\n        if (rst) s <= 3'b001;\n        else if (adv) s <= {s[1:0], s[2]};\n    end\n    assign state = s;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("adv", 1), out("state", 3)]));
+    v.push(p("req_ack", Difficulty::Hard,
+        "A request/acknowledge handshake: from IDLE, req moves to BUSY where ack_out is asserted; the machine stays in BUSY until req drops, then returns to IDLE and deasserts ack_out. Synchronous reset to IDLE.",
+        "module req_ack (\n    input clk,\n    input rst,\n    input req,\n    output ack_out\n);\n    reg busy;\n    always @(posedge clk) begin\n        if (rst) busy <= 1'b0;\n        else if (!busy && req) busy <= 1'b1;\n        else if (busy && !req) busy <= 1'b0;\n    end\n    assign ack_out = busy;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("req", 1), out("ack_out", 1)]));
+    v.push(p("cmd_fsm", Difficulty::Hard,
+        "A two-phase command interface: in phase 0 a cycle with valid=1 captures cmd; in phase 1 the next valid cycle captures arg and pulses exec for one cycle while returning to phase 0. Outputs expose exec; synchronous reset returns to phase 0.",
+        "module cmd_fsm (\n    input clk,\n    input rst,\n    input valid,\n    input [3:0] cmd,\n    input [3:0] arg,\n    output exec\n);\n    reg phase;\n    reg fired;\n    reg [3:0] cmd_r;\n    always @(posedge clk) begin\n        if (rst) begin\n            phase <= 1'b0;\n            fired <= 1'b0;\n            cmd_r <= 4'd0;\n        end\n        else begin\n            fired <= 1'b0;\n            if (!phase && valid) begin\n                cmd_r <= cmd;\n                phase <= 1'b1;\n            end\n            else if (phase && valid) begin\n                fired <= 1'b1;\n                phase <= 1'b0;\n            end\n        end\n    end\n    assign exec = fired;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("valid", 1), inp("cmd", 4), inp("arg", 4), out("exec", 1)]));
+    v.push(p("lemmings_walk", Difficulty::Hard,
+        "A Lemmings-style walker: the creature walks left (walk_left=1) or right (walk_right=1). Bumping bump_left while walking left turns it right; bump_right while walking right turns it left; bumping both reverses direction. Synchronous reset starts walking left.",
+        "module lemmings_walk (\n    input clk,\n    input rst,\n    input bump_left,\n    input bump_right,\n    output walk_left,\n    output walk_right\n);\n    reg dir;\n    always @(posedge clk) begin\n        if (rst) dir <= 1'b0;\n        else if (!dir && bump_left) dir <= 1'b1;\n        else if (dir && bump_right) dir <= 1'b0;\n    end\n    assign walk_left = ~dir;\n    assign walk_right = dir;\nendmodule\n".into(),
+        vec![inp("clk", 1), inp("rst", 1), inp("bump_left", 1), inp("bump_right", 1),
+             out("walk_left", 1), out("walk_right", 1)]));
+
+    assert_eq!(v.len(), 75, "sequential catalogue must have 75 problems");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_75() {
+        assert_eq!(problems().len(), 75);
+    }
+
+    #[test]
+    fn golden_rtl_compiles_to_checker_ir() {
+        for prob in problems() {
+            let m = prob.golden_module();
+            let prog = correctbench_checker::compile_module(&m)
+                .unwrap_or_else(|e| panic!("{}: checker compile failed: {e}", prob.name));
+            assert!(prog.sequential, "{} should compile as sequential", prob.name);
+        }
+    }
+
+    #[test]
+    fn all_have_clk_first() {
+        for prob in problems() {
+            assert_eq!(prob.ports[0].name, "clk", "{}", prob.name);
+        }
+    }
+}

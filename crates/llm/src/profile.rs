@@ -1,0 +1,218 @@
+//! Per-model behaviour profiles.
+//!
+//! The paper evaluates CorrectBench with gpt-4o (main results),
+//! claude-3.5-sonnet and gpt-4o-mini (Fig. 7). A [`ModelProfile`] captures
+//! the statistics that matter to the pipeline: how often generated
+//! artifacts carry syntax errors, how many semantic defects they carry,
+//! how reliably the model repairs what it is told about, and how verbose
+//! it is (token accounting). The profiles below are calibrated so the
+//! *relative* orderings of the paper hold (gpt-4o > claude > 4o-mini on
+//! this harness; sequential tasks much harder than combinational).
+
+use correctbench_dataset::{CircuitKind, Difficulty, Problem};
+
+/// Which commercial model a profile imitates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelKind {
+    /// OpenAI gpt-4o-2024-08-06 — the paper's main model.
+    Gpt4o,
+    /// Anthropic claude-3-5-sonnet-20240620.
+    Claude35Sonnet,
+    /// OpenAI gpt-4o-mini-2024-07-18.
+    Gpt4oMini,
+}
+
+impl ModelKind {
+    /// All three evaluated models.
+    pub const ALL: [ModelKind; 3] = [
+        ModelKind::Gpt4o,
+        ModelKind::Claude35Sonnet,
+        ModelKind::Gpt4oMini,
+    ];
+
+    /// The model identifier string used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::Gpt4o => "gpt-4o",
+            ModelKind::Claude35Sonnet => "claude-3.5-sonnet",
+            ModelKind::Gpt4oMini => "gpt-4o-mini",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Calibrated behaviour statistics of one model.
+#[derive(Clone, Debug)]
+pub struct ModelProfile {
+    /// Which model this imitates.
+    pub kind: ModelKind,
+    /// Probability that a generated RTL design has syntax errors.
+    pub rtl_syntax_error_rate: f64,
+    /// Expected semantic mutations per generated RTL design.
+    pub rtl_defect_lambda: f64,
+    /// Probability that a generated checker is syntactically broken.
+    pub checker_syntax_error_rate: f64,
+    /// Expected semantic defects per generated checker.
+    pub checker_defect_lambda: f64,
+    /// Probability that a generated driver is syntactically broken.
+    pub driver_syntax_error_rate: f64,
+    /// Probability that the driver silently omits one scenario.
+    pub scenario_drop_rate: f64,
+    /// Base probability (scaled by task difficulty) that the model
+    /// *systematically misunderstands* one aspect of a task: every checker
+    /// it writes for that task carries the same defect, corrections never
+    /// fix it, and reboots regenerate it. This is what makes some tasks
+    /// unwinnable within the agent's budgets — the paper's irreducible
+    /// failure mass.
+    pub confusion_rate: f64,
+    /// Multiplier on syntax rates for single-shot (baseline) generation,
+    /// which lacks AutoBench's structured prompting.
+    pub direct_syntax_multiplier: f64,
+    /// Multiplier on defect lambdas for single-shot generation.
+    pub direct_defect_multiplier: f64,
+    /// Probability that one syntax-repair round fixes a broken artifact.
+    pub fix_syntax_success_rate: f64,
+    /// Probability that the corrector removes a given defect when the
+    /// validator's per-scenario bug report is available.
+    pub fix_defect_success_rate: f64,
+    /// Probability that a correction round introduces a fresh defect.
+    pub fix_new_defect_rate: f64,
+    /// Average output tokens per generated artifact (scales token totals).
+    pub tokens_per_artifact: f64,
+}
+
+impl ModelProfile {
+    /// The calibrated profile for `kind`.
+    pub fn for_model(kind: ModelKind) -> ModelProfile {
+        match kind {
+            ModelKind::Gpt4o => ModelProfile {
+                kind,
+                rtl_syntax_error_rate: 0.10,
+                rtl_defect_lambda: 0.65,
+                checker_syntax_error_rate: 0.03,
+                checker_defect_lambda: 0.45,
+                driver_syntax_error_rate: 0.03,
+                scenario_drop_rate: 0.12,
+                confusion_rate: 0.25,
+                direct_syntax_multiplier: 6.0,
+                direct_defect_multiplier: 2.2,
+                fix_syntax_success_rate: 0.85,
+                fix_defect_success_rate: 0.55,
+                fix_new_defect_rate: 0.06,
+                tokens_per_artifact: 900.0,
+            },
+            ModelKind::Claude35Sonnet => ModelProfile {
+                kind,
+                rtl_syntax_error_rate: 0.12,
+                rtl_defect_lambda: 0.75,
+                checker_syntax_error_rate: 0.05,
+                checker_defect_lambda: 0.55,
+                driver_syntax_error_rate: 0.05,
+                scenario_drop_rate: 0.14,
+                confusion_rate: 0.29,
+                direct_syntax_multiplier: 6.0,
+                direct_defect_multiplier: 2.2,
+                fix_syntax_success_rate: 0.80,
+                fix_defect_success_rate: 0.50,
+                fix_new_defect_rate: 0.07,
+                tokens_per_artifact: 1000.0,
+            },
+            ModelKind::Gpt4oMini => ModelProfile {
+                kind,
+                rtl_syntax_error_rate: 0.18,
+                rtl_defect_lambda: 1.1,
+                checker_syntax_error_rate: 0.08,
+                checker_defect_lambda: 0.85,
+                driver_syntax_error_rate: 0.08,
+                scenario_drop_rate: 0.18,
+                confusion_rate: 0.40,
+                direct_syntax_multiplier: 5.0,
+                direct_defect_multiplier: 2.0,
+                fix_syntax_success_rate: 0.70,
+                fix_defect_success_rate: 0.38,
+                fix_new_defect_rate: 0.10,
+                tokens_per_artifact: 650.0,
+            },
+        }
+    }
+
+    /// Difficulty- and kind-scaled defect lambda for checkers.
+    pub fn checker_lambda_for(&self, problem: &Problem) -> f64 {
+        self.checker_defect_lambda * task_scale(problem)
+    }
+
+    /// Difficulty- and kind-scaled defect lambda for RTL generations.
+    pub fn rtl_lambda_for(&self, problem: &Problem) -> f64 {
+        self.rtl_defect_lambda * task_scale(problem)
+    }
+
+    /// Difficulty- and kind-scaled syntax-error rate for an artifact class.
+    pub fn syntax_rate_for(&self, base: f64, problem: &Problem) -> f64 {
+        (base * syntax_scale(problem)).min(0.95)
+    }
+
+    /// Probability that the model systematically misunderstands `problem`.
+    pub fn confusion_for(&self, problem: &Problem) -> f64 {
+        (self.confusion_rate * task_scale(problem)).min(0.85)
+    }
+}
+
+/// Semantic difficulty scale: sequential tasks are much harder for LLM
+/// checker generation (the paper's central observation).
+pub fn task_scale(problem: &Problem) -> f64 {
+    let kind_scale = match problem.kind {
+        CircuitKind::Combinational => 1.0,
+        CircuitKind::Sequential => 2.4,
+    };
+    kind_scale * problem.difficulty.error_scale()
+}
+
+/// Syntax difficulty scale (longer, stateful code breaks more often).
+pub fn syntax_scale(problem: &Problem) -> f64 {
+    let kind_scale = match problem.kind {
+        CircuitKind::Combinational => 1.0,
+        CircuitKind::Sequential => 2.0,
+    };
+    let diff_scale = match problem.difficulty {
+        Difficulty::Easy => 0.8,
+        Difficulty::Medium => 1.0,
+        Difficulty::Hard => 1.3,
+    };
+    kind_scale * diff_scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctbench_dataset::problem;
+
+    #[test]
+    fn profiles_ordered_by_capability() {
+        let a = ModelProfile::for_model(ModelKind::Gpt4o);
+        let b = ModelProfile::for_model(ModelKind::Claude35Sonnet);
+        let c = ModelProfile::for_model(ModelKind::Gpt4oMini);
+        assert!(a.checker_defect_lambda <= b.checker_defect_lambda);
+        assert!(b.checker_defect_lambda <= c.checker_defect_lambda);
+        assert!(a.fix_defect_success_rate >= c.fix_defect_success_rate);
+    }
+
+    #[test]
+    fn sequential_tasks_harder() {
+        let cmb = problem("and_8").expect("cmb");
+        let seq = problem("seq_det_101").expect("seq");
+        assert!(task_scale(&seq) > 2.0 * task_scale(&cmb));
+    }
+
+    #[test]
+    fn syntax_rates_capped() {
+        let p = ModelProfile::for_model(ModelKind::Gpt4oMini);
+        let hard = problem("seq_det_1101").expect("seq");
+        let r = p.syntax_rate_for(0.9, &hard);
+        assert!(r <= 0.95);
+    }
+}

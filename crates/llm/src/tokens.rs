@@ -1,0 +1,83 @@
+//! Token accounting.
+//!
+//! Fig. 6(b) of the paper reports input/output tokens per task per
+//! validation criterion; the meter accumulates estimated token counts for
+//! every LLM interaction so the bench harness can regenerate that figure.
+
+/// Accumulated token usage of one client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TokenUsage {
+    /// Prompt-side tokens.
+    pub input_tokens: u64,
+    /// Completion-side tokens.
+    pub output_tokens: u64,
+    /// Number of requests issued.
+    pub requests: u64,
+}
+
+impl TokenUsage {
+    /// Zero usage.
+    pub fn new() -> Self {
+        TokenUsage::default()
+    }
+
+    /// Adds another usage record.
+    pub fn add(&mut self, other: TokenUsage) {
+        self.input_tokens += other.input_tokens;
+        self.output_tokens += other.output_tokens;
+        self.requests += other.requests;
+    }
+
+    /// Difference since an earlier snapshot (for per-task accounting).
+    pub fn since(&self, earlier: TokenUsage) -> TokenUsage {
+        TokenUsage {
+            input_tokens: self.input_tokens - earlier.input_tokens,
+            output_tokens: self.output_tokens - earlier.output_tokens,
+            requests: self.requests - earlier.requests,
+        }
+    }
+
+    /// Total tokens both directions.
+    pub fn total(&self) -> u64 {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// Rough tokens-in-text estimate (1 token ≈ 4 characters, the usual
+/// BPE heuristic; exactness is irrelevant, only relative scaling is).
+pub fn estimate_tokens(text: &str) -> u64 {
+    (text.len() as u64).div_ceil(4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_diff() {
+        let mut u = TokenUsage::new();
+        u.add(TokenUsage {
+            input_tokens: 100,
+            output_tokens: 50,
+            requests: 1,
+        });
+        let snap = u;
+        u.add(TokenUsage {
+            input_tokens: 10,
+            output_tokens: 5,
+            requests: 1,
+        });
+        let d = u.since(snap);
+        assert_eq!(d.input_tokens, 10);
+        assert_eq!(d.output_tokens, 5);
+        assert_eq!(d.requests, 1);
+        assert_eq!(u.total(), 165);
+    }
+
+    #[test]
+    fn estimate_scales_with_length() {
+        assert_eq!(estimate_tokens(""), 1);
+        assert_eq!(estimate_tokens("abcd"), 1);
+        assert_eq!(estimate_tokens("abcdefgh"), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Stimulus coverage measurement.
+//!
+//! The paper's conclusion names *coverage-based self-validation* as future
+//! work; this module provides the measurement layer. Coverage here is
+//! per-bit toggle coverage of DUT input ports across a stimulus set: a bit
+//! is covered once it has been driven both 0 and 1. Unlike DUT-output
+//! coverage this is judgeable from the testbench alone — no
+//! correct-by-assumption design is needed, which is the paper's objection
+//! to the DUT-coverage approach of prior work.
+
+use crate::scenarios::{ScenarioSet, Stimulus};
+use correctbench_dataset::{PortSpec, Problem};
+use correctbench_verilog::Bit;
+use std::collections::HashMap;
+
+/// Per-signal coverage accumulator.
+#[derive(Clone, Debug)]
+pub struct SignalCoverage {
+    /// Port name.
+    pub name: String,
+    /// Port width.
+    pub width: usize,
+    /// Bits seen at 0.
+    seen_zero: Vec<bool>,
+    /// Bits seen at 1.
+    seen_one: Vec<bool>,
+}
+
+impl SignalCoverage {
+    fn new(name: &str, width: usize) -> Self {
+        SignalCoverage {
+            name: name.to_string(),
+            width,
+            seen_zero: vec![false; width],
+            seen_one: vec![false; width],
+        }
+    }
+
+    fn observe(&mut self, value: &correctbench_verilog::LogicVec) {
+        for i in 0..self.width.min(value.width()) {
+            match value.bit(i) {
+                Bit::Zero => self.seen_zero[i] = true,
+                Bit::One => self.seen_one[i] = true,
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of bits driven both ways.
+    pub fn covered_bits(&self) -> usize {
+        (0..self.width)
+            .filter(|&i| self.seen_zero[i] && self.seen_one[i])
+            .count()
+    }
+
+    /// Covered fraction of this signal.
+    pub fn ratio(&self) -> f64 {
+        if self.width == 0 {
+            1.0
+        } else {
+            self.covered_bits() as f64 / self.width as f64
+        }
+    }
+}
+
+/// Toggle-coverage report over a stimulus set.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageReport {
+    /// Per-input coverage, in port order.
+    pub signals: Vec<SignalCoverage>,
+}
+
+impl CoverageReport {
+    /// Measures input toggle coverage of `scenarios` for `problem`,
+    /// counting only the scenarios in `included` (1-based; the driver may
+    /// have dropped some) — pass `None` to include all.
+    pub fn measure(
+        problem: &Problem,
+        scenarios: &ScenarioSet,
+        included: Option<&[usize]>,
+    ) -> CoverageReport {
+        let inputs: Vec<&PortSpec> = problem.stimulus_inputs();
+        let mut by_name: HashMap<&str, SignalCoverage> = inputs
+            .iter()
+            .map(|p| (p.name.as_str(), SignalCoverage::new(&p.name, p.width)))
+            .collect();
+        for sc in &scenarios.scenarios {
+            if let Some(inc) = included {
+                if !inc.contains(&sc.index) {
+                    continue;
+                }
+            }
+            for stim in &sc.stimuli {
+                observe_stimulus(&mut by_name, stim);
+            }
+        }
+        let signals = inputs
+            .iter()
+            .filter_map(|p| by_name.remove(p.name.as_str()))
+            .collect();
+        CoverageReport { signals }
+    }
+
+    /// Overall covered-bit fraction across all inputs.
+    pub fn ratio(&self) -> f64 {
+        let total: usize = self.signals.iter().map(|s| s.width).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let covered: usize = self.signals.iter().map(|s| s.covered_bits()).sum();
+        covered as f64 / total as f64
+    }
+
+    /// Signals below `threshold`, worst first.
+    pub fn weak_signals(&self, threshold: f64) -> Vec<&SignalCoverage> {
+        let mut v: Vec<&SignalCoverage> = self
+            .signals
+            .iter()
+            .filter(|s| s.ratio() < threshold)
+            .collect();
+        v.sort_by(|a, b| a.ratio().partial_cmp(&b.ratio()).expect("no NaN"));
+        v
+    }
+}
+
+fn observe_stimulus(by_name: &mut HashMap<&str, SignalCoverage>, stim: &Stimulus) {
+    for (name, value) in &stim.values {
+        if let Some(cov) = by_name.get_mut(name.as_str()) {
+            cov.observe(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::generate_scenarios;
+    use correctbench_dataset::problem;
+
+    #[test]
+    fn full_scenarios_cover_most_bits() {
+        let p = problem("alu_8").expect("problem");
+        let scenarios = generate_scenarios(&p, 5);
+        let report = CoverageReport::measure(&p, &scenarios, None);
+        assert!(
+            report.ratio() > 0.9,
+            "canonical scenarios should nearly saturate input toggles, got {:.2}",
+            report.ratio()
+        );
+    }
+
+    #[test]
+    fn dropping_scenarios_lowers_coverage() {
+        let p = problem("mux6_4").expect("problem");
+        let scenarios = generate_scenarios(&p, 6);
+        let all = CoverageReport::measure(&p, &scenarios, None);
+        let two = CoverageReport::measure(&p, &scenarios, Some(&[1, 2]));
+        assert!(two.ratio() < all.ratio());
+        // Scenario 1 is the all-zeros corner: almost nothing toggles to 1
+        // (control-port excursions may flip the odd bit).
+        let one = CoverageReport::measure(&p, &scenarios, Some(&[1]));
+        assert!(one.ratio() < 0.2, "got {:.2}", one.ratio());
+    }
+
+    #[test]
+    fn weak_signal_listing() {
+        // Scenario 1 drives the alu's data inputs all-zero, leaving them
+        // untoggled.
+        let p = problem("alu_8").expect("problem");
+        let scenarios = generate_scenarios(&p, 9);
+        let report = CoverageReport::measure(&p, &scenarios, Some(&[1]));
+        let weak = report.weak_signals(1.0);
+        assert!(!weak.is_empty());
+        for w in &weak {
+            assert!(w.ratio() < 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_inclusion_is_zero() {
+        let p = problem("and_8").expect("problem");
+        let scenarios = generate_scenarios(&p, 1);
+        let none = CoverageReport::measure(&p, &scenarios, Some(&[]));
+        assert_eq!(none.ratio(), 0.0);
+    }
+}

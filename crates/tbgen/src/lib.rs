@@ -1,0 +1,42 @@
+//! Hybrid testbench construction and execution.
+//!
+//! AutoBench testbenches are *hybrid*: a Verilog driver applies scenario
+//! stimuli to the DUT and logs records, and a separate checker computes
+//! reference outputs. This crate provides the canonical scenario
+//! generator, the driver code generator, record parsing, and the runner
+//! that produces per-scenario verdicts.
+//!
+//! # Examples
+//!
+//! Run the golden testbench of one dataset problem end to end:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use correctbench_tbgen::{generate_driver, generate_scenarios, run_testbench};
+//!
+//! let problem = correctbench_dataset::problem("adder_8").expect("known problem");
+//! let scenarios = generate_scenarios(&problem, 42);
+//! let driver = generate_driver(&problem, &scenarios);
+//! let checker = correctbench_checker::compile_module(&problem.golden_module())?;
+//! let run = run_testbench(&problem.golden_rtl, &driver, &checker, &problem, &scenarios)?;
+//! assert!(run.all_pass());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod driver;
+pub mod record;
+pub mod runner;
+pub mod scenarios;
+
+pub use coverage::{CoverageReport, SignalCoverage};
+pub use driver::{generate_driver, record_format, TB_MODULE};
+pub use record::{parse_record, parse_records, FieldValue, Record};
+pub use runner::{
+    judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,
+    simulate_records_limited, simulate_records_parsed, ScenarioResult, TbError, TbRun,
+};
+pub use scenarios::{generate_scenarios, Scenario, ScenarioSet, Stimulus};

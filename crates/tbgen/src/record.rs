@@ -1,0 +1,114 @@
+//! Parsing of driver `$fdisplay` records.
+//!
+//! Record lines look like `scenario: 2, a = 13, b = x, y = 255`. The
+//! checker track consumes the *input* fields (what the DUT actually saw)
+//! and compares its reference outputs against the *output* fields.
+
+use correctbench_verilog::logic::LogicVec;
+
+/// One parsed record line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Record {
+    /// Scenario index the record belongs to.
+    pub scenario: usize,
+    /// `(signal, printed value)` pairs in line order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A printed signal value: decimal, or unknown (`x`, `z`, `X`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum FieldValue {
+    /// Fully-known decimal value.
+    Known(u128),
+    /// The simulator printed an unknown marker.
+    Unknown,
+}
+
+impl FieldValue {
+    /// Converts to a [`LogicVec`] of `width` bits.
+    pub fn to_logic(&self, width: usize) -> LogicVec {
+        match self {
+            FieldValue::Known(v) => LogicVec::from_u128(width, *v),
+            FieldValue::Unknown => LogicVec::filled_x(width),
+        }
+    }
+
+    /// `true` when the printed value equals `other`'s printed form.
+    pub fn matches(&self, other: &FieldValue) -> bool {
+        self == other
+    }
+}
+
+impl Record {
+    /// The value of `signal`, if the record carries it.
+    pub fn field(&self, signal: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| n == signal).map(|(_, v)| v)
+    }
+}
+
+/// Parses every record line in `lines`; non-record lines are skipped
+/// (generated testbenches sometimes emit extra debug output).
+pub fn parse_records(lines: &[String]) -> Vec<Record> {
+    lines.iter().filter_map(|l| parse_record(l)).collect()
+}
+
+/// Parses one line, or `None` if it is not a record.
+pub fn parse_record(line: &str) -> Option<Record> {
+    let rest = line.strip_prefix("scenario: ")?;
+    let mut parts = rest.split(", ");
+    let scenario: usize = parts.next()?.trim().parse().ok()?;
+    let mut fields = Vec::new();
+    for part in parts {
+        let (name, value) = part.split_once(" = ")?;
+        let value = value.trim();
+        let fv = if value.eq_ignore_ascii_case("x") || value.eq_ignore_ascii_case("z") {
+            FieldValue::Unknown
+        } else {
+            FieldValue::Known(value.parse().ok()?)
+        };
+        fields.push((name.trim().to_string(), fv));
+    }
+    Some(Record { scenario, fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_record() {
+        let r = parse_record("scenario: 3, a = 13, b = 0, y = 255").expect("record");
+        assert_eq!(r.scenario, 3);
+        assert_eq!(r.field("a"), Some(&FieldValue::Known(13)));
+        assert_eq!(r.field("y"), Some(&FieldValue::Known(255)));
+        assert_eq!(r.field("nope"), None);
+    }
+
+    #[test]
+    fn parse_unknowns() {
+        let r = parse_record("scenario: 1, q = x, d = 7").expect("record");
+        assert_eq!(r.field("q"), Some(&FieldValue::Unknown));
+        let v = r.field("q").expect("q").to_logic(4);
+        assert!(v.is_fully_unknown());
+    }
+
+    #[test]
+    fn non_records_skipped() {
+        let lines = vec![
+            "debug: hello".to_string(),
+            "scenario: 1, a = 1, y = 2".to_string(),
+            "".to_string(),
+            "scenario: 2, a = 3, y = 4".to_string(),
+        ];
+        let rs = parse_records(&lines);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].scenario, 2);
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        assert!(parse_record("scenario: , a = 1").is_none());
+        assert!(parse_record("scenario: 1, a 1").is_none());
+        assert!(parse_record("scenario: 1, a = 12junk").is_none());
+    }
+}

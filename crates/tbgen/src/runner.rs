@@ -1,0 +1,329 @@
+//! The hybrid-testbench runner: simulate DUT + driver, check outputs
+//! against the checker's reference model, and produce per-scenario
+//! verdicts.
+//!
+//! This is the execution engine behind everything in the paper that
+//! "runs a testbench": Eval1/Eval2 runs, the validator's RS-matrix rows,
+//! and the final user-facing verification.
+
+use crate::record::{parse_records, FieldValue, Record};
+use crate::scenarios::ScenarioSet;
+use correctbench_checker::{step, CheckerProgram, CheckerRunError, CheckerState};
+use correctbench_dataset::Problem;
+use correctbench_verilog::{elaborate, parse, SimLimits, Simulator, VerilogError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-scenario outcome of a testbench run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenarioResult {
+    /// Every record of the scenario matched the reference.
+    Pass,
+    /// At least one record mismatched.
+    Fail,
+    /// The driver produced no records for the scenario.
+    Missing,
+}
+
+/// Result of running a hybrid testbench against one DUT.
+#[derive(Clone, Debug)]
+pub struct TbRun {
+    /// Verdict per scenario (index 0 holds scenario 1).
+    pub results: Vec<ScenarioResult>,
+    /// Records captured from the driver.
+    pub records: Vec<Record>,
+    /// Simulation end time.
+    pub end_time: u64,
+}
+
+impl TbRun {
+    /// `true` when every scenario passed.
+    pub fn all_pass(&self) -> bool {
+        self.results.iter().all(|r| *r == ScenarioResult::Pass)
+    }
+
+    /// Indices (1-based) of failing scenarios.
+    pub fn failing_scenarios(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == ScenarioResult::Fail)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+}
+
+/// A testbench run failure.
+#[derive(Clone, Debug)]
+pub enum TbError {
+    /// The DUT or driver failed to parse, elaborate or simulate.
+    Verilog(VerilogError),
+    /// The checker program itself failed at runtime.
+    Checker(CheckerRunError),
+}
+
+impl fmt::Display for TbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbError::Verilog(e) => write!(f, "{e}"),
+            TbError::Checker(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TbError {}
+
+impl From<VerilogError> for TbError {
+    fn from(e: VerilogError) -> Self {
+        TbError::Verilog(e)
+    }
+}
+
+impl From<CheckerRunError> for TbError {
+    fn from(e: CheckerRunError) -> Self {
+        TbError::Checker(e)
+    }
+}
+
+/// Simulates `driver_src` against `dut_src` and returns the captured
+/// records.
+///
+/// # Errors
+///
+/// Any front-end or simulation failure of the combined sources.
+pub fn simulate_records(dut_src: &str, driver_src: &str) -> Result<(Vec<Record>, u64), TbError> {
+    let dut = parse(dut_src).map_err(VerilogError::from)?;
+    let driver = parse(driver_src).map_err(VerilogError::from)?;
+    simulate_records_parsed(&dut, &driver)
+}
+
+/// Like [`simulate_records`], for already-parsed sources. Hot paths (the
+/// RS matrix builds one row per RTL against the *same* driver; Eval2 runs
+/// the same testbench against 10 mutants) parse once and reuse.
+///
+/// # Errors
+///
+/// Elaboration or simulation failure of the combined design.
+pub fn simulate_records_parsed(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+) -> Result<(Vec<Record>, u64), TbError> {
+    simulate_records_limited(dut, driver, SimLimits::default())
+}
+
+/// [`simulate_records_parsed`] with explicit simulator limits. Testbench
+/// runs bound `max_time` to the driver's stimulus schedule so a corrupted
+/// driver that lost its `$finish` cannot burn the full default horizon.
+///
+/// # Errors
+///
+/// Elaboration or simulation failure of the combined design.
+pub fn simulate_records_limited(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+    limits: SimLimits,
+) -> Result<(Vec<Record>, u64), TbError> {
+    let mut file = dut.clone();
+    file.modules.extend(driver.modules.iter().cloned());
+    let design = elaborate(&file, crate::driver::TB_MODULE).map_err(VerilogError::from)?;
+    let out = Simulator::with_limits(&design, limits)
+        .run()
+        .map_err(VerilogError::from)?;
+    Ok((parse_records(&out.lines), out.end_time))
+}
+
+/// The simulation-time bound implied by a scenario schedule: every
+/// stimulus takes one `#10` step, plus slack for resets and trailing
+/// activity.
+pub fn limits_for(scenarios: &ScenarioSet) -> SimLimits {
+    let stimuli = scenarios.total_stimuli() as u64;
+    SimLimits {
+        max_time: (stimuli + scenarios.len() as u64 + 32) * 10,
+        // Generated DUT mutants can contain runaway procedural loops
+        // (e.g. an inverted for-loop step); a tight per-run instruction
+        // budget keeps each RS-matrix row cheap. Honest runs use a few
+        // hundred instructions per stimulus.
+        max_steps: 200_000 + stimuli * 20_000,
+        ..SimLimits::default()
+    }
+}
+
+/// Runs the hybrid testbench (driver + checker) against a DUT and returns
+/// per-scenario verdicts.
+///
+/// The checker consumes the *input fields of the records* — what the DUT
+/// actually saw — so driver bugs (wrong stimuli, missing scenarios) are
+/// observable as `Missing` scenarios rather than silently compensated.
+///
+/// # Errors
+///
+/// [`TbError::Verilog`] when the DUT/driver fails the front end or the
+/// simulation; [`TbError::Checker`] when the checker program is broken.
+pub fn run_testbench(
+    dut_src: &str,
+    driver_src: &str,
+    checker: &CheckerProgram,
+    problem: &Problem,
+    scenarios: &ScenarioSet,
+) -> Result<TbRun, TbError> {
+    let dut = parse(dut_src).map_err(VerilogError::from)?;
+    let driver = parse(driver_src).map_err(VerilogError::from)?;
+    let (records, end_time) = simulate_records_limited(&dut, &driver, limits_for(scenarios))?;
+    let results = judge_records(&records, checker, problem, scenarios.len())?;
+    Ok(TbRun {
+        results,
+        records,
+        end_time,
+    })
+}
+
+/// [`run_testbench`] over already-parsed sources.
+///
+/// # Errors
+///
+/// As [`run_testbench`].
+pub fn run_testbench_parsed(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+    checker: &CheckerProgram,
+    problem: &Problem,
+    scenarios: &ScenarioSet,
+) -> Result<TbRun, TbError> {
+    let (records, end_time) = simulate_records_limited(dut, driver, limits_for(scenarios))?;
+    let results = judge_records(&records, checker, problem, scenarios.len())?;
+    Ok(TbRun {
+        results,
+        records,
+        end_time,
+    })
+}
+
+/// Judges already-captured records against the checker.
+pub fn judge_records(
+    records: &[Record],
+    checker: &CheckerProgram,
+    problem: &Problem,
+    num_scenarios: usize,
+) -> Result<Vec<ScenarioResult>, TbError> {
+    let mut state = CheckerState::new(checker);
+    let mut seen = vec![false; num_scenarios];
+    let mut failed = vec![false; num_scenarios];
+
+    let width_of: HashMap<&str, usize> = problem
+        .ports
+        .iter()
+        .map(|p| (p.name.as_str(), p.width))
+        .collect();
+
+    for rec in records {
+        // Build checker inputs from the record's input fields.
+        let mut inputs = HashMap::new();
+        for name in &checker.inputs {
+            let width = width_of.get(name.as_str()).copied().unwrap_or(1);
+            let v = match rec.field(name) {
+                Some(fv) => fv.to_logic(width),
+                None => correctbench_verilog::LogicVec::filled_x(width),
+            };
+            inputs.insert(name.clone(), v);
+        }
+        let expected = step(checker, &mut state, &inputs)?;
+
+        let idx = rec.scenario;
+        if idx == 0 || idx > num_scenarios {
+            continue;
+        }
+        seen[idx - 1] = true;
+        for out in &checker.outputs {
+            let reference = &expected[&out.name];
+            let printed = rec.field(&out.name);
+            let ok = match printed {
+                None => false,
+                Some(FieldValue::Known(v)) => reference.to_u128() == Some(*v),
+                Some(FieldValue::Unknown) => !reference.is_fully_known(),
+            };
+            if !ok {
+                failed[idx - 1] = true;
+            }
+        }
+    }
+
+    Ok((0..num_scenarios)
+        .map(|i| {
+            if !seen[i] {
+                ScenarioResult::Missing
+            } else if failed[i] {
+                ScenarioResult::Fail
+            } else {
+                ScenarioResult::Pass
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::generate_driver;
+    use crate::scenarios::generate_scenarios;
+    use correctbench_checker::compile_module;
+    use correctbench_dataset::problem;
+
+    fn golden_setup(name: &str, seed: u64) -> (correctbench_dataset::Problem, ScenarioSet, String, CheckerProgram) {
+        let p = problem(name).expect("problem");
+        let scen = generate_scenarios(&p, seed);
+        let driver = generate_driver(&p, &scen);
+        let checker = compile_module(&p.golden_module()).expect("checker");
+        (p, scen, driver, checker)
+    }
+
+    #[test]
+    fn golden_dut_passes_combinational() {
+        let (p, scen, driver, checker) = golden_setup("alu_8", 11);
+        let run = run_testbench(&p.golden_rtl, &driver, &checker, &p, &scen).expect("run");
+        assert!(run.all_pass(), "results: {:?}", run.results);
+    }
+
+    #[test]
+    fn golden_dut_passes_sequential() {
+        let (p, scen, driver, checker) = golden_setup("counter_8", 13);
+        let run = run_testbench(&p.golden_rtl, &driver, &checker, &p, &scen).expect("run");
+        assert!(run.all_pass(), "results: {:?}", run.results);
+    }
+
+    #[test]
+    fn mutant_dut_fails_somewhere() {
+        use rand::SeedableRng;
+        let (p, scen, driver, checker) = golden_setup("alu_8", 17);
+        let mut file = correctbench_verilog::parse(&p.golden_rtl).expect("parse");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = file.module_mut(&p.name).expect("module");
+        correctbench_verilog::mutate::mutate_module(m, &mut rng, 2);
+        let mutant_src = correctbench_verilog::pretty::print_file(&file);
+        let run = run_testbench(&mutant_src, &driver, &checker, &p, &scen).expect("run");
+        assert!(
+            !run.all_pass(),
+            "a 2-site ALU mutant should fail some scenario"
+        );
+    }
+
+    #[test]
+    fn broken_dut_is_verilog_error() {
+        let (p, scen, driver, checker) = golden_setup("and_8", 3);
+        let broken = p.golden_rtl.replace(';', "");
+        let r = run_testbench(&broken, &driver, &checker, &p, &scen);
+        assert!(matches!(r, Err(TbError::Verilog(_))));
+    }
+
+    #[test]
+    fn missing_scenarios_detected() {
+        let (p, scen, driver, checker) = golden_setup("and_8", 9);
+        // Truncate the driver's stimulus block: drop lines for the last
+        // scenario by cutting the source at its comment.
+        let marker = format!("// Scenario {}", scen.len());
+        let cut = driver.find(&marker).expect("marker");
+        let truncated = format!("{}\n$finish;\nend\nendmodule\n", &driver[..cut]);
+        let run = run_testbench(&p.golden_rtl, &truncated, &checker, &p, &scen).expect("run");
+        assert_eq!(*run.results.last().expect("last"), ScenarioResult::Missing);
+        assert!(!run.all_pass());
+    }
+}

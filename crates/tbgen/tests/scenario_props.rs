@@ -1,0 +1,59 @@
+//! Property tests for scenario generation and record handling.
+
+use correctbench_tbgen::{generate_driver, generate_scenarios, parse_record};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn scenarios_within_port_widths(problem_idx in 0usize..156, seed: u64) {
+        let problems = correctbench_dataset::all_problems();
+        let p = &problems[problem_idx];
+        let set = generate_scenarios(p, seed);
+        prop_assert_eq!(set.len(), p.scenario_spec.scenarios);
+        for sc in &set.scenarios {
+            prop_assert!(!sc.stimuli.is_empty());
+            for st in &sc.stimuli {
+                for (name, value) in &st.values {
+                    let port = p
+                        .stimulus_inputs()
+                        .into_iter()
+                        .find(|q| &q.name == name)
+                        .unwrap_or_else(|| panic!("stimulus drives unknown port {name}"));
+                    prop_assert_eq!(value.width(), port.width);
+                    prop_assert!(value.is_fully_known(), "stimuli must be 2-state");
+                }
+                // Every stimulus drives every input exactly once.
+                prop_assert_eq!(st.values.len(), p.stimulus_inputs().len());
+            }
+        }
+    }
+
+    #[test]
+    fn drivers_always_parse(problem_idx in 0usize..156, seed: u64) {
+        let problems = correctbench_dataset::all_problems();
+        let p = &problems[problem_idx];
+        let set = generate_scenarios(p, seed);
+        let driver = generate_driver(p, &set);
+        correctbench_verilog::parse(&driver)
+            .unwrap_or_else(|e| panic!("{}: driver does not parse: {e}", p.name));
+    }
+
+    #[test]
+    fn record_parse_total_on_junk(line: String) {
+        // Never panics on arbitrary input.
+        let _ = parse_record(&line);
+    }
+
+    #[test]
+    fn record_roundtrip(scenario in 1usize..100, values in proptest::collection::vec((0u8..26, any::<u32>()), 1..6)) {
+        let fields: Vec<String> = values
+            .iter()
+            .map(|(c, v)| format!("s{} = {}", (b'a' + c) as char, v))
+            .collect();
+        let line = format!("scenario: {scenario}, {}", fields.join(", "));
+        let rec = parse_record(&line).expect("well-formed record parses");
+        prop_assert_eq!(rec.scenario, scenario);
+        prop_assert_eq!(rec.fields.len(), values.len());
+    }
+}

@@ -1,0 +1,60 @@
+//! A Verilog-subset front end and event-driven four-state simulator.
+//!
+//! This crate is the simulation substrate of the CorrectBench
+//! reproduction: it plays the role Icarus Verilog plays in the paper.
+//! It provides:
+//!
+//! * [`logic`] — four-state values ([`logic::LogicVec`]);
+//! * [`lexer`] / [`parser`] / [`ast`] — the front end;
+//! * [`elaborate`] — hierarchy flattening and bytecode compilation;
+//! * [`sim`] — the event-driven simulator with `$display` capture;
+//! * [`pretty`] — AST → source rendering (artifacts round-trip as text);
+//! * [`mutate`] — semantic mutation (Eval2 mutants, validator RTL groups,
+//!   simulated-LLM defect injection);
+//! * [`corrupt`] — source-level syntax corruption (Eval0 failures).
+//!
+//! # Examples
+//!
+//! Simulate a small testbench and read back its `$display` output:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use correctbench_verilog::run_source;
+//!
+//! let out = run_source(
+//!     "module tb;
+//!        reg [7:0] x;
+//!        initial begin
+//!          x = 8'd41;
+//!          #1 $display(\"%0d\", x + 8'd1);
+//!          $finish;
+//!        end
+//!      endmodule",
+//!     "tb",
+//! )?;
+//! assert_eq!(out.lines, vec!["42".to_string()]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod corrupt;
+pub mod design;
+pub mod elaborate;
+pub mod error;
+pub mod lexer;
+pub mod logic;
+pub mod mutate;
+pub mod parser;
+pub mod pretty;
+pub mod sim;
+pub mod sysfmt;
+
+pub use design::{Design, SignalId};
+pub use elaborate::elaborate;
+pub use error::{ElabError, ParseError, SimError, VerilogError};
+pub use logic::{Bit, LogicVec};
+pub use parser::parse;
+pub use sim::{run_source, SimLimits, SimOutput, Simulator};

@@ -1,0 +1,1204 @@
+//! Four-state logic values.
+//!
+//! A [`LogicVec`] stores a fixed-width vector of IEEE-1364 four-state bits
+//! (`0`, `1`, `x`, `z`) in two bit planes, the classic aval/bval encoding
+//! used by VPI and most event-driven simulators:
+//!
+//! | bit | `val` plane | `unk` plane |
+//! |-----|-------------|-------------|
+//! | `0` | 0           | 0           |
+//! | `1` | 1           | 0           |
+//! | `x` | 0           | 1           |
+//! | `z` | 1           | 1           |
+//!
+//! All operators follow the Verilog semantics used by the simulator and the
+//! checker IR interpreter: bitwise operators propagate `x` per the standard
+//! truth tables, arithmetic and relational operators produce an all-`x`
+//! result if any input bit is unknown, and `===`/`!==` compare the four-state
+//! encoding exactly.
+
+use std::fmt;
+
+/// A single four-state bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Bit {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Bit {
+    /// Returns `true` for [`Bit::Zero`] and [`Bit::One`].
+    pub fn is_known(self) -> bool {
+        matches!(self, Bit::Zero | Bit::One)
+    }
+
+    /// The character Verilog sources use for this bit (`0`, `1`, `x`, `z`).
+    pub fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'x',
+            Bit::Z => 'z',
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A fixed-width vector of four-state bits.
+///
+/// Bit 0 is the least significant bit. Widths of any size are supported;
+/// storage is in 64-bit words. Unused high bits of the last word are always
+/// kept at zero in both planes (the *normalized* invariant), so plane-level
+/// equality is value equality.
+///
+/// # Examples
+///
+/// ```
+/// use correctbench_verilog::logic::LogicVec;
+///
+/// let a = LogicVec::from_u64(8, 0x5a);
+/// let b = LogicVec::from_u64(8, 0x0f);
+/// assert_eq!(a.and(&b), LogicVec::from_u64(8, 0x0a));
+/// assert_eq!(a.add(&b).to_u64(), Some(0x69));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    width: usize,
+    val: Vec<u64>,
+    unk: Vec<u64>,
+}
+
+fn words_for(width: usize) -> usize {
+    width.div_ceil(64).max(1)
+}
+
+fn top_mask(width: usize) -> u64 {
+    let rem = width % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+impl LogicVec {
+    /// An all-`x` vector, the value of every `reg` before first assignment.
+    pub fn filled_x(width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be positive");
+        let n = words_for(width);
+        let mut v = LogicVec {
+            width,
+            val: vec![0; n],
+            unk: vec![u64::MAX; n],
+        };
+        v.normalize();
+        v
+    }
+
+    /// An all-`z` vector.
+    pub fn filled_z(width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be positive");
+        let n = words_for(width);
+        let mut v = LogicVec {
+            width,
+            val: vec![u64::MAX; n],
+            unk: vec![u64::MAX; n],
+        };
+        v.normalize();
+        v
+    }
+
+    /// An all-zero vector.
+    pub fn zeros(width: usize) -> Self {
+        assert!(width > 0, "logic vector width must be positive");
+        let n = words_for(width);
+        LogicVec {
+            width,
+            val: vec![0; n],
+            unk: vec![0; n],
+        }
+    }
+
+    /// An all-ones vector.
+    pub fn ones(width: usize) -> Self {
+        let mut v = LogicVec::zeros(width);
+        for w in &mut v.val {
+            *w = u64::MAX;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        let mut v = LogicVec::zeros(width);
+        v.val[0] = value;
+        v.normalize();
+        v
+    }
+
+    /// Builds a vector from the low `width` bits of a `u128`.
+    pub fn from_u128(width: usize, value: u128) -> Self {
+        let mut v = LogicVec::zeros(width);
+        v.val[0] = value as u64;
+        if v.val.len() > 1 {
+            v.val[1] = (value >> 64) as u64;
+        }
+        v.normalize();
+        v
+    }
+
+    /// A 1-bit vector from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        LogicVec::from_u64(1, b as u64)
+    }
+
+    /// A 1-bit vector from a [`Bit`].
+    pub fn from_bit(b: Bit) -> Self {
+        let mut v = LogicVec::zeros(1);
+        v.set_bit(0, b);
+        v
+    }
+
+    /// Builds a vector from bits listed most-significant first, as they
+    /// appear in a Verilog binary literal.
+    pub fn from_bits_msb_first(bits: &[Bit]) -> Self {
+        assert!(!bits.is_empty(), "bit list must be non-empty");
+        let mut v = LogicVec::zeros(bits.len());
+        for (i, b) in bits.iter().rev().enumerate() {
+            v.set_bit(i, *b);
+        }
+        v
+    }
+
+    /// Restores the normalized invariant (clears unused high bits).
+    fn normalize(&mut self) {
+        let m = top_mask(self.width);
+        let last = self.val.len() - 1;
+        self.val[last] &= m;
+        self.unk[last] &= m;
+    }
+
+    /// The bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> Bit {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let w = i / 64;
+        let b = i % 64;
+        let v = (self.val[w] >> b) & 1;
+        let u = (self.unk[w] >> b) & 1;
+        match (u, v) {
+            (0, 0) => Bit::Zero,
+            (0, 1) => Bit::One,
+            (1, 0) => Bit::X,
+            _ => Bit::Z,
+        }
+    }
+
+    /// Writes bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, b: Bit) {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let w = i / 64;
+        let sh = i % 64;
+        let (u, v) = match b {
+            Bit::Zero => (0u64, 0u64),
+            Bit::One => (0, 1),
+            Bit::X => (1, 0),
+            Bit::Z => (1, 1),
+        };
+        self.val[w] = (self.val[w] & !(1 << sh)) | (v << sh);
+        self.unk[w] = (self.unk[w] & !(1 << sh)) | (u << sh);
+    }
+
+    /// `true` when no bit is `x` or `z`.
+    pub fn is_fully_known(&self) -> bool {
+        self.unk.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when every bit is `x` or `z`.
+    pub fn is_fully_unknown(&self) -> bool {
+        let m = top_mask(self.width);
+        let last = self.unk.len() - 1;
+        self.unk[..last].iter().all(|&w| w == u64::MAX) && self.unk[last] == m
+    }
+
+    /// The value as a `u64` if fully known and all bits above 64 are zero.
+    pub fn to_u64(&self) -> Option<u64> {
+        if !self.is_fully_known() {
+            return None;
+        }
+        if self.val[1..].iter().any(|&w| w != 0) {
+            return None;
+        }
+        Some(self.val[0])
+    }
+
+    /// The value as a `u128` if fully known and all bits above 128 are zero.
+    pub fn to_u128(&self) -> Option<u128> {
+        if !self.is_fully_known() {
+            return None;
+        }
+        if self.val.len() > 2 && self.val[2..].iter().any(|&w| w != 0) {
+            return None;
+        }
+        let lo = self.val[0] as u128;
+        let hi = if self.val.len() > 1 { self.val[1] as u128 } else { 0 };
+        Some(lo | (hi << 64))
+    }
+
+    /// Interprets the vector as a signed integer, if fully known and the
+    /// magnitude fits an `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        if !self.is_fully_known() || self.width > 64 {
+            // Multi-word signed conversion: only handle sign-extension
+            // patterns that fit i64.
+            if !self.is_fully_known() {
+                return None;
+            }
+        }
+        let sext = self.sign_extend(64.max(self.width));
+        if sext.width > 64 {
+            // All words above the first must be a sign extension of bit 63.
+            let neg = (sext.val[0] >> 63) & 1 == 1;
+            let fill = if neg { u64::MAX } else { 0 };
+            let m = top_mask(sext.width);
+            let last = sext.val.len() - 1;
+            for (i, &w) in sext.val.iter().enumerate().skip(1) {
+                let expect = if i == last { fill & m } else { fill };
+                if w != expect {
+                    return None;
+                }
+            }
+        }
+        Some(sext.val[0] as i64)
+    }
+
+    /// Truth value per Verilog: `1` if any bit is one, `0` if all bits are
+    /// zero, `x` otherwise.
+    pub fn truthy(&self) -> Bit {
+        let any_one = self
+            .val
+            .iter()
+            .zip(&self.unk)
+            .any(|(&v, &u)| v & !u != 0);
+        if any_one {
+            return Bit::One;
+        }
+        if self.is_fully_known() {
+            Bit::Zero
+        } else {
+            Bit::X
+        }
+    }
+
+    /// `true` when [`truthy`](Self::truthy) is [`Bit::One`].
+    pub fn is_true(&self) -> bool {
+        self.truthy() == Bit::One
+    }
+
+    /// Zero- or sign-less resize: truncates or zero-extends to `width`.
+    pub fn zero_extend(&self, width: usize) -> LogicVec {
+        assert!(width > 0);
+        let mut out = LogicVec::zeros(width);
+        let copy = self.width.min(width);
+        for i in 0..copy.div_ceil(64) {
+            out.val[i] = self.val[i];
+            out.unk[i] = self.unk[i];
+        }
+        // Clear bits between `copy` and the end that were copied in excess.
+        if copy < width {
+            // mask out bits >= copy within the copied words
+            let w = copy / 64;
+            let rem = copy % 64;
+            if rem != 0 && w < out.val.len() {
+                let m = (1u64 << rem) - 1;
+                out.val[w] &= m;
+                out.unk[w] &= m;
+            }
+            for i in (copy.div_ceil(64))..out.val.len() {
+                out.val[i] = 0;
+                out.unk[i] = 0;
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Truncates or sign-extends (replicating the MSB, including `x`/`z`).
+    pub fn sign_extend(&self, width: usize) -> LogicVec {
+        assert!(width > 0);
+        if width <= self.width {
+            return self.zero_extend(width);
+        }
+        let msb = self.bit(self.width - 1);
+        let mut out = self.zero_extend(width);
+        for i in self.width..width {
+            out.set_bit(i, msb);
+        }
+        out
+    }
+
+    /// Resize honouring a signedness flag.
+    pub fn resize(&self, width: usize, signed: bool) -> LogicVec {
+        if signed {
+            self.sign_extend(width)
+        } else {
+            self.zero_extend(width)
+        }
+    }
+
+    /// Concatenation `{self, low}` — `self` becomes the high part.
+    pub fn concat(&self, low: &LogicVec) -> LogicVec {
+        let width = self.width + low.width;
+        let mut out = LogicVec::zeros(width);
+        for i in 0..low.width {
+            out.set_bit(i, low.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(low.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Replication `{n{self}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn repeat(&self, n: usize) -> LogicVec {
+        assert!(n > 0, "replication count must be positive");
+        let mut out = self.clone();
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// Extracts `width` bits starting at bit `lo`. Bits beyond the source
+    /// width read as `x` (matching out-of-range part-selects).
+    pub fn slice(&self, lo: usize, width: usize) -> LogicVec {
+        assert!(width > 0);
+        let mut out = LogicVec::zeros(width);
+        for i in 0..width {
+            let src = lo + i;
+            let b = if src < self.width { self.bit(src) } else { Bit::X };
+            out.set_bit(i, b);
+        }
+        out
+    }
+
+    // ---- bitwise ----
+
+    /// Bitwise AND with `x` propagation (`0 & x == 0`).
+    pub fn and(&self, other: &LogicVec) -> LogicVec {
+        self.bitwise(other, |av, au, bv, bu| {
+            // treat z as x: a bit is "one" if val&!unk, "zero" if !val&!unk
+            let a_zero = !av & !au;
+            let b_zero = !bv & !bu;
+            let a_one = av & !au;
+            let b_one = bv & !bu;
+            let zero = a_zero | b_zero;
+            let one = a_one & b_one;
+            let unk = !(zero | one);
+            (one, unk)
+        })
+    }
+
+    /// Bitwise OR with `x` propagation (`1 | x == 1`).
+    pub fn or(&self, other: &LogicVec) -> LogicVec {
+        self.bitwise(other, |av, au, bv, bu| {
+            let a_one = av & !au;
+            let b_one = bv & !bu;
+            let a_zero = !av & !au;
+            let b_zero = !bv & !bu;
+            let one = a_one | b_one;
+            let zero = a_zero & b_zero;
+            let unk = !(zero | one);
+            (one, unk)
+        })
+    }
+
+    /// Bitwise XOR (`x` if either bit is unknown).
+    pub fn xor(&self, other: &LogicVec) -> LogicVec {
+        self.bitwise(other, |av, au, bv, bu| {
+            let unk = au | bu;
+            let one = (av ^ bv) & !unk;
+            (one, unk)
+        })
+    }
+
+    /// Bitwise XNOR.
+    pub fn xnor(&self, other: &LogicVec) -> LogicVec {
+        self.xor(other).not()
+    }
+
+    fn bitwise(
+        &self,
+        other: &LogicVec,
+        f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
+    ) -> LogicVec {
+        let width = self.width.max(other.width);
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        let mut out = LogicVec::zeros(width);
+        for i in 0..a.val.len() {
+            let (one, unk) = f(a.val[i], a.unk[i], b.val[i], b.unk[i]);
+            out.val[i] = one | unk; // x encodes val=0; recompute below
+            out.unk[i] = unk;
+            out.val[i] = one; // known ones only; unknown bits are x (val=0)
+        }
+        out.normalize();
+        out
+    }
+
+    /// Bitwise NOT (`~x == x`).
+    pub fn not(&self) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        for i in 0..self.val.len() {
+            out.unk[i] = self.unk[i];
+            out.val[i] = !self.val[i] & !self.unk[i];
+        }
+        out.normalize();
+        out
+    }
+
+    // ---- reductions ----
+
+    /// Reduction AND.
+    pub fn reduce_and(&self) -> Bit {
+        let mut any_zero = false;
+        let mut any_unk = false;
+        for i in 0..self.width {
+            match self.bit(i) {
+                Bit::Zero => any_zero = true,
+                Bit::One => {}
+                _ => any_unk = true,
+            }
+        }
+        if any_zero {
+            Bit::Zero
+        } else if any_unk {
+            Bit::X
+        } else {
+            Bit::One
+        }
+    }
+
+    /// Reduction OR.
+    pub fn reduce_or(&self) -> Bit {
+        match self.truthy() {
+            Bit::One => Bit::One,
+            Bit::Zero => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+
+    /// Reduction XOR (parity); `x` if any bit unknown.
+    pub fn reduce_xor(&self) -> Bit {
+        if !self.is_fully_known() {
+            return Bit::X;
+        }
+        let parity = self.val.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) & 1;
+        if parity == 1 {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Number of one bits, or `None` if any bit is unknown.
+    pub fn count_ones(&self) -> Option<u32> {
+        if !self.is_fully_known() {
+            return None;
+        }
+        Some(self.val.iter().map(|w| w.count_ones()).sum())
+    }
+
+    // ---- arithmetic (any unknown input -> all-x result) ----
+
+    fn all_x_if_unknown(&self, other: &LogicVec, width: usize) -> Option<LogicVec> {
+        if self.is_fully_known() && other.is_fully_known() {
+            None
+        } else {
+            Some(LogicVec::filled_x(width))
+        }
+    }
+
+    /// Wrapping addition at `max(widths)` bits.
+    pub fn add(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width.max(other.width);
+        if let Some(x) = self.all_x_if_unknown(other, width) {
+            return x;
+        }
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        let mut out = LogicVec::zeros(width);
+        let mut carry = 0u64;
+        for i in 0..a.val.len() {
+            let (s1, c1) = a.val[i].overflowing_add(b.val[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.val[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping subtraction at `max(widths)` bits.
+    pub fn sub(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width.max(other.width);
+        if let Some(x) = self.all_x_if_unknown(other, width) {
+            return x;
+        }
+        let b = other.zero_extend(width);
+        self.zero_extend(width).add(&b.not_bits().add(&LogicVec::from_u64(width, 1)))
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&self) -> LogicVec {
+        if !self.is_fully_known() {
+            return LogicVec::filled_x(self.width);
+        }
+        self.not_bits().add(&LogicVec::from_u64(self.width, 1))
+    }
+
+    /// Plain bit inversion ignoring x-propagation (internal two's-complement
+    /// helper; only used on fully-known values).
+    fn not_bits(&self) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        for i in 0..self.val.len() {
+            out.val[i] = !self.val[i];
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping multiplication at `max(widths)` bits.
+    pub fn mul(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width.max(other.width);
+        if let Some(x) = self.all_x_if_unknown(other, width) {
+            return x;
+        }
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        let n = a.val.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..n - i {
+                let cur = acc[i + j] as u128
+                    + (a.val[i] as u128) * (b.val[j] as u128)
+                    + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        let mut out = LogicVec::zeros(width);
+        out.val.copy_from_slice(&acc);
+        out.normalize();
+        out
+    }
+
+    /// Unsigned division; division by zero yields all-`x` (as in Verilog).
+    pub fn div(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width.max(other.width);
+        if let Some(x) = self.all_x_if_unknown(other, width) {
+            return x;
+        }
+        match (self.to_u128(), other.to_u128()) {
+            (Some(a), Some(b)) if b != 0 => LogicVec::from_u128(width, a / b),
+            (Some(_), Some(_)) => LogicVec::filled_x(width),
+            _ => {
+                // Wide division: fall back to long division over bits.
+                self.wide_divmod(other, width).0
+            }
+        }
+    }
+
+    /// Unsigned remainder; modulo zero yields all-`x`.
+    pub fn rem(&self, other: &LogicVec) -> LogicVec {
+        let width = self.width.max(other.width);
+        if let Some(x) = self.all_x_if_unknown(other, width) {
+            return x;
+        }
+        match (self.to_u128(), other.to_u128()) {
+            (Some(a), Some(b)) if b != 0 => LogicVec::from_u128(width, a % b),
+            (Some(_), Some(_)) => LogicVec::filled_x(width),
+            _ => self.wide_divmod(other, width).1,
+        }
+    }
+
+    fn wide_divmod(&self, other: &LogicVec, width: usize) -> (LogicVec, LogicVec) {
+        if other.truthy() != Bit::One {
+            return (LogicVec::filled_x(width), LogicVec::filled_x(width));
+        }
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        let mut quot = LogicVec::zeros(width);
+        let mut rem = LogicVec::zeros(width);
+        for i in (0..width).rev() {
+            rem = rem.shl_const(1);
+            if a.bit(i) == Bit::One {
+                rem.set_bit(0, Bit::One);
+            }
+            if rem.cmp_unsigned(&b) != std::cmp::Ordering::Less {
+                rem = rem.sub(&b);
+                quot.set_bit(i, Bit::One);
+            }
+        }
+        (quot, rem)
+    }
+
+    fn shl_const(&self, n: usize) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        for i in (n..self.width).rev() {
+            out.set_bit(i, self.bit(i - n));
+        }
+        out
+    }
+
+    fn cmp_unsigned(&self, other: &LogicVec) -> std::cmp::Ordering {
+        let width = self.width.max(other.width);
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        for i in (0..a.val.len()).rev() {
+            match a.val[i].cmp(&b.val[i]) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    fn cmp_signed(&self, other: &LogicVec) -> std::cmp::Ordering {
+        let width = self.width.max(other.width).max(1);
+        let a = self.sign_extend(width);
+        let b = other.sign_extend(width);
+        let a_neg = a.bit(width - 1) == Bit::One;
+        let b_neg = b.bit(width - 1) == Bit::One;
+        match (a_neg, b_neg) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => a.cmp_unsigned(&b),
+        }
+    }
+
+    /// Relational comparison producing a 1-bit result; `x` if any input
+    /// bit is unknown. `signed` selects two's-complement ordering.
+    pub fn lt(&self, other: &LogicVec, signed: bool) -> Bit {
+        if !self.is_fully_known() || !other.is_fully_known() {
+            return Bit::X;
+        }
+        let ord = if signed {
+            self.cmp_signed(other)
+        } else {
+            self.cmp_unsigned(other)
+        };
+        if ord == std::cmp::Ordering::Less {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Logical equality `==`: `x` if any compared bit is unknown.
+    pub fn eq_logic(&self, other: &LogicVec) -> Bit {
+        let width = self.width.max(other.width);
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        if !a.is_fully_known() || !b.is_fully_known() {
+            return Bit::X;
+        }
+        if a.val == b.val {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Case equality `===`: exact four-state comparison, always known.
+    pub fn eq_case(&self, other: &LogicVec) -> Bit {
+        let width = self.width.max(other.width);
+        let a = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        if a.val == b.val && a.unk == b.unk {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// `casez` match: `z` bits in `pattern` (or in `self`) are wildcards.
+    pub fn casez_match(&self, pattern: &LogicVec) -> bool {
+        let width = self.width.max(pattern.width);
+        let a = self.zero_extend(width);
+        let p = pattern.zero_extend(width);
+        for i in 0..width {
+            let pb = p.bit(i);
+            let ab = a.bit(i);
+            if pb == Bit::Z || ab == Bit::Z {
+                continue;
+            }
+            if pb != ab {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ---- shifts ----
+
+    /// Logical shift left by a possibly-unknown amount.
+    pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            None => LogicVec::filled_x(self.width),
+            Some(n) => {
+                if n as usize >= self.width {
+                    LogicVec::zeros(self.width)
+                } else {
+                    let n = n as usize;
+                    let mut out = LogicVec::zeros(self.width);
+                    for i in n..self.width {
+                        out.set_bit(i, self.bit(i - n));
+                    }
+                    out
+                }
+            }
+        }
+    }
+
+    /// Logical shift right.
+    pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            None => LogicVec::filled_x(self.width),
+            Some(n) => {
+                if n as usize >= self.width {
+                    LogicVec::zeros(self.width)
+                } else {
+                    let n = n as usize;
+                    let mut out = LogicVec::zeros(self.width);
+                    for i in 0..self.width - n {
+                        out.set_bit(i, self.bit(i + n));
+                    }
+                    out
+                }
+            }
+        }
+    }
+
+    /// Arithmetic shift right (replicates the MSB).
+    pub fn ashr(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            None => LogicVec::filled_x(self.width),
+            Some(n) => {
+                let msb = self.bit(self.width - 1);
+                let n = (n as usize).min(self.width);
+                let mut out = LogicVec::zeros(self.width);
+                for i in 0..self.width {
+                    let b = if i + n < self.width { self.bit(i + n) } else { msb };
+                    out.set_bit(i, b);
+                }
+                out
+            }
+        }
+    }
+
+    // ---- formatting ----
+
+    /// Verilog `%b` formatting.
+    pub fn to_binary_string(&self) -> String {
+        (0..self.width)
+            .rev()
+            .map(|i| self.bit(i).to_char())
+            .collect()
+    }
+
+    /// Verilog `%h` formatting: a nibble containing any `x` prints `x`,
+    /// any `z` prints `z` (x wins over z when mixed).
+    pub fn to_hex_string(&self) -> String {
+        let nibbles = self.width.div_ceil(4);
+        let mut s = String::with_capacity(nibbles);
+        for n in (0..nibbles).rev() {
+            let mut v = 0u8;
+            let mut has_x = false;
+            let mut has_z = false;
+            let mut all_z = true;
+            for b in 0..4 {
+                let i = n * 4 + b;
+                if i >= self.width {
+                    all_z = false;
+                    continue;
+                }
+                match self.bit(i) {
+                    Bit::Zero => all_z = false,
+                    Bit::One => {
+                        v |= 1 << b;
+                        all_z = false;
+                    }
+                    Bit::X => {
+                        has_x = true;
+                        all_z = false;
+                    }
+                    Bit::Z => has_z = true,
+                }
+            }
+            if has_x {
+                s.push('x');
+            } else if all_z && has_z {
+                s.push('z');
+            } else if has_z {
+                s.push('x');
+            } else {
+                s.push(char::from_digit(v as u32, 16).expect("nibble in range"));
+            }
+        }
+        s
+    }
+
+    /// Verilog `%0d` formatting: decimal, or `x`/`z` when unknown.
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_fully_known() {
+            return self.to_decimal_known();
+        }
+        if self.is_fully_unknown() {
+            // all x -> "x", all z -> "z"
+            let all_z = (0..self.width).all(|i| self.bit(i) == Bit::Z);
+            if all_z {
+                return "z".to_string();
+            }
+            let all_x = (0..self.width).all(|i| self.bit(i) == Bit::X);
+            if all_x {
+                return "x".to_string();
+            }
+        }
+        "X".to_string()
+    }
+
+    fn to_decimal_known(&self) -> String {
+        if let Some(v) = self.to_u128() {
+            return v.to_string();
+        }
+        // Arbitrary width: repeated division by 10^19.
+        let mut words: Vec<u64> = self.val.clone();
+        let mut digits = String::new();
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        loop {
+            let mut rem: u64 = 0;
+            let mut all_zero = true;
+            for w in words.iter_mut().rev() {
+                let cur = ((rem as u128) << 64) | (*w as u128);
+                *w = (cur / CHUNK as u128) as u64;
+                rem = (cur % CHUNK as u128) as u64;
+                if *w != 0 {
+                    all_zero = false;
+                }
+            }
+            if all_zero {
+                digits.insert_str(0, &rem.to_string());
+                break;
+            } else {
+                digits.insert_str(0, &format!("{rem:019}"));
+            }
+        }
+        digits
+    }
+}
+
+impl fmt::Debug for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{}", self.width, self.to_binary_string())
+    }
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal_string())
+    }
+}
+
+impl fmt::Binary for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_binary_string())
+    }
+}
+
+impl fmt::LowerHex for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex_string())
+    }
+}
+
+impl From<bool> for LogicVec {
+    fn from(b: bool) -> Self {
+        LogicVec::from_bool(b)
+    }
+}
+
+impl From<Bit> for LogicVec {
+    fn from(b: Bit) -> Self {
+        LogicVec::from_bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut v = LogicVec::zeros(130);
+        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero].iter().cycle().take(130).enumerate() {
+            v.set_bit(i, *b);
+        }
+        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero].iter().cycle().take(130).enumerate() {
+            assert_eq!(v.bit(i), *b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn from_u64_masks_width() {
+        let v = LogicVec::from_u64(4, 0xff);
+        assert_eq!(v.to_u64(), Some(0xf));
+    }
+
+    #[test]
+    fn filled_x_unknown() {
+        let v = LogicVec::filled_x(7);
+        assert!(!v.is_fully_known());
+        assert!(v.is_fully_unknown());
+        assert_eq!(v.to_u64(), None);
+        assert_eq!(v.to_decimal_string(), "x");
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = LogicVec::from_u64(4, 0xf);
+        let b = LogicVec::from_u64(4, 1);
+        assert_eq!(a.add(&b).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn add_multiword_carry() {
+        let a = LogicVec::from_u128(128, u64::MAX as u128);
+        let b = LogicVec::from_u64(128, 1);
+        assert_eq!(a.add(&b).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = LogicVec::from_u64(8, 5);
+        let b = LogicVec::from_u64(8, 7);
+        assert_eq!(a.sub(&b).to_u64(), Some(0xfe)); // -2 mod 256
+        assert_eq!(b.neg().to_u64(), Some(0xf9));
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = LogicVec::from_u64(64, u64::MAX);
+        let b = LogicVec::from_u64(64, 3);
+        assert_eq!(a.mul(&b).to_u64(), Some(u64::MAX.wrapping_mul(3)));
+    }
+
+    #[test]
+    fn div_rem() {
+        let a = LogicVec::from_u64(8, 23);
+        let b = LogicVec::from_u64(8, 5);
+        assert_eq!(a.div(&b).to_u64(), Some(4));
+        assert_eq!(a.rem(&b).to_u64(), Some(3));
+        let z = LogicVec::zeros(8);
+        assert!(!a.div(&z).is_fully_known());
+    }
+
+    #[test]
+    fn arithmetic_x_poisons() {
+        let a = LogicVec::filled_x(8);
+        let b = LogicVec::from_u64(8, 3);
+        assert!(a.add(&b).is_fully_unknown());
+        assert!(b.sub(&a).is_fully_unknown());
+        assert!(a.mul(&b).is_fully_unknown());
+    }
+
+    #[test]
+    fn bitwise_x_rules() {
+        let x = LogicVec::filled_x(1);
+        let one = LogicVec::from_u64(1, 1);
+        let zero = LogicVec::zeros(1);
+        assert_eq!(zero.and(&x).bit(0), Bit::Zero);
+        assert_eq!(one.and(&x).bit(0), Bit::X);
+        assert_eq!(one.or(&x).bit(0), Bit::One);
+        assert_eq!(zero.or(&x).bit(0), Bit::X);
+        assert_eq!(one.xor(&x).bit(0), Bit::X);
+        assert_eq!(x.not().bit(0), Bit::X);
+    }
+
+    #[test]
+    fn z_treated_as_x_in_gates() {
+        let z = LogicVec::filled_z(1);
+        let one = LogicVec::from_u64(1, 1);
+        assert_eq!(one.and(&z).bit(0), Bit::X);
+        assert_eq!(one.or(&z).bit(0), Bit::One);
+    }
+
+    #[test]
+    fn reductions() {
+        let v = LogicVec::from_u64(4, 0b1011);
+        assert_eq!(v.reduce_and(), Bit::Zero);
+        assert_eq!(v.reduce_or(), Bit::One);
+        assert_eq!(v.reduce_xor(), Bit::One);
+        let ones = LogicVec::ones(4);
+        assert_eq!(ones.reduce_and(), Bit::One);
+        let mut withx = v.clone();
+        withx.set_bit(2, Bit::X);
+        assert_eq!(withx.reduce_or(), Bit::One); // known one dominates
+        assert_eq!(withx.reduce_xor(), Bit::X);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = LogicVec::from_u64(8, 0x80);
+        let b = LogicVec::from_u64(8, 0x01);
+        assert_eq!(a.lt(&b, false), Bit::Zero);
+        assert_eq!(a.lt(&b, true), Bit::One); // 0x80 = -128 signed
+        assert_eq!(a.eq_logic(&a.clone()), Bit::One);
+        assert_eq!(a.eq_logic(&b), Bit::Zero);
+        let x = LogicVec::filled_x(8);
+        assert_eq!(a.eq_logic(&x), Bit::X);
+        assert_eq!(x.eq_case(&LogicVec::filled_x(8)), Bit::One);
+    }
+
+    #[test]
+    fn casez_wildcards() {
+        let v = LogicVec::from_u64(4, 0b1010);
+        let mut pat = LogicVec::from_u64(4, 0b1000);
+        pat.set_bit(0, Bit::Z);
+        pat.set_bit(1, Bit::Z);
+        assert!(v.casez_match(&pat));
+        let pat2 = LogicVec::from_u64(4, 0b0000);
+        assert!(!v.casez_match(&pat2));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = LogicVec::from_u64(8, 0b1001_0110);
+        assert_eq!(v.shl(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b0101_1000));
+        assert_eq!(v.shr(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b0010_0101));
+        assert_eq!(v.ashr(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b1110_0101));
+        assert_eq!(v.shl(&LogicVec::from_u64(8, 200)).to_u64(), Some(0));
+        assert_eq!(v.ashr(&LogicVec::from_u64(8, 200)).to_u64(), Some(0xff));
+    }
+
+    #[test]
+    fn arithmetic_shift_known_case_shift18() {
+        // The paper's shift18 demo: 64-bit arithmetic shift right by 8.
+        let q = LogicVec::from_u64(64, 0x8000_0000_0000_0000);
+        let shifted = q.ashr(&LogicVec::from_u64(8, 8));
+        assert_eq!(shifted.to_u64(), Some(0xff80_0000_0000_0000));
+    }
+
+    #[test]
+    fn concat_repeat_slice() {
+        let a = LogicVec::from_u64(4, 0xa);
+        let b = LogicVec::from_u64(4, 0x5);
+        let c = a.concat(&b);
+        assert_eq!(c.width(), 8);
+        assert_eq!(c.to_u64(), Some(0xa5));
+        let r = b.repeat(3);
+        assert_eq!(r.width(), 12);
+        assert_eq!(r.to_u64(), Some(0x555));
+        assert_eq!(c.slice(4, 4).to_u64(), Some(0xa));
+        // out-of-range part select reads x
+        assert_eq!(c.slice(6, 4).bit(3), Bit::X);
+    }
+
+    #[test]
+    fn extends() {
+        let v = LogicVec::from_u64(4, 0b1010);
+        assert_eq!(v.zero_extend(8).to_u64(), Some(0b0000_1010));
+        assert_eq!(v.sign_extend(8).to_u64(), Some(0b1111_1010));
+        assert_eq!(v.sign_extend(2).to_u64(), Some(0b10));
+        let mut x = v.clone();
+        x.set_bit(3, Bit::X);
+        assert_eq!(x.sign_extend(6).bit(5), Bit::X);
+    }
+
+    #[test]
+    fn to_i64_signed() {
+        let v = LogicVec::from_u64(4, 0b1010);
+        assert_eq!(v.to_i64(), Some(-6));
+        let w = LogicVec::from_u64(4, 0b0101);
+        assert_eq!(w.to_i64(), Some(5));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(LogicVec::zeros(8).truthy(), Bit::Zero);
+        assert_eq!(LogicVec::from_u64(8, 2).truthy(), Bit::One);
+        assert_eq!(LogicVec::filled_x(8).truthy(), Bit::X);
+        let mut v = LogicVec::filled_x(8);
+        v.set_bit(3, Bit::One);
+        assert_eq!(v.truthy(), Bit::One);
+    }
+
+    #[test]
+    fn formatting() {
+        let v = LogicVec::from_u64(8, 0xa5);
+        assert_eq!(v.to_binary_string(), "10100101");
+        assert_eq!(v.to_hex_string(), "a5");
+        assert_eq!(v.to_decimal_string(), "165");
+        let mut w = v.clone();
+        w.set_bit(0, Bit::X);
+        assert_eq!(w.to_hex_string(), "ax");
+        assert_eq!(w.to_decimal_string(), "X");
+        assert_eq!(format!("{:b}", v), "10100101");
+        assert_eq!(format!("{:x}", v), "a5");
+    }
+
+    #[test]
+    fn decimal_wide() {
+        let v = LogicVec::from_u128(128, u128::MAX);
+        assert_eq!(v.to_decimal_string(), u128::MAX.to_string());
+        let big = LogicVec::ones(192);
+        // 2^192 - 1
+        assert_eq!(
+            big.to_decimal_string(),
+            "6277101735386680763835789423207666416102355444464034512895"
+        );
+    }
+
+    #[test]
+    fn from_bits_msb_first_order() {
+        let v = LogicVec::from_bits_msb_first(&[Bit::One, Bit::Zero, Bit::X, Bit::One]);
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.bit(3), Bit::One);
+        assert_eq!(v.bit(2), Bit::Zero);
+        assert_eq!(v.bit(1), Bit::X);
+        assert_eq!(v.bit(0), Bit::One);
+    }
+}

@@ -1,0 +1,799 @@
+//! Event-driven simulation of an elaborated [`Design`].
+//!
+//! The scheduler follows the usual stratified event regions: at each
+//! simulation time, *active* events (process resumptions and continuous
+//! assignment re-evaluations) run to exhaustion, then queued non-blocking
+//! assignments commit as one batch (possibly waking more active events —
+//! a delta cycle), and only when both are empty does time advance to the
+//! next scheduled delay. Combinational oscillation is caught by a
+//! delta-cycle limit; runaway testbenches by a global event budget.
+
+use crate::design::*;
+use crate::error::SimError;
+use crate::logic::{Bit, LogicVec};
+use crate::sysfmt::format_display;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Limits protecting the simulator from pathological generated code.
+#[derive(Clone, Copy, Debug)]
+pub struct SimLimits {
+    /// Max delta cycles within one simulation time before
+    /// [`SimError::DeltaOverflow`].
+    pub max_deltas: usize,
+    /// Max total executed instructions before
+    /// [`SimError::EventBudgetExhausted`].
+    pub max_steps: u64,
+    /// Simulation stops (cleanly) at this time if `$finish` never runs.
+    pub max_time: u64,
+}
+
+impl Default for SimLimits {
+    fn default() -> Self {
+        SimLimits {
+            max_deltas: 4096,
+            max_steps: 10_000_000,
+            max_time: 1_000_000,
+        }
+    }
+}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// Lines captured from `$display`/`$fdisplay`/`$write`/`$fwrite`.
+    pub lines: Vec<String>,
+    /// Final simulation time.
+    pub end_time: u64,
+    /// `true` when the run ended via `$finish` (vs. event exhaustion or
+    /// hitting `max_time`).
+    pub finished: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProcStatus {
+    Ready,
+    Waiting,
+    Done,
+}
+
+struct ProcState {
+    pc: usize,
+    status: ProcStatus,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Activation {
+    Process(usize),
+    Assign(usize),
+}
+
+/// Watcher entry: who wakes when a signal changes.
+#[derive(Clone, Copy, Debug)]
+enum Watcher {
+    /// Continuous assignment index (level-sensitive, permanent).
+    Assign(usize),
+    /// Process waiting on an edge (one-shot; re-armed by `WaitEvent`).
+    Process { idx: usize, edge: crate::ast::Edge },
+}
+
+/// An event-driven simulator over an elaborated design.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use correctbench_verilog::{parse, elaborate, Simulator};
+///
+/// let src = "
+///   module tb;
+///     reg [3:0] a;
+///     wire [3:0] y;
+///     assign y = a + 4'd1;
+///     initial begin
+///       a = 4'd2;
+///       #1 $display(\"y=%0d\", y);
+///       $finish;
+///     end
+///   endmodule";
+/// let design = elaborate(&parse(src)?, "tb")?;
+/// let out = Simulator::new(&design).run()?;
+/// assert_eq!(out.lines, vec!["y=3".to_string()]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'d> {
+    design: &'d Design,
+    values: Vec<LogicVec>,
+    time: u64,
+    procs: Vec<ProcState>,
+    sig_watchers: Vec<Vec<Watcher>>,
+    active: VecDeque<Activation>,
+    /// Pending NBA commits: (signal, low bit, value).
+    nba: Vec<(SignalId, usize, LogicVec)>,
+    timed: BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    lines: Vec<String>,
+    finished: bool,
+    limits: SimLimits,
+    steps: u64,
+}
+
+struct Store<'a> {
+    values: &'a [LogicVec],
+    time: u64,
+}
+
+impl SigRead for Store<'_> {
+    fn read(&self, id: SignalId) -> &LogicVec {
+        &self.values[id.0 as usize]
+    }
+    fn now(&self) -> u64 {
+        self.time
+    }
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator with default [`SimLimits`].
+    pub fn new(design: &'d Design) -> Self {
+        Self::with_limits(design, SimLimits::default())
+    }
+
+    /// Creates a simulator with explicit limits.
+    pub fn with_limits(design: &'d Design, limits: SimLimits) -> Self {
+        let values = design
+            .signals
+            .iter()
+            .map(|s| LogicVec::filled_x(s.width))
+            .collect();
+        let procs = design
+            .processes
+            .iter()
+            .map(|_| ProcState {
+                pc: 0,
+                status: ProcStatus::Ready,
+            })
+            .collect();
+        let mut sig_watchers: Vec<Vec<Watcher>> = vec![Vec::new(); design.signals.len()];
+        for (i, a) in design.assigns.iter().enumerate() {
+            for s in &a.reads {
+                sig_watchers[s.0 as usize].push(Watcher::Assign(i));
+            }
+        }
+        Simulator {
+            design,
+            values,
+            time: 0,
+            procs,
+            sig_watchers,
+            active: VecDeque::new(),
+            nba: Vec::new(),
+            timed: BinaryHeap::new(),
+            seq: 0,
+            lines: Vec::new(),
+            finished: false,
+            limits,
+            steps: 0,
+        }
+    }
+
+    /// Runs to `$finish`, event exhaustion, or `max_time`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeltaOverflow`] on combinational loops,
+    /// [`SimError::EventBudgetExhausted`] when the instruction budget runs
+    /// out (runaway zero-delay loops).
+    pub fn run(mut self) -> Result<SimOutput, SimError> {
+        // Time zero: all continuous assignments evaluate once, every
+        // process starts.
+        for i in 0..self.design.assigns.len() {
+            self.active.push_back(Activation::Assign(i));
+        }
+        for i in 0..self.design.processes.len() {
+            self.active.push_back(Activation::Process(i));
+        }
+        self.settle()?;
+        while !self.finished {
+            let Some(std::cmp::Reverse((t, _, proc))) = self.timed.pop() else {
+                break;
+            };
+            if t > self.limits.max_time {
+                break;
+            }
+            self.time = t;
+            self.procs[proc].status = ProcStatus::Ready;
+            self.active.push_back(Activation::Process(proc));
+            // Pull in everything else scheduled for the same instant.
+            while let Some(std::cmp::Reverse((t2, _, _))) = self.timed.peek() {
+                if *t2 != t {
+                    break;
+                }
+                let Some(std::cmp::Reverse((_, _, p2))) = self.timed.pop() else {
+                    break;
+                };
+                self.procs[p2].status = ProcStatus::Ready;
+                self.active.push_back(Activation::Process(p2));
+            }
+            self.settle()?;
+        }
+        Ok(SimOutput {
+            lines: self.lines,
+            end_time: self.time,
+            finished: self.finished,
+        })
+    }
+
+    /// Runs the active/NBA delta loop at the current time.
+    fn settle(&mut self) -> Result<(), SimError> {
+        let mut deltas = 0usize;
+        // Oscillation through continuous assignments alone never touches
+        // the NBA queue, so the activation count itself must be bounded.
+        let mut activations = 0usize;
+        let activation_budget = self
+            .limits
+            .max_deltas
+            .saturating_mul(self.design.assigns.len() + self.design.processes.len() + 1);
+        loop {
+            while let Some(act) = self.active.pop_front() {
+                if self.finished {
+                    return Ok(());
+                }
+                activations += 1;
+                if activations > activation_budget {
+                    return Err(SimError::DeltaOverflow { time: self.time });
+                }
+                match act {
+                    Activation::Assign(i) => self.eval_assign(i)?,
+                    Activation::Process(i) => self.run_process(i)?,
+                }
+            }
+            if self.nba.is_empty() {
+                return Ok(());
+            }
+            deltas += 1;
+            if deltas > self.limits.max_deltas {
+                return Err(SimError::DeltaOverflow { time: self.time });
+            }
+            let updates = std::mem::take(&mut self.nba);
+            for (sig, lo, value) in updates {
+                self.commit_bits(sig, lo, &value);
+            }
+        }
+    }
+
+    fn eval_assign(&mut self, i: usize) -> Result<(), SimError> {
+        let a = &self.design.assigns[i];
+        let lhs_width = a.lhs.width(self.design);
+        let store = Store {
+            values: &self.values,
+            time: self.time,
+        };
+        let value = eval(&a.rhs, lhs_width.max(a.rhs.width), &store);
+        let value = value.resize(lhs_width, a.rhs.signed);
+        let lhs = a.lhs.clone();
+        self.write_lvalue(&lhs, value)?;
+        Ok(())
+    }
+
+    fn run_process(&mut self, i: usize) -> Result<(), SimError> {
+        loop {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(SimError::EventBudgetExhausted);
+            }
+            let code = &self.design.processes[i].code;
+            let pc = self.procs[i].pc;
+            let Some(instr) = code.get(pc) else {
+                self.procs[i].status = ProcStatus::Done;
+                return Ok(());
+            };
+            match instr.clone() {
+                Instr::Assign(lhs, rhs) => {
+                    let lhs_width = lhs.width(self.design);
+                    let store = Store {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    let v = eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
+                    self.write_lvalue(&lhs, v)?;
+                    self.procs[i].pc = pc + 1;
+                }
+                Instr::NbAssign(lhs, rhs) => {
+                    let lhs_width = lhs.width(self.design);
+                    let store = Store {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    let v = eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
+                    self.schedule_nba(&lhs, v)?;
+                    self.procs[i].pc = pc + 1;
+                }
+                Instr::JumpIfFalse(cond, target) => {
+                    let store = Store {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    let t = eval(&cond, cond.width, &store).truthy();
+                    self.procs[i].pc = if t == Bit::One { pc + 1 } else { target };
+                }
+                Instr::Jump(target) => {
+                    self.procs[i].pc = target;
+                }
+                Instr::CaseJump {
+                    expr,
+                    kind,
+                    arms,
+                    default,
+                } => {
+                    let store = Store {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    let sel_w = arms
+                        .iter()
+                        .flat_map(|(ls, _)| ls.iter().map(|l| l.width))
+                        .fold(expr.width, usize::max);
+                    let sel = eval(&expr, sel_w, &store);
+                    let mut target = default;
+                    'arms: for (labels, t) in &arms {
+                        for l in labels {
+                            let lv = eval(l, sel_w, &store);
+                            let hit = match kind {
+                                crate::ast::CaseKind::Case => sel.eq_case(&lv) == Bit::One,
+                                crate::ast::CaseKind::Casez => sel.casez_match(&lv),
+                                crate::ast::CaseKind::Casex => casex_match(&sel, &lv),
+                            };
+                            if hit {
+                                target = *t;
+                                break 'arms;
+                            }
+                        }
+                    }
+                    self.procs[i].pc = target;
+                }
+                Instr::Delay(d) => {
+                    self.procs[i].pc = pc + 1;
+                    self.procs[i].status = ProcStatus::Waiting;
+                    self.seq += 1;
+                    self.timed
+                        .push(std::cmp::Reverse((self.time + d.max(0), self.seq, i)));
+                    return Ok(());
+                }
+                Instr::WaitEvent(edges) => {
+                    self.procs[i].pc = pc + 1;
+                    self.procs[i].status = ProcStatus::Waiting;
+                    for (edge, sig) in edges {
+                        self.sig_watchers[sig.0 as usize].push(Watcher::Process { idx: i, edge });
+                    }
+                    return Ok(());
+                }
+                Instr::SysCall { name, args } => {
+                    self.syscall(&name, &args);
+                    if self.finished {
+                        return Ok(());
+                    }
+                    self.procs[i].pc = pc + 1;
+                }
+                Instr::Halt => {
+                    self.procs[i].status = ProcStatus::Done;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn syscall(&mut self, name: &str, args: &[RSysArg]) {
+        match name {
+            "$finish" | "$stop" => {
+                self.finished = true;
+            }
+            "$display" | "$write" => {
+                let line = self.render(args, 0);
+                self.lines.push(line);
+            }
+            "$fdisplay" | "$fwrite" => {
+                // First argument is the file descriptor; we capture
+                // everything into one stream.
+                let line = self.render(args, 1);
+                self.lines.push(line);
+            }
+            "$monitor" | "$fopen" | "$fclose" | "$dumpfile" | "$dumpvars" => {
+                // Accepted but inert: generated testbenches sometimes emit
+                // these; Icarus would honour them, we do not need to.
+            }
+            _ => {}
+        }
+    }
+
+    fn render(&self, args: &[RSysArg], skip: usize) -> String {
+        let store = Store {
+            values: &self.values,
+            time: self.time,
+        };
+        let args = &args[skip.min(args.len())..];
+        let (fmt, rest): (String, &[RSysArg]) = match args.first() {
+            Some(RSysArg::Str(s)) => (s.clone(), &args[1..]),
+            _ => {
+                // No format string: default-format every argument.
+                let mut parts = Vec::new();
+                for a in args {
+                    if let RSysArg::Expr(e) = a {
+                        parts.push(eval(e, e.width, &store).to_decimal_string());
+                    }
+                }
+                return parts.join(" ");
+            }
+        };
+        let values: Vec<LogicVec> = rest
+            .iter()
+            .filter_map(|a| match a {
+                RSysArg::Expr(e) => Some(eval(e, e.width, &store)),
+                RSysArg::Str(_) => None,
+            })
+            .collect();
+        format_display(&fmt, &values, self.time)
+    }
+
+    /// Immediately writes `value` through an lvalue (blocking semantics).
+    fn write_lvalue(&mut self, lhs: &RLValue, value: LogicVec) -> Result<(), SimError> {
+        match lhs {
+            RLValue::Sig(s) => {
+                self.commit_bits(*s, 0, &value);
+                Ok(())
+            }
+            RLValue::Part(s, lo, w) => {
+                self.commit_bits(*s, *lo, &value.slice(0, *w));
+                Ok(())
+            }
+            RLValue::Bit(s, idx) => {
+                let store = Store {
+                    values: &self.values,
+                    time: self.time,
+                };
+                let i = eval(idx, idx.width, &store);
+                if let Some(i) = i.to_u64() {
+                    let width = self.design.signal(*s).width;
+                    if (i as usize) < width {
+                        self.commit_bits(*s, i as usize, &value.slice(0, 1));
+                    }
+                }
+                Ok(())
+            }
+            RLValue::IndexedPart(s, base, w) => {
+                let store = Store {
+                    values: &self.values,
+                    time: self.time,
+                };
+                let b = eval(base, base.width, &store);
+                if let Some(lo) = b.to_u64() {
+                    self.commit_bits(*s, lo as usize, &value.slice(0, *w));
+                }
+                Ok(())
+            }
+            RLValue::Concat(parts) => {
+                // MSB-first: the last part takes the low bits.
+                let mut lo = 0usize;
+                for part in parts.iter().rev() {
+                    let w = part.width(self.design);
+                    let chunk = value.slice(lo, w);
+                    self.write_lvalue(part, chunk)?;
+                    lo += w;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Schedules an NBA update.
+    fn schedule_nba(&mut self, lhs: &RLValue, value: LogicVec) -> Result<(), SimError> {
+        match lhs {
+            RLValue::Sig(s) => {
+                self.nba.push((*s, 0, value));
+                Ok(())
+            }
+            RLValue::Part(s, lo, w) => {
+                self.nba.push((*s, *lo, value.slice(0, *w)));
+                Ok(())
+            }
+            RLValue::Bit(s, idx) => {
+                let store = Store {
+                    values: &self.values,
+                    time: self.time,
+                };
+                if let Some(i) = eval(idx, idx.width, &store).to_u64() {
+                    let width = self.design.signal(*s).width;
+                    if (i as usize) < width {
+                        self.nba.push((*s, i as usize, value.slice(0, 1)));
+                    }
+                }
+                Ok(())
+            }
+            RLValue::IndexedPart(s, base, w) => {
+                let store = Store {
+                    values: &self.values,
+                    time: self.time,
+                };
+                if let Some(lo) = eval(base, base.width, &store).to_u64() {
+                    self.nba.push((*s, lo as usize, value.slice(0, *w)));
+                }
+                Ok(())
+            }
+            RLValue::Concat(parts) => {
+                let mut lo = 0usize;
+                for part in parts.iter().rev() {
+                    let w = part.width(self.design);
+                    let chunk = value.slice(lo, w);
+                    self.schedule_nba(part, chunk)?;
+                    lo += w;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Writes `bits` into `sig` starting at `lo`, firing watchers when the
+    /// stored value actually changes.
+    fn commit_bits(&mut self, sig: SignalId, lo: usize, bits: &LogicVec) {
+        let slot = &mut self.values[sig.0 as usize];
+        let width = slot.width();
+        if lo >= width {
+            return;
+        }
+        let old_lsb = slot.bit(0);
+        let mut new = slot.clone();
+        for i in 0..bits.width().min(width - lo) {
+            new.set_bit(lo + i, bits.bit(i));
+        }
+        if new == *slot {
+            return;
+        }
+        *slot = new;
+        let new_lsb = self.values[sig.0 as usize].bit(0);
+
+        // Wake watchers. Edge-qualified watchers look at bit 0 (clocks and
+        // resets are 1-bit in practice).
+        let watchers = std::mem::take(&mut self.sig_watchers[sig.0 as usize]);
+        let mut keep = Vec::with_capacity(watchers.len());
+        for w in watchers {
+            match w {
+                Watcher::Assign(i) => {
+                    self.active.push_back(Activation::Assign(i));
+                    keep.push(w);
+                }
+                Watcher::Process { idx, edge } => {
+                    let fire = match edge {
+                        crate::ast::Edge::Any => true,
+                        crate::ast::Edge::Pos => old_lsb != Bit::One && new_lsb == Bit::One,
+                        crate::ast::Edge::Neg => old_lsb != Bit::Zero && new_lsb == Bit::Zero,
+                    };
+                    if fire && self.procs[idx].status == ProcStatus::Waiting {
+                        self.procs[idx].status = ProcStatus::Ready;
+                        self.active.push_back(Activation::Process(idx));
+                        self.remove_process_watchers(idx, sig);
+                    } else if fire {
+                        // Already woken via another signal this delta;
+                        // watcher is stale either way.
+                    } else {
+                        keep.push(w);
+                    }
+                }
+            }
+        }
+        self.sig_watchers[sig.0 as usize] = keep;
+    }
+
+    /// Removes the remaining one-shot watchers of `proc` from every other
+    /// signal (it woke via `except`, whose list is being rebuilt by the
+    /// caller).
+    fn remove_process_watchers(&mut self, proc: usize, except: SignalId) {
+        for (s, ws) in self.sig_watchers.iter_mut().enumerate() {
+            if s == except.0 as usize {
+                continue;
+            }
+            ws.retain(|w| !matches!(w, Watcher::Process { idx, .. } if *idx == proc));
+        }
+    }
+
+    /// Reads a signal's current value (test and harness access).
+    pub fn value(&self, sig: SignalId) -> &LogicVec {
+        &self.values[sig.0 as usize]
+    }
+}
+
+fn casex_match(sel: &LogicVec, pat: &LogicVec) -> bool {
+    let width = sel.width().max(pat.width());
+    let a = sel.zero_extend(width);
+    let p = pat.zero_extend(width);
+    for i in 0..width {
+        let pb = p.bit(i);
+        let ab = a.bit(i);
+        if !pb.is_known() || !ab.is_known() {
+            continue;
+        }
+        if pb != ab {
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience: parse, elaborate and simulate `src` with `top` as the root.
+///
+/// # Errors
+///
+/// Any [`crate::error::VerilogError`] from the front end or the run.
+pub fn run_source(src: &str, top: &str) -> Result<SimOutput, crate::error::VerilogError> {
+    let file = crate::parser::parse(src)?;
+    let design = crate::elaborate::elaborate(&file, top)?;
+    Ok(Simulator::new(&design).run()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, top: &str) -> SimOutput {
+        run_source(src, top).expect("simulation ok")
+    }
+
+    #[test]
+    fn combinational_assign() {
+        let out = run(
+            "module tb;\nreg [3:0] a, b;\nwire [3:0] y;\nassign y = a + b;\ninitial begin\na = 4'd3; b = 4'd4;\n#1 $display(\"y=%0d\", y);\na = 4'd9;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["y=7", "y=13"]);
+        assert!(out.finished);
+    }
+
+    #[test]
+    fn clocked_register() {
+        let out = run(
+            "module tb;\nreg clk, d;\nreg q;\nalways @(posedge clk) q <= d;\ninitial begin\nclk = 0; d = 1;\n#1 $display(\"q=%b\", q);\n#4 clk = 1;\n#1 $display(\"q=%b\", q);\nd = 0;\n#4 clk = 0;\n#5 clk = 1;\n#1 $display(\"q=%b\", q);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["q=x", "q=1", "q=0"]);
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        let out = run(
+            "module tb;\nreg clk;\nreg [3:0] a, b;\nalways @(posedge clk) begin a <= b; b <= a; end\ninitial begin\nclk = 0; a = 4'd1; b = 4'd2;\n#5 clk = 1;\n#1 $display(\"a=%0d b=%0d\", a, b);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["a=2 b=1"]);
+    }
+
+    #[test]
+    fn clock_generator_and_counter() {
+        let out = run(
+            "module tb;\nreg clk = 0;\nalways #5 clk = ~clk;\nreg [7:0] n = 0;\nalways @(posedge clk) n <= n + 8'd1;\ninitial begin\n#52 $display(\"n=%0d\", n);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        // Posedges at 5,15,25,35,45 -> n == 5 at t=52.
+        assert_eq!(out.lines, vec!["n=5"]);
+    }
+
+    #[test]
+    fn dut_instance() {
+        let out = run(
+            "module add1(input [3:0] a, output [3:0] y);\nassign y = a + 4'd1;\nendmodule\nmodule tb;\nreg [3:0] a;\nwire [3:0] y;\nadd1 dut(.a(a), .y(y));\ninitial begin\na = 4'd7;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["y=8"]);
+    }
+
+    #[test]
+    fn always_star_mux() {
+        let out = run(
+            "module tb;\nreg s;\nreg [3:0] a, b;\nreg [3:0] y;\nalways @(*) begin if (s) y = a; else y = b; end\ninitial begin\na = 4'd10; b = 4'd5; s = 0;\n#1 $display(\"y=%0d\", y);\ns = 1;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["y=5", "y=10"]);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let r = run_source(
+            "module tb;\nwire a, b;\nassign a = ~b;\nassign b = ~a;\ninitial #1 $finish;\nendmodule",
+            "tb",
+        );
+        // a and b start x; ~x = x, so this particular loop actually
+        // settles. Make a real oscillator with known values instead.
+        assert!(r.is_ok());
+        // A ring that escapes the x fixpoint via ===, then oscillates.
+        let r2 = run_source(
+            "module tb;\nwire a, b;\nassign a = (b === 1'bx) ? 1'b0 : ~b;\nassign b = a;\ninitial #1 $finish;\nendmodule",
+            "tb",
+        );
+        match r2 {
+            Err(crate::error::VerilogError::Sim(SimError::DeltaOverflow { .. })) => {}
+            other => panic!("expected delta overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_delay_runaway_caught() {
+        let src = "module tb;\nreg x;\ninitial begin x = 0; forever begin #0; x = ~x; end end\nendmodule";
+        // #0 delays still advance the queue at the same time; the step
+        // budget eventually trips.
+        let file = crate::parser::parse(src).expect("parse");
+        let design = crate::elaborate::elaborate(&file, "tb").expect("elab");
+        let limits = SimLimits {
+            max_steps: 10_000,
+            ..SimLimits::default()
+        };
+        let r = Simulator::with_limits(&design, limits).run();
+        assert!(matches!(r, Err(SimError::EventBudgetExhausted)));
+    }
+
+    #[test]
+    fn for_loop_popcount() {
+        let out = run(
+            "module tb;\nreg [7:0] v;\nreg [3:0] n;\ninteger i;\ninitial begin\nv = 8'b1011_0110;\nn = 0;\nfor (i = 0; i < 8; i = i + 1) if (v[i]) n = n + 1;\n$display(\"n=%0d\", n);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["n=5"]);
+    }
+
+    #[test]
+    fn case_statement() {
+        let out = run(
+            "module tb;\nreg [1:0] s;\nreg [3:0] y;\nalways @(*) begin\ncase (s)\n2'd0: y = 4'd1;\n2'd1: y = 4'd2;\ndefault: y = 4'd15;\nendcase\nend\ninitial begin\ns = 2'd0; #1 $display(\"%0d\", y);\ns = 2'd1; #1 $display(\"%0d\", y);\ns = 2'd3; #1 $display(\"%0d\", y);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["1", "2", "15"]);
+    }
+
+    #[test]
+    fn event_wait_in_initial() {
+        let out = run(
+            "module tb;\nreg clk = 0;\nalways #5 clk = ~clk;\ninitial begin\n@(posedge clk);\n$display(\"t=%0d\", $time);\n@(posedge clk);\n$display(\"t=%0d\", $time);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["t=5", "t=15"]);
+    }
+
+    #[test]
+    fn part_select_write() {
+        let out = run(
+            "module tb;\nreg [7:0] v;\ninitial begin\nv = 8'h00;\nv[3:0] = 4'hf;\nv[6] = 1'b1;\n$display(\"%h\", v);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["4f"]);
+    }
+
+    #[test]
+    fn concat_lvalue() {
+        let out = run(
+            "module tb;\nreg [3:0] hi, lo;\ninitial begin\n{hi, lo} = 8'hA5;\n$display(\"%h %h\", hi, lo);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["a 5"]);
+    }
+
+    #[test]
+    fn max_time_stops_unfinished_run() {
+        let src = "module tb;\nreg clk = 0;\nalways #5 clk = ~clk;\nendmodule";
+        let file = crate::parser::parse(src).expect("parse");
+        let design = crate::elaborate::elaborate(&file, "tb").expect("elab");
+        let limits = SimLimits {
+            max_time: 100,
+            ..SimLimits::default()
+        };
+        let out = Simulator::with_limits(&design, limits).run().expect("run");
+        assert!(!out.finished);
+        assert!(out.end_time <= 105);
+    }
+
+    #[test]
+    fn sequential_sr_with_sync_reset() {
+        let out = run(
+            "module tb;\nreg clk = 0, rst;\nalways #5 clk = ~clk;\nreg [3:0] q;\nalways @(posedge clk) begin\nif (rst) q <= 4'd0; else q <= q + 4'd1;\nend\ninitial begin\nrst = 1;\n#12 rst = 0;\n#40 $display(\"q=%0d\", q);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        // Posedges: 5 (rst), 15,25,35,45 counting -> q=4 at t=52.
+        assert_eq!(out.lines, vec!["q=4"]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: `LogicVec` arithmetic and bit manipulation agree with
+//! native integer semantics on fully-known values of width ≤ 64.
+
+use correctbench_verilog::logic::{Bit, LogicVec};
+use proptest::prelude::*;
+
+fn mask(width: usize) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_native(a: u64, b: u64, width in 1usize..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.add(&vb).to_u64(), Some((a & m).wrapping_add(b & m) & m));
+    }
+
+    #[test]
+    fn sub_matches_native(a: u64, b: u64, width in 1usize..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.sub(&vb).to_u64(), Some((a & m).wrapping_sub(b & m) & m));
+    }
+
+    #[test]
+    fn mul_matches_native(a: u64, b: u64, width in 1usize..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.mul(&vb).to_u64(), Some((a & m).wrapping_mul(b & m) & m));
+    }
+
+    #[test]
+    fn divrem_matches_native(a: u64, b in 1u64.., width in 1usize..=64) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        prop_assume!(b != 0);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.div(&vb).to_u64(), Some(a / b));
+        prop_assert_eq!(va.rem(&vb).to_u64(), Some(a % b));
+    }
+
+    #[test]
+    fn bitwise_matches_native(a: u64, b: u64, width in 1usize..=64) {
+        let m = mask(width);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.and(&vb).to_u64(), Some(a & b & m));
+        prop_assert_eq!(va.or(&vb).to_u64(), Some((a | b) & m));
+        prop_assert_eq!(va.xor(&vb).to_u64(), Some((a ^ b) & m));
+        prop_assert_eq!(va.not().to_u64(), Some(!a & m));
+    }
+
+    #[test]
+    fn shifts_match_native(a: u64, n in 0u64..80, width in 1usize..=64) {
+        let m = mask(width);
+        let a = a & m;
+        let va = LogicVec::from_u64(width, a);
+        let vn = LogicVec::from_u64(7, n);
+        let shl = if n as usize >= width { 0 } else { (a << n) & m };
+        let shr = if n as usize >= width { 0 } else { a >> n };
+        prop_assert_eq!(va.shl(&vn).to_u64(), Some(shl));
+        prop_assert_eq!(va.shr(&vn).to_u64(), Some(shr));
+    }
+
+    #[test]
+    fn ashr_matches_native(a: u64, n in 0u64..80, width in 1usize..=63) {
+        let m = mask(width);
+        let a = a & m;
+        let va = LogicVec::from_u64(width, a);
+        let vn = LogicVec::from_u64(7, n);
+        // sign-extend a to i64 at `width`, shift, re-mask
+        let sign = (a >> (width - 1)) & 1;
+        let ext = if sign == 1 { a | !m } else { a };
+        let shifted = ((ext as i64) >> n.min(63)) as u64 & m;
+        prop_assert_eq!(va.ashr(&vn).to_u64(), Some(shifted));
+    }
+
+    #[test]
+    fn comparison_matches_native(a: u64, b: u64, width in 1usize..=64) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.lt(&vb, false) == Bit::One, a < b);
+        prop_assert_eq!(va.eq_logic(&vb) == Bit::One, a == b);
+    }
+
+    #[test]
+    fn signed_comparison_matches_native(a: u64, b: u64, width in 2usize..=63) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        let sext = |v: u64| {
+            let sign = (v >> (width - 1)) & 1;
+            if sign == 1 { (v | !m) as i64 } else { v as i64 }
+        };
+        let va = LogicVec::from_u64(width, a);
+        let vb = LogicVec::from_u64(width, b);
+        prop_assert_eq!(va.lt(&vb, true) == Bit::One, sext(a) < sext(b));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(hi: u64, lo: u64, wh in 1usize..=32, wl in 1usize..=32) {
+        let vh = LogicVec::from_u64(wh, hi);
+        let vl = LogicVec::from_u64(wl, lo);
+        let c = vh.concat(&vl);
+        prop_assert_eq!(c.width(), wh + wl);
+        prop_assert_eq!(c.slice(0, wl), vl);
+        prop_assert_eq!(c.slice(wl, wh), vh);
+    }
+
+    #[test]
+    fn repeat_width_and_content(v: u64, w in 1usize..=16, n in 1usize..=5) {
+        let lv = LogicVec::from_u64(w, v);
+        let r = lv.repeat(n);
+        prop_assert_eq!(r.width(), w * n);
+        for k in 0..n {
+            prop_assert_eq!(r.slice(k * w, w), lv.clone());
+        }
+    }
+
+    #[test]
+    fn extend_preserves_value(v: u64, w in 1usize..=32, extra in 0usize..=32) {
+        let m = mask(w);
+        let lv = LogicVec::from_u64(w, v);
+        prop_assert_eq!(lv.zero_extend(w + extra).to_u64(), Some(v & m));
+        let signed = lv.sign_extend(w + extra);
+        let sign = ((v & m) >> (w - 1)) & 1;
+        let expect = if sign == 1 && extra > 0 {
+            (v & m) | (mask(w + extra) & !m)
+        } else {
+            v & m
+        };
+        prop_assert_eq!(signed.to_u64(), Some(expect & mask(w + extra)));
+    }
+
+    #[test]
+    fn reductions_match_native(v: u64, w in 1usize..=64) {
+        let m = mask(w);
+        let v = v & m;
+        let lv = LogicVec::from_u64(w, v);
+        prop_assert_eq!(lv.reduce_and() == Bit::One, v == m);
+        prop_assert_eq!(lv.reduce_or() == Bit::One, v != 0);
+        prop_assert_eq!(lv.reduce_xor() == Bit::One, v.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn decimal_string_roundtrips(v: u64, w in 1usize..=64) {
+        let m = mask(w);
+        let lv = LogicVec::from_u64(w, v);
+        prop_assert_eq!(lv.to_decimal_string(), (v & m).to_string());
+    }
+
+    #[test]
+    fn x_poisoning_is_total(width in 1usize..=64, v: u64) {
+        let x = LogicVec::filled_x(width);
+        let known = LogicVec::from_u64(width, v);
+        prop_assert!(x.add(&known).is_fully_unknown());
+        prop_assert!(known.mul(&x).is_fully_unknown());
+        prop_assert_eq!(known.eq_logic(&x), Bit::X);
+    }
+}

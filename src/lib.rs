@@ -1,0 +1,23 @@
+//! Facade crate for the CorrectBench reproduction workspace.
+//!
+//! Re-exports every subsystem under one roof so examples and integration
+//! tests can `use correctbench_suite::...`. See the individual crates for
+//! full documentation:
+//!
+//! * [`verilog`] — Verilog front end + event-driven simulator;
+//! * [`checker`] — checker IR (the Python-checker analog);
+//! * [`dataset`] — the 156-problem task suite;
+//! * [`llm`] — LLM client abstraction + calibrated simulation;
+//! * [`tbgen`] — scenarios, driver codegen, hybrid-TB runner;
+//! * [`core`] — the CorrectBench pipeline (generator/validator/corrector/agent);
+//! * [`autoeval`] — Eval0/1/2 harness.
+
+#![warn(missing_docs)]
+
+pub use correctbench as core;
+pub use correctbench_autoeval as autoeval;
+pub use correctbench_checker as checker;
+pub use correctbench_dataset as dataset;
+pub use correctbench_llm as llm;
+pub use correctbench_tbgen as tbgen;
+pub use correctbench_verilog as verilog;
