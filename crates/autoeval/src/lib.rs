@@ -16,7 +16,9 @@
 use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
 use correctbench_llm::CheckerArtifact;
-use correctbench_tbgen::{generate_driver, generate_scenarios, run_testbench_parsed, ScenarioResult};
+use correctbench_tbgen::{
+    generate_driver, generate_scenarios, run_testbench_parsed, ScenarioResult,
+};
 use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
 use rand::rngs::StdRng;
@@ -92,7 +94,11 @@ fn tb_report(
             if !any_seen {
                 return None;
             }
-            Some(!run.results.iter().any(|r| matches!(r, ScenarioResult::Fail)))
+            Some(
+                !run.results
+                    .iter()
+                    .any(|r| matches!(r, ScenarioResult::Fail)),
+            )
         }
         Err(_) => None,
     }
@@ -103,13 +109,13 @@ fn tb_report(
 pub fn eval2_mutants(problem: &Problem, seed: u64) -> Vec<String> {
     let golden = correctbench_verilog::parse(&problem.golden_rtl)
         .expect("golden RTL parses by dataset invariant");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xe7a1_2);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x000e_7a12);
     let mut mutants = Vec::with_capacity(EVAL2_MUTANTS);
     let mut guard = 0;
     while mutants.len() < EVAL2_MUTANTS && guard < EVAL2_MUTANTS * 20 {
         guard += 1;
         let mut file = golden.clone();
-        let n = 1 + rng.gen_range(0..2);
+        let n = 1 + rng.gen_range(0..2usize);
         if let Some(m) = file.module_mut(&problem.name) {
             if mutate_module(m, &mut rng, n).is_empty() {
                 continue;
@@ -147,10 +153,11 @@ pub fn golden_testbench(problem: &Problem, seed: u64) -> EvalTb {
 /// methods).
 pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
     // Eval0: syntax.
-    let Some(driver) = correctbench_verilog::parse(&tb.driver)
-        .ok()
-        .filter(|f| f.modules.iter().any(|m| m.name == correctbench_tbgen::TB_MODULE))
-    else {
+    let Some(driver) = correctbench_verilog::parse(&tb.driver).ok().filter(|f| {
+        f.modules
+            .iter()
+            .any(|m| m.name == correctbench_tbgen::TB_MODULE)
+    }) else {
         return EvalLevel::Failed;
     };
     if tb.checker.broken {
@@ -168,8 +175,8 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
 
     // Eval2: agreement with the golden testbench over mutant DUTs.
     let golden_tb = golden_testbench(problem, seed);
-    let golden_driver = correctbench_verilog::parse(&golden_tb.driver)
-        .expect("generated golden driver parses");
+    let golden_driver =
+        correctbench_verilog::parse(&golden_tb.driver).expect("generated golden driver parses");
     let mutants = eval2_mutants(problem, seed);
     if mutants.is_empty() {
         return EvalLevel::Eval2; // no usable mutants: vacuous agreement

@@ -28,8 +28,14 @@ fn bench_simulation(c: &mut Criterion) {
     let seq_checker = compile_module(&seqp.golden_module()).expect("checker");
     c.bench_function("golden_tb_run_shift18", |b| {
         b.iter(|| {
-            run_testbench(&seqp.golden_rtl, &seq_driver, &seq_checker, &seqp, &seq_scen)
-                .expect("run")
+            run_testbench(
+                &seqp.golden_rtl,
+                &seq_driver,
+                &seq_checker,
+                &seqp,
+                &seq_scen,
+            )
+            .expect("run")
         })
     });
 }
@@ -58,9 +64,7 @@ fn bench_rs_matrix(c: &mut Criterion) {
     let tb = HybridTb {
         scenarios,
         driver,
-        checker: CheckerArtifact::clean(
-            compile_module(&problem.golden_module()).expect("checker"),
-        ),
+        checker: CheckerArtifact::clean(compile_module(&problem.golden_module()).expect("checker")),
     };
     c.bench_function("rs_matrix_counter8_20rtls", |b| {
         b.iter(|| build_rs_matrix(&problem, &tb, &rtls))

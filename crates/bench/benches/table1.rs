@@ -14,6 +14,7 @@ fn main() {
         reps: 1,
         seed: 2025,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        out: None,
     };
     let problems = args.problem_set();
     let t0 = std::time::Instant::now();

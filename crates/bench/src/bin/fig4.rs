@@ -17,10 +17,19 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2025u64);
 
+    // Both `alu_8` panels share one RTL group's worth of simulations:
+    // the harness cache answers the repeats.
+    let cache = correctbench_harness::SimCache::new();
+    let _guard = cache.install();
+
     for (title, name, inject) in [
         ("Correct TB (combinational task `alu_8`)", "alu_8", 0usize),
         ("Correct TB (sequential task `shift18`)", "shift18", 0),
-        ("Wrong TB (checker with 2 injected defects, `alu_8`)", "alu_8", 2),
+        (
+            "Wrong TB (checker with 2 injected defects, `alu_8`)",
+            "alu_8",
+            2,
+        ),
     ] {
         let problem = correctbench_dataset::problem(name).expect("known problem");
         let scenarios = generate_scenarios(&problem, seed);
@@ -46,9 +55,14 @@ fn main() {
             "{} RTL rows x {} scenario columns; verdict: {}",
             matrix.num_rtls(),
             matrix.num_scenarios(),
-            if verdict.is_correct() { "correct" } else { "wrong" }
+            if verdict.is_correct() {
+                "correct"
+            } else {
+                "wrong"
+            }
         );
         println!("{}", matrix.to_ascii());
         let _ = llm.usage();
     }
+    eprintln!("simulation cache: {}", cache.stats());
 }

@@ -33,9 +33,8 @@ fn main() {
         for method in Method::ALL {
             let runs: Vec<_> = records.iter().filter(|r| r.method == method).collect();
             let n = runs.len().max(1) as f64;
-            let frac = |lvl: EvalLevel| {
-                runs.iter().filter(|r| r.level == lvl).count() as f64 / n * 100.0
-            };
+            let frac =
+                |lvl: EvalLevel| runs.iter().filter(|r| r.level == lvl).count() as f64 / n * 100.0;
             println!(
                 "{:<13} {:>5.1}%  {:>6.1}%  {:>6.1}%  {:>6.1}%",
                 method.name(),

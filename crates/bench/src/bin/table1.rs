@@ -2,13 +2,20 @@
 //! average passed-task counts for CorrectBench vs AutoBench vs the
 //! direct baseline, over Total / CMB / SEQ groups.
 //!
+//! Runs on the parallel harness: the sweep is submitted as a declarative
+//! `RunPlan`, executed on a worker pool with a shared content-addressed
+//! simulation cache, and `--out DIR` additionally writes the harness's
+//! deterministic `outcomes.jsonl` / measured `timings.jsonl` artifacts.
+//!
 //! ```text
 //! cargo run --release -p correctbench-bench --bin table1 -- --full
 //! ```
 
 use correctbench::{Config, Method};
-use correctbench_bench::experiment::{render_table1, run_sweep};
+use correctbench_bench::experiment::{render_table1, run_plan, sweep_plan};
 use correctbench_bench::RunArgs;
+use correctbench_harness::cli::write_artifacts_or_exit;
+use correctbench_harness::render_summary;
 use correctbench_llm::ModelKind;
 
 fn main() {
@@ -20,16 +27,24 @@ fn main() {
         args.reps,
         args.threads
     );
-    let t0 = std::time::Instant::now();
-    let records = run_sweep(
+    let plan = sweep_plan(
+        "table1",
         &problems,
         &Method::ALL,
         ModelKind::Gpt4o,
         args.reps,
         &Config::default(),
         args.seed,
-        args.threads,
     );
+    let (records, result) = run_plan(&plan, args.threads);
     println!("{}", render_table1(&records));
-    eprintln!("elapsed: {:?}", t0.elapsed());
+    eprintln!("elapsed: {:?}", result.wall);
+    if let Some(stats) = &result.cache {
+        eprintln!("simulation cache: {stats}");
+    }
+    if let Some(dir) = &args.out {
+        let summary = render_summary(&plan, &result);
+        let paths = write_artifacts_or_exit(dir, &result, &summary);
+        eprintln!("artifacts: {}", paths.outcomes.display());
+    }
 }

@@ -1,13 +1,13 @@
-//! The experiment engine: runs (method × problem × repetition) cells and
-//! aggregates them into the paper's tables and figures.
+//! The experiment front end: builds declarative plans for the paper's
+//! (method × problem × repetition) sweeps, submits them to the parallel
+//! harness ([`correctbench_harness::Engine`]), and aggregates the
+//! outcomes into the paper's tables and figures.
 
-use correctbench::{run_method, Config, Method, Outcome};
-use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
+use correctbench::{Config, Method};
+use correctbench_autoeval::EvalLevel;
 use correctbench_dataset::{CircuitKind, Problem};
-use correctbench_llm::{ModelKind, ModelProfile, SimulatedLlm, TokenUsage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Mutex;
+use correctbench_harness::{Engine, RunPlan, RunResult, TaskOutcome};
+use correctbench_llm::{ModelKind, SimulatedClientFactory, TokenUsage};
 
 /// One evaluated pipeline run.
 #[derive(Clone, Debug)]
@@ -38,7 +38,69 @@ pub struct TaskRecord {
     pub validated: bool,
 }
 
-/// Runs one (method, problem, rep) cell.
+impl TaskRecord {
+    /// Converts a harness outcome into the bench crate's record shape.
+    pub fn from_outcome(o: &TaskOutcome) -> TaskRecord {
+        TaskRecord {
+            problem: o.problem.clone(),
+            kind: o.kind,
+            method: o.method,
+            model: o.model,
+            rep: o.rep,
+            level: o.level,
+            tokens: o.tokens,
+            corrections: o.corrections,
+            reboots: o.reboots,
+            final_from_corrector: o.final_from_corrector,
+            validator_intervened: o.validator_intervened,
+            validated: o.validated,
+        }
+    }
+}
+
+/// Builds the declarative plan of a sweep over problems × methods ×
+/// repetitions.
+pub fn sweep_plan(
+    name: &str,
+    problems: &[Problem],
+    methods: &[Method],
+    model: ModelKind,
+    reps: u64,
+    cfg: &Config,
+    base_seed: u64,
+) -> RunPlan {
+    let mut plan = RunPlan::new(name, problems.to_vec());
+    plan.methods = methods.to_vec();
+    plan.model = model;
+    plan.reps = reps;
+    plan.base_seed = base_seed;
+    plan.config = cfg.clone();
+    plan
+}
+
+/// Executes a plan on the parallel harness (shared simulation cache,
+/// per-job clients) and returns both the bench-shaped records and the
+/// raw harness result (for artifact writing).
+pub fn run_plan(plan: &RunPlan, threads: usize) -> (Vec<TaskRecord>, RunResult) {
+    let engine = Engine::new(threads).with_progress(true);
+    let factory = SimulatedClientFactory::for_model(plan.model);
+    let result = engine.execute(plan, &factory);
+    let mut records: Vec<TaskRecord> = result
+        .outcomes
+        .iter()
+        .map(TaskRecord::from_outcome)
+        .collect();
+    records.sort_by(|a, b| {
+        (a.problem.as_str(), a.method as u8, a.rep).cmp(&(
+            b.problem.as_str(),
+            b.method as u8,
+            b.rep,
+        ))
+    });
+    (records, result)
+}
+
+/// Runs one (method, problem, rep) cell (single job on the harness).
 pub fn run_task(
     method: Method,
     problem: &Problem,
@@ -47,45 +109,22 @@ pub fn run_task(
     cfg: &Config,
     base_seed: u64,
 ) -> TaskRecord {
-    let seed = mix(base_seed, problem.name.as_bytes(), method as u64, rep);
-    let mut llm = SimulatedLlm::new(ModelProfile::for_model(model), seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x777);
-    let outcome: Outcome = run_method(method, problem, &mut llm, cfg, &mut rng);
-    let tb = EvalTb {
-        scenarios: outcome.tb.scenarios.clone(),
-        driver: outcome.tb.driver.clone(),
-        checker: outcome.tb.checker.clone(),
-    };
-    // The Eval2 mutant set is shared across methods/reps (seeded by the
-    // problem alone) so comparisons are apples-to-apples.
-    let eval_seed = mix(base_seed, problem.name.as_bytes(), 0, 0);
-    let level = evaluate(problem, &tb, eval_seed);
-    TaskRecord {
-        problem: problem.name.clone(),
-        kind: problem.kind,
+    use correctbench_harness::{mix_seed, Job};
+    let job = Job {
+        id: 0,
+        problem: problem.clone(),
         method,
         model,
         rep,
-        level,
-        tokens: outcome.tokens,
-        corrections: outcome.corrections,
-        reboots: outcome.reboots,
-        final_from_corrector: outcome.final_from_corrector,
-        validator_intervened: outcome.validator_intervened,
-        validated: outcome.validated,
-    }
+        seed: mix_seed(base_seed, problem.name.as_bytes(), method as u64, rep),
+        eval_seed: mix_seed(base_seed, problem.name.as_bytes(), 0, 0),
+    };
+    let factory = SimulatedClientFactory::for_model(model);
+    TaskRecord::from_outcome(&correctbench_harness::run_job(&job, cfg, &factory))
 }
 
-fn mix(base: u64, name: &[u8], a: u64, b: u64) -> u64 {
-    let mut h = base ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
-    for &byte in name {
-        h = h.wrapping_mul(0x100_0000_01b3) ^ byte as u64;
-    }
-    h
-}
-
-/// Runs a sweep over problems × methods × repetitions, parallel across
-/// problems.
+/// Runs a sweep over problems × methods × repetitions on the parallel
+/// harness, reporting simulation-cache effectiveness on stderr.
 pub fn run_sweep(
     problems: &[Problem],
     methods: &[Method],
@@ -95,32 +134,24 @@ pub fn run_sweep(
     base_seed: u64,
     threads: usize,
 ) -> Vec<TaskRecord> {
-    let records = Mutex::new(Vec::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= problems.len() {
-                    break;
-                }
-                let p = &problems[i];
-                let mut local = Vec::new();
-                for &method in methods {
-                    for rep in 0..reps {
-                        local.push(run_task(method, p, model, rep, cfg, base_seed));
-                    }
-                }
-                eprint!("[{}/{}] {}\r", i + 1, problems.len(), p.name);
-                records.lock().expect("poisoned").extend(local);
-            });
-        }
-    });
-    let mut out = records.into_inner().expect("poisoned");
-    out.sort_by(|a, b| {
-        (a.problem.as_str(), a.method as u8, a.rep).cmp(&(b.problem.as_str(), b.method as u8, b.rep))
-    });
-    out
+    let plan = sweep_plan(
+        "bench-sweep",
+        problems,
+        methods,
+        model,
+        reps,
+        cfg,
+        base_seed,
+    );
+    let (records, result) = run_plan(&plan, threads);
+    if let Some(stats) = &result.cache {
+        eprintln!(
+            "sweep: {} jobs in {:?}; simulation cache: {stats}",
+            records.len(),
+            result.wall
+        );
+    }
+    records
 }
 
 /// Task-group filter used by the paper's tables.
@@ -236,9 +267,7 @@ pub fn aggregate(records: &[TaskRecord], group: Group, method: Method) -> CellSt
 pub fn render_table1(records: &[TaskRecord]) -> String {
     let mut s = String::new();
     s.push_str("TABLE I: MAIN RESULTS (reproduction)\n");
-    s.push_str(
-        "Group  Metric  CorrectBench        AutoBench           Baseline\n",
-    );
+    s.push_str("Group  Metric  CorrectBench        AutoBench           Baseline\n");
     for group in Group::ALL {
         for (i, metric) in ["Eval2", "Eval1", "Eval0"].iter().enumerate() {
             let idx = 2 - i;
@@ -325,8 +354,14 @@ mod tests {
     fn sweep_deterministic() {
         let a = tiny_sweep();
         let b = tiny_sweep();
-        let la: Vec<_> = a.iter().map(|r| (r.problem.clone(), r.method, r.level)).collect();
-        let lb: Vec<_> = b.iter().map(|r| (r.problem.clone(), r.method, r.level)).collect();
+        let la: Vec<_> = a
+            .iter()
+            .map(|r| (r.problem.clone(), r.method, r.level))
+            .collect();
+        let lb: Vec<_> = b
+            .iter()
+            .map(|r| (r.problem.clone(), r.method, r.level))
+            .collect();
         assert_eq!(la, lb);
     }
 

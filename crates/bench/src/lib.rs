@@ -7,114 +7,7 @@
 pub mod experiment;
 pub mod valacc;
 
-use correctbench_dataset::Problem;
-
-/// Common command-line options of every regeneration binary.
-#[derive(Clone, Debug)]
-pub struct RunArgs {
-    /// Number of problems (stratified subset of the 156); `None` = all.
-    pub problems: Option<usize>,
-    /// Repetitions per (method, task) cell.
-    pub reps: u64,
-    /// Base seed.
-    pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
-}
-
-impl RunArgs {
-    /// Parses `--full`, `--problems N`, `--reps N`, `--seed N`,
-    /// `--threads N` from `std::env::args`. Unknown flags abort with a
-    /// usage message.
-    pub fn parse(default_problems: Option<usize>, default_reps: u64) -> RunArgs {
-        let mut args = RunArgs {
-            problems: default_problems,
-            reps: default_reps,
-            seed: 2025,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-        };
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--full" => {
-                    args.problems = None;
-                    args.reps = 5;
-                }
-                "--problems" => {
-                    args.problems = Some(
-                        it.next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or_else(|| usage("--problems needs a number")),
-                    )
-                }
-                "--reps" => {
-                    args.reps = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--reps needs a number"))
-                }
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs a number"))
-                }
-                "--threads" => {
-                    args.threads = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--threads needs a number"))
-                }
-                "--bench" | "--nocapture" => {} // cargo-bench artifacts
-                other => usage(&format!("unknown flag `{other}`")),
-            }
-        }
-        args
-    }
-
-    /// The problem set this run uses: all 156 or a stratified subset that
-    /// preserves the CMB/SEQ ratio and the difficulty mix.
-    pub fn problem_set(&self) -> Vec<Problem> {
-        let all = correctbench_dataset::all_problems();
-        match self.problems {
-            None => all,
-            Some(n) if n >= all.len() => all,
-            Some(n) => {
-                let cmb: Vec<Problem> = all
-                    .iter()
-                    .filter(|p| p.kind.is_combinational())
-                    .cloned()
-                    .collect();
-                let seq: Vec<Problem> = all
-                    .iter()
-                    .filter(|p| !p.kind.is_combinational())
-                    .cloned()
-                    .collect();
-                let n_cmb = (n * cmb.len()).div_ceil(all.len());
-                let n_seq = n.saturating_sub(n_cmb);
-                let mut out = stratified(&cmb, n_cmb);
-                out.extend(stratified(&seq, n_seq));
-                out
-            }
-        }
-    }
-}
-
-fn stratified(pool: &[Problem], n: usize) -> Vec<Problem> {
-    if n == 0 || pool.is_empty() {
-        return Vec::new();
-    }
-    let step = pool.len() as f64 / n.min(pool.len()) as f64;
-    (0..n.min(pool.len()))
-        .map(|i| pool[(i as f64 * step) as usize].clone())
-        .collect()
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: [--full] [--problems N] [--reps N] [--seed N] [--threads N]");
-    std::process::exit(2)
-}
+pub use correctbench_harness::cli::RunArgs;
 
 #[cfg(test)]
 mod tests {
@@ -127,6 +20,7 @@ mod tests {
             reps: 1,
             seed: 1,
             threads: 1,
+            out: None,
         };
         let set = args.problem_set();
         assert_eq!(set.len(), 30);
@@ -145,6 +39,7 @@ mod tests {
             reps: 5,
             seed: 1,
             threads: 1,
+            out: None,
         };
         assert_eq!(args.problem_set().len(), 156);
     }

@@ -11,10 +11,10 @@ use correctbench::{
 };
 use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
 use correctbench_dataset::Problem;
-use correctbench_llm::{ModelKind, ModelProfile, SimulatedLlm};
+use correctbench_harness::{parallel_map, SimCache};
+use correctbench_llm::{ClientFactory, ModelKind, SimulatedClientFactory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// One labelled testbench with its precomputed RS matrix.
 pub struct LabeledTb {
@@ -48,51 +48,42 @@ pub fn collect_corpus(
     base_seed: u64,
     threads: usize,
 ) -> Vec<TaskCorpus> {
-    let out = Mutex::new(Vec::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= problems.len() {
-                    break;
-                }
-                let problem = &problems[i];
-                let seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9);
-                let mut llm = SimulatedLlm::new(ModelProfile::for_model(model), seed);
-                // One shared RTL group per task, as in the paper.
-                let rtls = correctbench::validator::generate_rtl_group(problem, &mut llm, cfg);
-                let mut tbs = Vec::with_capacity(per_task);
-                for k in 0..per_task {
-                    let mut rng = StdRng::seed_from_u64(seed ^ (k as u64) << 32);
-                    let tb = generate_autobench(problem, &mut llm, cfg, &mut rng);
-                    let eval_tb = EvalTb {
-                        scenarios: tb.scenarios.clone(),
-                        driver: tb.driver.clone(),
-                        checker: tb.checker.clone(),
-                    };
-                    let correct = evaluate(problem, &eval_tb, base_seed) >= EvalLevel::Eval2;
-                    let broken = !tb.is_syntactically_valid();
-                    let matrix = if broken {
-                        RsMatrix::default()
-                    } else {
-                        build_rs_matrix(problem, &tb, &rtls)
-                    };
-                    tbs.push(LabeledTb {
-                        tb,
-                        correct,
-                        matrix,
-                        broken,
-                    });
-                }
-                out.lock().expect("poisoned").push(TaskCorpus {
-                    problem: problem.clone(),
-                    tbs,
-                });
+    let factory = SimulatedClientFactory::for_model(model);
+    let cache = SimCache::new();
+    let mut corpora = parallel_map(threads, Some(&cache), problems, |i, problem| {
+        let seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9);
+        let mut llm = factory.client(seed);
+        // One shared RTL group per task, as in the paper.
+        let rtls = correctbench::validator::generate_rtl_group(problem, &mut *llm, cfg);
+        let mut tbs = Vec::with_capacity(per_task);
+        for k in 0..per_task {
+            let mut rng = StdRng::seed_from_u64(seed ^ (k as u64) << 32);
+            let tb = generate_autobench(problem, &mut *llm, cfg, &mut rng);
+            let eval_tb = EvalTb {
+                scenarios: tb.scenarios.clone(),
+                driver: tb.driver.clone(),
+                checker: tb.checker.clone(),
+            };
+            let correct = evaluate(problem, &eval_tb, base_seed) >= EvalLevel::Eval2;
+            let broken = !tb.is_syntactically_valid();
+            let matrix = if broken {
+                RsMatrix::default()
+            } else {
+                build_rs_matrix(problem, &tb, &rtls)
+            };
+            tbs.push(LabeledTb {
+                tb,
+                correct,
+                matrix,
+                broken,
             });
         }
+        TaskCorpus {
+            problem: problem.clone(),
+            tbs,
+        }
     });
-    let mut corpora = out.into_inner().expect("poisoned");
+    eprintln!("corpus: simulation cache: {}", cache.stats());
     corpora.sort_by(|a, b| a.problem.name.cmp(&b.problem.name));
     corpora
 }

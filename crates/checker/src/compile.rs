@@ -121,16 +121,18 @@ impl<'a> Compiler<'a> {
                     }
                 }
                 Item::Param(p) => {
-                    let v = c
-                        .const_expr(&p.value)
-                        .ok_or_else(|| CompileError::new(format!("parameter `{}` not constant", p.name)))?;
+                    let v = c.const_expr(&p.value).ok_or_else(|| {
+                        CompileError::new(format!("parameter `{}` not constant", p.name))
+                    })?;
                     c.params.insert(p.name.clone(), v);
                 }
                 Item::Instance(_) => {
                     return Err(CompileError::new("instances are not supported in checkers"))
                 }
                 Item::Initial(_) => {
-                    return Err(CompileError::new("initial blocks are not supported in checkers"))
+                    return Err(CompileError::new(
+                        "initial blocks are not supported in checkers",
+                    ))
                 }
                 _ => {}
             }
@@ -290,9 +292,7 @@ impl<'a> Compiler<'a> {
             let next = self.extend(*next, w, false);
             self.prog.reg_updates.push(RegUpdate { reg, next });
         }
-        self.prog
-            .reg_updates
-            .sort_by_key(|r| r.reg);
+        self.prog.reg_updates.sort_by_key(|r| r.reg);
 
         // 7. Bind outputs.
         for p in &self.module.ports {
@@ -324,10 +324,7 @@ impl<'a> Compiler<'a> {
                 Def::Assign(a) => {
                     let mut r = Vec::new();
                     a.rhs.collect_reads(&mut r);
-                    (
-                        a.lhs.targets().iter().map(|s| s.to_string()).collect(),
-                        r,
-                    )
+                    (a.lhs.targets().iter().map(|s| s.to_string()).collect(), r)
                 }
                 Def::CombAlways(body) => {
                     let mut w = Vec::new();
@@ -499,50 +496,78 @@ impl<'a> Compiler<'a> {
                     .ok_or_else(|| CompileError::new(format!("use of undefined `{n}`")))?;
                 self.extend(node, ctx, signed)
             }
-            Expr::Unary(op, a) => {
-                match op {
-                    UnaryOp::Plus => self.compile_expr(a, ctx)?,
-                    UnaryOp::Neg => {
-                        let n = self.compile_expr(a, ctx)?;
-                        self.prog.push(Node::Un { op: IrUnOp::Neg, a: n }, ctx)
-                    }
-                    UnaryOp::Not => {
-                        let n = self.compile_expr(a, ctx)?;
-                        self.prog.push(Node::Un { op: IrUnOp::Not, a: n }, ctx)
-                    }
-                    UnaryOp::LogicNot => {
-                        let n = self.compile_self(a)?;
-                        let b = self.prog.push(Node::Un { op: IrUnOp::LogicNot, a: n }, 1);
-                        self.extend(b, ctx, false)
-                    }
-                    UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => {
-                        let irop = match op {
-                            UnaryOp::RedAnd => IrUnOp::RedAnd,
-                            UnaryOp::RedOr => IrUnOp::RedOr,
-                            _ => IrUnOp::RedXor,
-                        };
-                        let n = self.compile_self(a)?;
-                        let b = self.prog.push(Node::Un { op: irop, a: n }, 1);
-                        self.extend(b, ctx, false)
-                    }
-                    UnaryOp::RedNand | UnaryOp::RedNor | UnaryOp::RedXnor => {
-                        let irop = match op {
-                            UnaryOp::RedNand => IrUnOp::RedAnd,
-                            UnaryOp::RedNor => IrUnOp::RedOr,
-                            _ => IrUnOp::RedXor,
-                        };
-                        let n = self.compile_self(a)?;
-                        let red = self.prog.push(Node::Un { op: irop, a: n }, 1);
-                        let inv = self.prog.push(Node::Un { op: IrUnOp::Not, a: red }, 1);
-                        self.extend(inv, ctx, false)
-                    }
+            Expr::Unary(op, a) => match op {
+                UnaryOp::Plus => self.compile_expr(a, ctx)?,
+                UnaryOp::Neg => {
+                    let n = self.compile_expr(a, ctx)?;
+                    self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Neg,
+                            a: n,
+                        },
+                        ctx,
+                    )
                 }
-            }
+                UnaryOp::Not => {
+                    let n = self.compile_expr(a, ctx)?;
+                    self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Not,
+                            a: n,
+                        },
+                        ctx,
+                    )
+                }
+                UnaryOp::LogicNot => {
+                    let n = self.compile_self(a)?;
+                    let b = self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::LogicNot,
+                            a: n,
+                        },
+                        1,
+                    );
+                    self.extend(b, ctx, false)
+                }
+                UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => {
+                    let irop = match op {
+                        UnaryOp::RedAnd => IrUnOp::RedAnd,
+                        UnaryOp::RedOr => IrUnOp::RedOr,
+                        _ => IrUnOp::RedXor,
+                    };
+                    let n = self.compile_self(a)?;
+                    let b = self.prog.push(Node::Un { op: irop, a: n }, 1);
+                    self.extend(b, ctx, false)
+                }
+                UnaryOp::RedNand | UnaryOp::RedNor | UnaryOp::RedXnor => {
+                    let irop = match op {
+                        UnaryOp::RedNand => IrUnOp::RedAnd,
+                        UnaryOp::RedNor => IrUnOp::RedOr,
+                        _ => IrUnOp::RedXor,
+                    };
+                    let n = self.compile_self(a)?;
+                    let red = self.prog.push(Node::Un { op: irop, a: n }, 1);
+                    let inv = self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Not,
+                            a: red,
+                        },
+                        1,
+                    );
+                    self.extend(inv, ctx, false)
+                }
+            },
             Expr::Binary(op, a, b) => self.compile_binary(*op, a, b, ctx)?,
             Expr::Ternary(c, t, f) => {
                 let sel = self.compile_self(c)?;
                 let sel = if self.prog.width(sel) != 1 {
-                    self.prog.push(Node::Un { op: IrUnOp::Bool, a: sel }, 1)
+                    self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Bool,
+                            a: sel,
+                        },
+                        1,
+                    )
                 } else {
                     sel
                 };
@@ -613,7 +638,9 @@ impl<'a> Compiler<'a> {
                 let decl_lsb = self.syms.get(name).map_or(0, |s| s.lsb);
                 let lo = lsb - decl_lsb;
                 if lo < 0 {
-                    return Err(CompileError::new(format!("part select below `{name}` range")));
+                    return Err(CompileError::new(format!(
+                        "part select below `{name}` range"
+                    )));
                 }
                 let w = (msb - lsb) as usize + 1;
                 let s = self.prog.push(
@@ -648,7 +675,11 @@ impl<'a> Compiler<'a> {
                     let inner = self.compile_self(a)?;
                     self.extend(inner, ctx, name == "$signed")
                 }
-                other => return Err(CompileError::new(format!("unsupported `{other}` in checker"))),
+                other => {
+                    return Err(CompileError::new(format!(
+                        "unsupported `{other}` in checker"
+                    )))
+                }
             },
         })
     }
@@ -721,7 +752,13 @@ impl<'a> Compiler<'a> {
                     ctx,
                 );
                 if op == B::Xnor {
-                    self.prog.push(Node::Un { op: IrUnOp::Not, a: n }, ctx)
+                    self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Not,
+                            a: n,
+                        },
+                        ctx,
+                    )
                 } else {
                     n
                 }
@@ -735,9 +772,7 @@ impl<'a> Compiler<'a> {
                     .to_u64()
                     .ok_or_else(|| CompileError::new("unknown `**` exponent"))?;
                 let base = self.compile_expr(a, ctx)?;
-                let mut acc = self
-                    .prog
-                    .push(Node::Const(LogicVec::from_u64(ctx, 1)), ctx);
+                let mut acc = self.prog.push(Node::Const(LogicVec::from_u64(ctx, 1)), ctx);
                 for _ in 0..e.min(64) {
                     acc = self.prog.push(
                         Node::Bin {
@@ -754,8 +789,20 @@ impl<'a> Compiler<'a> {
             B::LogicAnd | B::LogicOr => {
                 let an = self.compile_self(a)?;
                 let bn = self.compile_self(b)?;
-                let ab = self.prog.push(Node::Un { op: IrUnOp::Bool, a: an }, 1);
-                let bb = self.prog.push(Node::Un { op: IrUnOp::Bool, a: bn }, 1);
+                let ab = self.prog.push(
+                    Node::Un {
+                        op: IrUnOp::Bool,
+                        a: an,
+                    },
+                    1,
+                );
+                let bb = self.prog.push(
+                    Node::Un {
+                        op: IrUnOp::Bool,
+                        a: bn,
+                    },
+                    1,
+                );
                 let irop = if op == B::LogicAnd {
                     IrBinOp::And
                 } else {
@@ -776,7 +823,11 @@ impl<'a> Compiler<'a> {
                 let w = self.expr_width(a).max(self.expr_width(b));
                 let an = self.compile_expr(a, w)?;
                 let bn = self.compile_expr(b, w)?;
-                let lt_op = if signed_pair { IrBinOp::LtS } else { IrBinOp::LtU };
+                let lt_op = if signed_pair {
+                    IrBinOp::LtS
+                } else {
+                    IrBinOp::LtU
+                };
                 let (node, invert) = match op {
                     B::Eq => ((IrBinOp::Eq, an, bn), false),
                     B::Ne => ((IrBinOp::Eq, an, bn), true),
@@ -799,7 +850,13 @@ impl<'a> Compiler<'a> {
                     1,
                 );
                 if invert {
-                    r = self.prog.push(Node::Un { op: IrUnOp::Not, a: r }, 1);
+                    r = self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Not,
+                            a: r,
+                        },
+                        1,
+                    );
                 }
                 self.extend(r, ctx, false)
             }
@@ -874,7 +931,13 @@ impl<'a> Compiler<'a> {
             } => {
                 let sel = self.compile_self(cond)?;
                 let sel = if self.prog.width(sel) != 1 {
-                    self.prog.push(Node::Un { op: IrUnOp::Bool, a: sel }, 1)
+                    self.prog.push(
+                        Node::Un {
+                            op: IrUnOp::Bool,
+                            a: sel,
+                        },
+                        1,
+                    )
                 } else {
                     sel
                 };
@@ -1331,8 +1394,7 @@ impl<'a> Compiler<'a> {
                 return Err(CompileError::new("for-loop exceeds 4096 iterations"));
             }
             // Substitute the loop variable as a parameter for this pass.
-            self.params
-                .insert(var.clone(), (current.clone(), true));
+            self.params.insert(var.clone(), (current.clone(), true));
             let cond_val = self
                 .const_expr(cond)
                 .map(|(v, _)| v)
@@ -1350,7 +1412,11 @@ impl<'a> Compiler<'a> {
                         .ok_or_else(|| CompileError::new("for-loop step must be constant"))?;
                     current = val;
                 }
-                _ => return Err(CompileError::new("for-loop step must update the loop variable")),
+                _ => {
+                    return Err(CompileError::new(
+                        "for-loop step must update the loop variable",
+                    ))
+                }
             }
         }
         self.params.remove(&var);
@@ -1449,7 +1515,9 @@ fn collect_blocking_targets(s: &Stmt, out: &mut Vec<String>) {
                 collect_blocking_targets(&a.body, out);
             }
         }
-        Stmt::For { init, step, body, .. } => {
+        Stmt::For {
+            init, step, body, ..
+        } => {
             // Loop variables are substituted, not assigned; skip init/step
             // targets that match body loop vars is complex — collect all,
             // the compiler pre-seeds them with x harmlessly.
@@ -1483,9 +1551,8 @@ mod tests {
 
     #[test]
     fn compile_adder() {
-        let p = compile(
-            "module add(input [3:0] a, b, output [4:0] s);\nassign s = a + b;\nendmodule",
-        );
+        let p =
+            compile("module add(input [3:0] a, b, output [4:0] s);\nassign s = a + b;\nendmodule");
         assert!(!p.sequential);
         let mut st = CheckerState::new(&p);
         let out = step(&p, &mut st, &inputs(&[("a", 15, 4), ("b", 3, 4)])).expect("step");
@@ -1530,9 +1597,7 @@ mod tests {
         );
         let mut st = CheckerState::new(&p);
         let r = |st: &mut CheckerState, rst: u64, x: u64| {
-            step(&p, st, &inputs(&[("rst", rst, 1), ("x", x, 1)]))
-                .expect("step")["y"]
-                .to_u64()
+            step(&p, st, &inputs(&[("rst", rst, 1), ("x", x, 1)])).expect("step")["y"].to_u64()
         };
         assert_eq!(r(&mut st, 1, 0), Some(0));
         assert_eq!(r(&mut st, 0, 1), Some(0)); // s: 0 -> 1
@@ -1553,7 +1618,10 @@ mod tests {
 
     #[test]
     fn unsupported_constructs_error() {
-        let f = parse("module m(input clk, output reg q);\nalways @(negedge clk) q <= 1'b1;\nendmodule").expect("parse");
+        let f = parse(
+            "module m(input clk, output reg q);\nalways @(negedge clk) q <= 1'b1;\nendmodule",
+        )
+        .expect("parse");
         assert!(compile_module(&f.modules[0]).is_err());
         let f = parse("module m(input clk, rst, output reg q);\nalways @(posedge clk or posedge rst) q <= 1'b1;\nendmodule").expect("parse");
         assert!(compile_module(&f.modules[0]).is_err());
@@ -1583,10 +1651,8 @@ mod tests {
 
     #[test]
     fn multiple_drivers_rejected() {
-        let f = parse(
-            "module bad(input a, b, output y);\nassign y = a;\nassign y = b;\nendmodule",
-        )
-        .expect("parse");
+        let f = parse("module bad(input a, b, output y);\nassign y = a;\nassign y = b;\nendmodule")
+            .expect("parse");
         assert!(compile_module(&f.modules[0]).is_err());
     }
 

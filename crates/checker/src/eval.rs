@@ -98,11 +98,7 @@ fn eval_all(
                     message: format!("missing input `{name}`"),
                 })?
                 .zero_extend(w),
-            Node::Reg { init, .. } => state
-                .regs
-                .get(&(i as u32))
-                .unwrap_or(init)
-                .zero_extend(w),
+            Node::Reg { init, .. } => state.regs.get(&(i as u32)).unwrap_or(init).zero_extend(w),
             Node::Const(c) => c.zero_extend(w),
             Node::Bin { op, a, b, signed } => {
                 match op {
@@ -245,7 +241,13 @@ mod tests {
         let a = p.push(Node::Input { name: "a".into() }, 4);
         let b = p.push(Node::Input { name: "b".into() }, 4);
         let ax = p.push(Node::Ext { a, signed: false }, 5);
-        let bx = p.push(Node::Ext { a: b, signed: false }, 5);
+        let bx = p.push(
+            Node::Ext {
+                a: b,
+                signed: false,
+            },
+            5,
+        );
         let sum = p.push(
             Node::Bin {
                 op: IrBinOp::Add,

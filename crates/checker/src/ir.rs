@@ -255,6 +255,13 @@ impl CheckerProgram {
         self.nodes.is_empty()
     }
 
+    /// Stable structural hash (FNV-1a over the canonical `Debug`
+    /// rendering): equal programs hash equal, independent of the process.
+    /// Used as the checker component of simulation-cache keys.
+    pub fn structural_hash(&self) -> u64 {
+        correctbench_verilog::hash::debug_hash(self)
+    }
+
     /// Ids of all mutable (operation) nodes — the mutation surface.
     pub fn op_nodes(&self) -> Vec<NodeId> {
         self.nodes

@@ -69,7 +69,10 @@ fn mutate_node(node: &Node, width: usize, rng: &mut impl Rng) -> Option<(Node, S
             let cands = bin_swaps(*op);
             if cands.is_empty() {
                 // Operand swap still changes non-commutative semantics.
-                if matches!(op, IrBinOp::Sub | IrBinOp::Shl | IrBinOp::Shr | IrBinOp::AShr) {
+                if matches!(
+                    op,
+                    IrBinOp::Sub | IrBinOp::Shl | IrBinOp::Shr | IrBinOp::AShr
+                ) {
                     return Some((
                         Node::Bin {
                             op: *op,
@@ -95,15 +98,34 @@ fn mutate_node(node: &Node, width: usize, rng: &mut impl Rng) -> Option<(Node, S
         }
         Node::Un { op, a } => {
             let new = match op {
-                IrUnOp::Not => return Some((Node::Ext { a: *a, signed: false }, "dropped not".into())),
-                IrUnOp::Neg => return Some((Node::Ext { a: *a, signed: false }, "dropped neg".into())),
+                IrUnOp::Not => {
+                    return Some((
+                        Node::Ext {
+                            a: *a,
+                            signed: false,
+                        },
+                        "dropped not".into(),
+                    ))
+                }
+                IrUnOp::Neg => {
+                    return Some((
+                        Node::Ext {
+                            a: *a,
+                            signed: false,
+                        },
+                        "dropped neg".into(),
+                    ))
+                }
                 IrUnOp::RedAnd => IrUnOp::RedOr,
                 IrUnOp::RedOr => IrUnOp::RedAnd,
                 IrUnOp::RedXor => IrUnOp::RedOr,
                 IrUnOp::LogicNot => IrUnOp::Bool,
                 IrUnOp::Bool => IrUnOp::LogicNot,
             };
-            Some((Node::Un { op: new, a: *a }, format!("ir unop swapped to {new:?}")))
+            Some((
+                Node::Un { op: new, a: *a },
+                format!("ir unop swapped to {new:?}"),
+            ))
         }
         Node::Mux { sel, t, f } => Some((
             Node::Mux {

@@ -29,26 +29,49 @@ fn render(e: &E) -> String {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(E::Var),
-        any::<u8>().prop_map(E::Lit),
-    ];
+    let leaf = prop_oneof![(0usize..3).prop_map(E::Var), any::<u8>().prop_map(E::Lit),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (prop_oneof![Just("~"), Just("-"), Just("!"), Just("&"), Just("|"), Just("^")], inner.clone())
+            (
+                prop_oneof![
+                    Just("~"),
+                    Just("-"),
+                    Just("!"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^")
+                ],
+                inner.clone()
+            )
                 .prop_map(|(op, a)| E::Un(op, Box::new(a))),
             (
                 prop_oneof![
-                    Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^"),
-                    Just("<<"), Just(">>"), Just("<"), Just(">"), Just("=="), Just("!="),
-                    Just("&&"), Just("||"), Just(">="), Just("<=")
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<<"),
+                    Just(">>"),
+                    Just("<"),
+                    Just(">"),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
+                    Just(">="),
+                    Just("<=")
                 ],
                 inner.clone(),
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::Tern(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Tern(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }

@@ -157,7 +157,8 @@ mod tests {
             if generate_autobench(&p, &mut llm, &cfg, &mut rng).is_syntactically_valid() {
                 auto_ok += 1;
             }
-            let mut llm2 = SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), seed + 1000);
+            let mut llm2 =
+                SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), seed + 1000);
             if generate_direct(&p, &mut llm2).is_syntactically_valid() {
                 direct_ok += 1;
             }

@@ -47,3 +47,18 @@ pub use pipeline::{
 };
 pub use testbench::HybridTb;
 pub use validator::{build_rs_matrix, judge, validate, RsCell, RsMatrix, Validation, Verdict};
+
+// Compile-time contract for the parallel harness: everything a worker
+// moves across threads on the pipeline path is Send + Sync, so
+// `run_method` can be driven from a worker pool with per-worker clients
+// and RNGs. A new non-Send field in any of these breaks the build here,
+// not in a race at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Config>();
+    assert_send_sync::<Method>();
+    assert_send_sync::<Action>();
+    assert_send_sync::<Outcome>();
+    assert_send_sync::<HybridTb>();
+    assert_send_sync::<Validation>();
+};

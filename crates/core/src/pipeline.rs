@@ -19,14 +19,30 @@ use correctbench_llm::{LlmClient, TokenUsage};
 use rand::Rng;
 
 /// The agent's actions, recorded for tracing and attribution.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Action {
     /// The corrector was invoked.
     Correcting,
     /// Generation was restarted from scratch.
     Rebooting,
-    /// The loop ended (validated correct or budgets exhausted).
+    /// The loop ended with the validator judging the testbench correct
+    /// (or the method never validates, as for AutoBench / Baseline).
     Pass,
+    /// The loop ended because the correction and reboot budgets were
+    /// exhausted while the verdict was still wrong.
+    GiveUp,
+}
+
+impl Action {
+    /// Short stable name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Correcting => "correct",
+            Action::Rebooting => "reboot",
+            Action::Pass => "pass",
+            Action::GiveUp => "give_up",
+        }
+    }
 }
 
 /// Which generation method produced a testbench (the paper's three
@@ -71,12 +87,22 @@ pub struct Outcome {
     /// corrector (Table III "Corr." attribution).
     pub final_from_corrector: bool,
     /// `true` when the validator rejected at least one candidate along
-    /// the way (Table III "Val." attribution).
+    /// the way (Table III "Val." attribution). Set directly when a
+    /// [`Verdict::Wrong`] is observed — including a final wrong verdict
+    /// with exhausted budgets, where the trace alone could not tell.
     pub validator_intervened: bool,
     /// Action trace in order.
     pub trace: Vec<Action>,
     /// Token usage attributable to this task.
     pub tokens: TokenUsage,
+}
+
+impl Outcome {
+    /// `true` when the loop ended by exhausting its budgets rather than
+    /// by a validated pass (always `false` for non-validating methods).
+    pub fn gave_up(&self) -> bool {
+        self.trace.last() == Some(&Action::GiveUp)
+    }
 }
 
 /// Runs the full CorrectBench loop on one task.
@@ -94,6 +120,7 @@ pub fn run_correctbench(
 
     let mut tb = generate_autobench(problem, llm, cfg, rng);
     let mut validated = false;
+    let mut validator_intervened = false;
     loop {
         let v = validate(problem, &tb, llm, cfg);
         match v.verdict {
@@ -103,6 +130,7 @@ pub fn run_correctbench(
                 break;
             }
             Verdict::Wrong(report) => {
+                validator_intervened = true;
                 if corrections < cfg.max_corrections {
                     trace.push(Action::Correcting);
                     corrections += 1;
@@ -115,16 +143,13 @@ pub fn run_correctbench(
                     tb = generate_autobench(problem, llm, cfg, rng);
                     final_from_corrector = false;
                 } else {
-                    trace.push(Action::Pass);
+                    trace.push(Action::GiveUp);
                     break;
                 }
             }
         }
     }
 
-    let validator_intervened = trace
-        .iter()
-        .any(|a| matches!(a, Action::Correcting | Action::Rebooting));
     Outcome {
         tb,
         validated,
@@ -206,7 +231,10 @@ mod tests {
         let mut llm = SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), 41);
         let mut rng = StdRng::seed_from_u64(41);
         let out = run_correctbench(&p, &mut llm, &cfg, &mut rng);
-        assert_eq!(*out.trace.last().expect("trace"), Action::Pass);
+        let last = *out.trace.last().expect("trace");
+        assert!(matches!(last, Action::Pass | Action::GiveUp));
+        assert_eq!(last == Action::Pass, out.validated);
+        assert_eq!(last == Action::GiveUp, out.gave_up());
         assert!(out.tokens.requests > 0);
         assert!(out.corrections <= cfg.max_corrections);
         assert!(out.reboots <= cfg.max_reboots);

@@ -41,9 +41,8 @@ mod tests {
         let p = correctbench_dataset::problem("and_8").expect("problem");
         let scenarios = generate_scenarios(&p, 4);
         let driver = generate_driver(&p, &scenarios);
-        let checker = CheckerArtifact::clean(
-            compile_module(&p.golden_module()).expect("golden checker"),
-        );
+        let checker =
+            CheckerArtifact::clean(compile_module(&p.golden_module()).expect("golden checker"));
         (
             p,
             HybridTb {
@@ -58,10 +57,7 @@ mod tests {
     fn golden_tb_is_valid() {
         let (_, tb) = sample_tb();
         assert!(tb.is_syntactically_valid());
-        assert_eq!(
-            tb.driver_scenario_coverage().len(),
-            tb.scenarios.len()
-        );
+        assert_eq!(tb.driver_scenario_coverage().len(), tb.scenarios.len());
     }
 
     #[test]

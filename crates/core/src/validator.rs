@@ -188,11 +188,8 @@ pub fn validate(
     // toggle coverage downgrades the verdict.
     if let (Verdict::Correct, Some(threshold)) = (&verdict, cfg.min_input_coverage) {
         let covered = tb.driver_scenario_coverage();
-        let report = correctbench_tbgen::CoverageReport::measure(
-            problem,
-            &tb.scenarios,
-            Some(&covered),
-        );
+        let report =
+            correctbench_tbgen::CoverageReport::measure(problem, &tb.scenarios, Some(&covered));
         if report.ratio() < threshold {
             let ns = tb.scenarios.len();
             verdict = Verdict::Wrong(BugReport {
@@ -209,11 +206,7 @@ pub fn validate(
 /// syntactically clean or the attempt budget (2·NR) runs out, mirroring
 /// the paper's "regenerate until at least half are free from syntax
 /// errors".
-pub fn generate_rtl_group(
-    problem: &Problem,
-    llm: &mut dyn LlmClient,
-    cfg: &Config,
-) -> Vec<String> {
+pub fn generate_rtl_group(problem: &Problem, llm: &mut dyn LlmClient, cfg: &Config) -> Vec<String> {
     let target = cfg.num_validation_rtls;
     let mut clean = Vec::with_capacity(target);
     let mut attempts = 0;
@@ -287,7 +280,10 @@ pub fn judge(matrix: &RsMatrix, cfg: &Config) -> Verdict {
     }
 
     let threshold = cfg.criterion.wrong_fraction();
-    let weighted = matches!(cfg.criterion, crate::config::ValidationCriterion::Weighted { .. });
+    let weighted = matches!(
+        cfg.criterion,
+        crate::config::ValidationCriterion::Weighted { .. }
+    );
     let mut wrong = Vec::new();
     let mut correct = Vec::new();
     let mut uncertain = Vec::new();
@@ -327,8 +323,7 @@ mod tests {
         let p = correctbench_dataset::problem(name).expect("problem");
         let scenarios = generate_scenarios(&p, seed);
         let driver = generate_driver(&p, &scenarios);
-        let checker =
-            CheckerArtifact::clean(compile_module(&p.golden_module()).expect("checker"));
+        let checker = CheckerArtifact::clean(compile_module(&p.golden_module()).expect("checker"));
         (
             p,
             HybridTb {
@@ -389,7 +384,11 @@ mod tests {
         // A column 80% wrong: flagged by 70%- and 50%-wrong, not by 100%.
         let mut rows = Vec::new();
         for i in 0..10 {
-            let cell = if i < 8 { RsCell::Wrong } else { RsCell::Correct };
+            let cell = if i < 8 {
+                RsCell::Wrong
+            } else {
+                RsCell::Correct
+            };
             rows.push(vec![cell, RsCell::Correct]);
         }
         let matrix = RsMatrix { rows };
@@ -455,7 +454,9 @@ mod tests {
         // Weighted: broken rows carry zero weight; only column 0 (which
         // the plausible designs also fail) is flagged.
         let weighted = Config {
-            criterion: ValidationCriterion::Weighted { wrong_fraction: 0.7 },
+            criterion: ValidationCriterion::Weighted {
+                wrong_fraction: 0.7,
+            },
             ..Config::default()
         };
         match judge(&matrix, &weighted) {

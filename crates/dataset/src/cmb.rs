@@ -83,14 +83,54 @@ pub fn problems() -> Vec<Problem> {
     let mut v: Vec<Problem> = Vec::with_capacity(81);
 
     // ---- basic gates (12) ----
-    v.push(unary_gate("not_1", 1, "~a", "y is the logical inverse of the single-bit input a."));
-    v.push(unary_gate("not_8", 8, "~a", "y is the bitwise inverse of the 8-bit input a."));
-    v.push(binary_gate("and_1", 1, "&", "y = a AND b for single-bit inputs."));
-    v.push(binary_gate("and_8", 8, "&", "y is the bitwise AND of the two 8-bit inputs."));
-    v.push(binary_gate("or_1", 1, "|", "y = a OR b for single-bit inputs."));
-    v.push(binary_gate("or_8", 8, "|", "y is the bitwise OR of the two 8-bit inputs."));
-    v.push(binary_gate("xor_1", 1, "^", "y = a XOR b for single-bit inputs."));
-    v.push(binary_gate("xor_8", 8, "^", "y is the bitwise XOR of the two 8-bit inputs."));
+    v.push(unary_gate(
+        "not_1",
+        1,
+        "~a",
+        "y is the logical inverse of the single-bit input a.",
+    ));
+    v.push(unary_gate(
+        "not_8",
+        8,
+        "~a",
+        "y is the bitwise inverse of the 8-bit input a.",
+    ));
+    v.push(binary_gate(
+        "and_1",
+        1,
+        "&",
+        "y = a AND b for single-bit inputs.",
+    ));
+    v.push(binary_gate(
+        "and_8",
+        8,
+        "&",
+        "y is the bitwise AND of the two 8-bit inputs.",
+    ));
+    v.push(binary_gate(
+        "or_1",
+        1,
+        "|",
+        "y = a OR b for single-bit inputs.",
+    ));
+    v.push(binary_gate(
+        "or_8",
+        8,
+        "|",
+        "y is the bitwise OR of the two 8-bit inputs.",
+    ));
+    v.push(binary_gate(
+        "xor_1",
+        1,
+        "^",
+        "y = a XOR b for single-bit inputs.",
+    ));
+    v.push(binary_gate(
+        "xor_8",
+        8,
+        "^",
+        "y is the bitwise XOR of the two 8-bit inputs.",
+    ));
     v.push({
         let rtl = "module nand_4 (\n    input [3:0] a,\n    input [3:0] b,\n    output [3:0] y\n);\n    assign y = ~(a & b);\nendmodule\n".to_string();
         p("nand_4", Difficulty::Easy, "y is the bitwise NAND of the two 4-bit inputs.", rtl,

@@ -161,7 +161,10 @@ impl Problem {
 
     /// Output ports observed by the checker.
     pub fn outputs(&self) -> Vec<&PortSpec> {
-        self.ports.iter().filter(|p| p.dir == PortDir::Output).collect()
+        self.ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .collect()
     }
 
     /// `true` when the DUT has a `clk` input.
@@ -285,7 +288,11 @@ mod tests {
                 "{}: spec too short to drive generation",
                 p.name
             );
-            assert!(p.spec.contains("module"), "{}: spec lacks module info", p.name);
+            assert!(
+                p.spec.contains("module"),
+                "{}: spec lacks module info",
+                p.name
+            );
         }
     }
 

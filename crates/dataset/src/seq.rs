@@ -51,6 +51,7 @@ fn out(name: &str, w: usize) -> PortSpec {
 }
 
 /// Builds the full sequential catalogue (75 problems).
+#[allow(clippy::vec_init_then_push)]
 pub fn problems() -> Vec<Problem> {
     let mut v: Vec<Problem> = Vec::with_capacity(75);
 
@@ -392,7 +393,11 @@ mod tests {
             let m = prob.golden_module();
             let prog = correctbench_checker::compile_module(&m)
                 .unwrap_or_else(|e| panic!("{}: checker compile failed: {e}", prob.name));
-            assert!(prog.sequential, "{} should compile as sequential", prob.name);
+            assert!(
+                prog.sequential,
+                "{} should compile as sequential",
+                prob.name
+            );
         }
     }
 

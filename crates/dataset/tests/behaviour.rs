@@ -17,11 +17,19 @@ fn run_cmb(problem: &str, drives: &[(&str, u64)], outputs: &[&str]) -> Vec<Strin
             format!("[{}:0] ", port.width - 1)
         };
         match port.dir {
-            correctbench_dataset::PortDir::Input => tb.push_str(&format!("reg {range}{};\n", port.name)),
-            correctbench_dataset::PortDir::Output => tb.push_str(&format!("wire {range}{};\n", port.name)),
+            correctbench_dataset::PortDir::Input => {
+                tb.push_str(&format!("reg {range}{};\n", port.name))
+            }
+            correctbench_dataset::PortDir::Output => {
+                tb.push_str(&format!("wire {range}{};\n", port.name))
+            }
         }
     }
-    let conns: Vec<String> = p.ports.iter().map(|q| format!(".{}({})", q.name, q.name)).collect();
+    let conns: Vec<String> = p
+        .ports
+        .iter()
+        .map(|q| format!(".{}({})", q.name, q.name))
+        .collect();
     tb.push_str(&format!("{} dut({});\n", p.name, conns.join(", ")));
     tb.push_str("initial begin\n");
     for (name, value) in drives {
@@ -52,7 +60,15 @@ fn mux6_out_of_range_sel() {
     assert_eq!(
         run_cmb(
             "mux6_4",
-            &[("sel", 7), ("data0", 1), ("data1", 2), ("data2", 3), ("data3", 4), ("data4", 5), ("data5", 6)],
+            &[
+                ("sel", 7),
+                ("data0", 1),
+                ("data1", 2),
+                ("data2", 3),
+                ("data3", 4),
+                ("data4", 5),
+                ("data5", 6)
+            ],
             &["out"]
         ),
         vec!["out=0"]
@@ -60,7 +76,15 @@ fn mux6_out_of_range_sel() {
     assert_eq!(
         run_cmb(
             "mux6_4",
-            &[("sel", 4), ("data0", 1), ("data1", 2), ("data2", 3), ("data3", 4), ("data4", 5), ("data5", 6)],
+            &[
+                ("sel", 4),
+                ("data0", 1),
+                ("data1", 2),
+                ("data2", 3),
+                ("data3", 4),
+                ("data4", 5),
+                ("data5", 6)
+            ],
             &["out"]
         ),
         vec!["out=5"]
@@ -85,7 +109,10 @@ fn clz_edge_cases() {
 #[test]
 fn popcount_values() {
     assert_eq!(run_cmb("popcount_8", &[("d", 0xff)], &["n"]), vec!["n=8"]);
-    assert_eq!(run_cmb("popcount_16", &[("d", 0xa5a5)], &["n"]), vec!["n=8"]);
+    assert_eq!(
+        run_cmb("popcount_16", &[("d", 0xa5a5)], &["n"]),
+        vec!["n=8"]
+    );
 }
 
 #[test]
@@ -104,26 +131,50 @@ fn priority_encoder_highest_wins() {
 fn gray_code_roundtrip_values() {
     assert_eq!(run_cmb("gray_encode_8", &[("b", 5)], &["g"]), vec!["g=7"]);
     assert_eq!(run_cmb("gray_decode_8", &[("g", 7)], &["b"]), vec!["b=5"]);
-    assert_eq!(run_cmb("gray_decode_8", &[("g", 0xff)], &["b"]), vec!["b=170"]);
+    assert_eq!(
+        run_cmb("gray_decode_8", &[("g", 0xff)], &["b"]),
+        vec!["b=170"]
+    );
 }
 
 #[test]
 fn sat_add_clamps() {
-    assert_eq!(run_cmb("sat_add_8", &[("a", 250), ("b", 10)], &["y"]), vec!["y=255"]);
-    assert_eq!(run_cmb("sat_add_8", &[("a", 250), ("b", 5)], &["y"]), vec!["y=255"]);
-    assert_eq!(run_cmb("sat_add_8", &[("a", 250), ("b", 4)], &["y"]), vec!["y=254"]);
+    assert_eq!(
+        run_cmb("sat_add_8", &[("a", 250), ("b", 10)], &["y"]),
+        vec!["y=255"]
+    );
+    assert_eq!(
+        run_cmb("sat_add_8", &[("a", 250), ("b", 5)], &["y"]),
+        vec!["y=255"]
+    );
+    assert_eq!(
+        run_cmb("sat_add_8", &[("a", 250), ("b", 4)], &["y"]),
+        vec!["y=254"]
+    );
 }
 
 #[test]
 fn rotate_wraps() {
-    assert_eq!(run_cmb("rotl_8", &[("d", 0x81), ("n", 1)], &["y"]), vec!["y=3"]);
-    assert_eq!(run_cmb("rotr_8", &[("d", 0x81), ("n", 1)], &["y"]), vec!["y=192"]);
+    assert_eq!(
+        run_cmb("rotl_8", &[("d", 0x81), ("n", 1)], &["y"]),
+        vec!["y=3"]
+    );
+    assert_eq!(
+        run_cmb("rotr_8", &[("d", 0x81), ("n", 1)], &["y"]),
+        vec!["y=192"]
+    );
 }
 
 #[test]
 fn asr_sign_fills() {
-    assert_eq!(run_cmb("asr_8", &[("d", 0x80), ("n", 7)], &["y"]), vec!["y=255"]);
-    assert_eq!(run_cmb("asr_8", &[("d", 0x40), ("n", 3)], &["y"]), vec!["y=8"]);
+    assert_eq!(
+        run_cmb("asr_8", &[("d", 0x80), ("n", 7)], &["y"]),
+        vec!["y=255"]
+    );
+    assert_eq!(
+        run_cmb("asr_8", &[("d", 0x40), ("n", 3)], &["y"]),
+        vec!["y=8"]
+    );
 }
 
 /// Drives a sequential DUT with per-cycle values and samples outputs at
@@ -141,11 +192,19 @@ fn run_seq(problem: &str, cycles: &[&[(&str, u64)]], outputs: &[&str]) -> Vec<St
             format!("[{}:0] ", port.width - 1)
         };
         match port.dir {
-            correctbench_dataset::PortDir::Input => tb.push_str(&format!("reg {range}{};\n", port.name)),
-            correctbench_dataset::PortDir::Output => tb.push_str(&format!("wire {range}{};\n", port.name)),
+            correctbench_dataset::PortDir::Input => {
+                tb.push_str(&format!("reg {range}{};\n", port.name))
+            }
+            correctbench_dataset::PortDir::Output => {
+                tb.push_str(&format!("wire {range}{};\n", port.name))
+            }
         }
     }
-    let conns: Vec<String> = p.ports.iter().map(|q| format!(".{}({})", q.name, q.name)).collect();
+    let conns: Vec<String> = p
+        .ports
+        .iter()
+        .map(|q| format!(".{}({})", q.name, q.name))
+        .collect();
     tb.push_str(&format!("{} dut({});\n", p.name, conns.join(", ")));
     tb.push_str("initial clk = 0;\nalways #5 clk = ~clk;\ninitial begin\n");
     let fmt: Vec<String> = outputs.iter().map(|o| format!("{o}=%0d")).collect();
@@ -168,8 +227,14 @@ fn counter_mod10_wraps_at_nine() {
         cycles.push(&[("rst", 0)]);
     }
     let out = run_seq("counter_mod10", &cycles, &["q"]);
-    let values: Vec<&str> = out.iter().map(|l| l.strip_prefix("q=").expect("q")).collect();
-    assert_eq!(values, vec!["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "0"]);
+    let values: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("q=").expect("q"))
+        .collect();
+    assert_eq!(
+        values,
+        vec!["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "0"]
+    );
 }
 
 #[test]
@@ -179,7 +244,12 @@ fn shift18_matches_paper_demo() {
     let out = run_seq(
         "shift18",
         &[
-            &[("load", 1), ("ena", 0), ("amount", 0), ("data", 0x8000_0000_0000_0000)],
+            &[
+                ("load", 1),
+                ("ena", 0),
+                ("amount", 0),
+                ("data", 0x8000_0000_0000_0000),
+            ],
             &[("load", 0), ("ena", 1), ("amount", 3)],
         ],
         &["q"],
@@ -222,7 +292,10 @@ fn seq_det_101_overlapping() {
         ],
         &["y"],
     );
-    let ys: Vec<&str> = out.iter().map(|l| l.strip_prefix("y=").expect("y")).collect();
+    let ys: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("y=").expect("y"))
+        .collect();
     assert_eq!(ys, vec!["0", "0", "0", "1", "0", "1"]);
 }
 
@@ -239,7 +312,10 @@ fn vending_machine_dispenses_at_15() {
         ],
         &["dispense"],
     );
-    let d: Vec<&str> = out.iter().map(|l| l.strip_prefix("dispense=").expect("d")).collect();
+    let d: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("dispense=").expect("d"))
+        .collect();
     assert_eq!(d, vec!["0", "0", "0", "1", "0"]);
 }
 
@@ -255,7 +331,10 @@ fn edge_capture_accumulates_falls() {
         ],
         &["q"],
     );
-    let q: Vec<&str> = out.iter().map(|l| l.strip_prefix("q=").expect("q")).collect();
+    let q: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("q=").expect("q"))
+        .collect();
     assert_eq!(q, vec!["0", "2", "10", "10"]);
 }
 
@@ -273,7 +352,10 @@ fn arbiter_alternates_on_contention() {
         ],
         &["grant"],
     );
-    let g: Vec<&str> = out.iter().map(|l| l.strip_prefix("grant=").expect("g")).collect();
+    let g: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("grant=").expect("g"))
+        .collect();
     assert_eq!(g, vec!["0", "2", "1", "2", "1", "0"]);
 }
 
@@ -290,6 +372,9 @@ fn debounce_needs_three_stable_samples() {
         ],
         &["q"],
     );
-    let q: Vec<&str> = out.iter().map(|l| l.strip_prefix("q=").expect("q")).collect();
+    let q: Vec<&str> = out
+        .iter()
+        .map(|l| l.strip_prefix("q=").expect("q"))
+        .collect();
     assert_eq!(q, vec!["0", "0", "0", "1", "1"]);
 }

@@ -1,0 +1,159 @@
+//! Structured JSONL artifacts.
+//!
+//! A run writes two streams plus a human summary:
+//!
+//! * `outcomes.jsonl` — one JSON object per job in canonical job order.
+//!   Every field is a pure function of the plan, so the file is
+//!   **byte-identical across thread counts and re-runs** (the
+//!   determinism contract the harness integration tests pin down).
+//! * `timings.jsonl` — measured per-job wall times and run metadata.
+//!   Honest measurements are not deterministic, so they live in this
+//!   sidecar, never in `outcomes.jsonl`.
+//! * `summary.txt` — the rendered [`crate::report`] tables.
+//!
+//! No external JSON dependency exists in this offline workspace, so the
+//! tiny encoder below handles the one shape we emit: flat objects of
+//! strings, integers, booleans and string arrays.
+
+use crate::scheduler::RunResult;
+use crate::worker::TaskOutcome;
+use correctbench_dataset::CircuitKind;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Escapes `s` as a JSON string body (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn kind_name(kind: CircuitKind) -> &'static str {
+    match kind {
+        CircuitKind::Combinational => "cmb",
+        CircuitKind::Sequential => "seq",
+    }
+}
+
+/// Renders one outcome as its canonical JSONL line (no trailing newline).
+pub fn outcome_json(o: &TaskOutcome) -> String {
+    let trace: Vec<String> = o
+        .trace
+        .iter()
+        .map(|a| format!("\"{}\"", a.name()))
+        .collect();
+    format!(
+        concat!(
+            "{{\"job\":{},\"problem\":\"{}\",\"kind\":\"{}\",\"method\":\"{}\",",
+            "\"model\":\"{}\",\"rep\":{},\"seed\":{},\"eval\":\"{}\",",
+            "\"validated\":{},\"gave_up\":{},\"corrections\":{},\"reboots\":{},",
+            "\"final_from_corrector\":{},\"validator_intervened\":{},",
+            "\"trace\":[{}],\"input_tokens\":{},\"output_tokens\":{},\"requests\":{}}}"
+        ),
+        o.job_id,
+        json_escape(&o.problem),
+        kind_name(o.kind),
+        o.method.name(),
+        o.model.as_str(),
+        o.rep,
+        o.seed,
+        o.level.name(),
+        o.validated,
+        o.gave_up,
+        o.corrections,
+        o.reboots,
+        o.final_from_corrector,
+        o.validator_intervened,
+        trace.join(","),
+        o.tokens.input_tokens,
+        o.tokens.output_tokens,
+        o.tokens.requests,
+    )
+}
+
+/// Renders the deterministic outcome stream: one line per job, canonical
+/// order, trailing newline.
+pub fn outcomes_jsonl(outcomes: &[TaskOutcome]) -> String {
+    let mut s = String::new();
+    for o in outcomes {
+        s.push_str(&outcome_json(o));
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders the measured timing sidecar for one run.
+pub fn timings_jsonl(result: &RunResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{}}}",
+        result.wall.as_millis(),
+        result.threads,
+        result.outcomes.len()
+    );
+    for o in &result.outcomes {
+        let _ = writeln!(
+            s,
+            "{{\"job\":{},\"problem\":\"{}\",\"wall_ms\":{}}}",
+            o.job_id,
+            json_escape(&o.problem),
+            o.wall.as_millis()
+        );
+    }
+    s
+}
+
+/// Paths of the files one run writes.
+#[derive(Clone, Debug)]
+pub struct ArtifactPaths {
+    /// Deterministic outcome stream.
+    pub outcomes: PathBuf,
+    /// Measured timing sidecar.
+    pub timings: PathBuf,
+    /// Human-readable summary.
+    pub summary: PathBuf,
+}
+
+/// Writes the artifact set of `result` under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Any filesystem failure creating `dir` or writing a file.
+pub fn write_artifacts(dir: &Path, result: &RunResult, summary: &str) -> io::Result<ArtifactPaths> {
+    std::fs::create_dir_all(dir)?;
+    let paths = ArtifactPaths {
+        outcomes: dir.join("outcomes.jsonl"),
+        timings: dir.join("timings.jsonl"),
+        summary: dir.join("summary.txt"),
+    };
+    std::fs::write(&paths.outcomes, outcomes_jsonl(&result.outcomes))?;
+    std::fs::write(&paths.timings, timings_jsonl(result))?;
+    std::fs::write(&paths.summary, summary)?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_controls_and_quotes() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+}

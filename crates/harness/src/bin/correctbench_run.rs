@@ -1,0 +1,121 @@
+//! `correctbench-run`: execute a declarative evaluation plan in parallel.
+//!
+//! ```text
+//! correctbench-run [--full] [--problems N] [--reps N] [--seed N]
+//!                  [--threads N] [--methods cb,ab,base] [--model NAME]
+//!                  [--out DIR] [--no-cache] [--quiet]
+//! ```
+//!
+//! Expands (problems × methods × reps) into a job graph, runs it on a
+//! worker pool with a shared content-addressed simulation cache, prints
+//! the aggregate summary, and (with `--out`) writes `outcomes.jsonl`
+//! (deterministic, thread-count independent), `timings.jsonl` (measured)
+//! and `summary.txt`.
+
+use correctbench::Method;
+use correctbench_harness::cli::{usage, write_artifacts_or_exit, RunArgs};
+use correctbench_harness::{render_summary, Engine, RunPlan};
+use correctbench_llm::{ModelKind, SimulatedClientFactory};
+
+const EXTRA_USAGE: &str =
+    "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] [--no-cache] [--quiet]";
+
+fn parse_methods(spec: &str) -> Vec<Method> {
+    let methods: Vec<Method> = spec
+        .split(',')
+        .map(|m| match m.trim() {
+            "cb" | "correctbench" => Method::CorrectBench,
+            "ab" | "autobench" => Method::AutoBench,
+            "base" | "baseline" => Method::Baseline,
+            other => usage(&format!("unknown method `{other}`"), EXTRA_USAGE),
+        })
+        .collect();
+    if methods.is_empty() {
+        usage("--methods needs at least one method", EXTRA_USAGE);
+    }
+    methods
+}
+
+fn parse_model(spec: &str) -> ModelKind {
+    match spec {
+        "gpt-4o" => ModelKind::Gpt4o,
+        "claude-3.5-sonnet" | "claude" => ModelKind::Claude35Sonnet,
+        "gpt-4o-mini" | "mini" => ModelKind::Gpt4oMini,
+        other => usage(&format!("unknown model `{other}`"), EXTRA_USAGE),
+    }
+}
+
+fn main() {
+    let mut methods = Method::ALL.to_vec();
+    let mut model = ModelKind::Gpt4o;
+    let mut cache = true;
+    let mut quiet = false;
+    let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
+        "--methods" => {
+            methods = parse_methods(
+                &it.next()
+                    .unwrap_or_else(|| usage("--methods needs a list", EXTRA_USAGE)),
+            );
+            true
+        }
+        "--model" => {
+            model = parse_model(
+                &it.next()
+                    .unwrap_or_else(|| usage("--model needs a name", EXTRA_USAGE)),
+            );
+            true
+        }
+        "--no-cache" => {
+            cache = false;
+            true
+        }
+        "--quiet" => {
+            quiet = true;
+            true
+        }
+        _ => false,
+    });
+
+    let mut plan = RunPlan::new("correctbench-run", args.problem_set());
+    plan.methods = methods;
+    plan.model = model;
+    plan.reps = args.reps;
+    plan.base_seed = args.seed;
+
+    if !quiet {
+        eprintln!(
+            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, cache {})",
+            plan.problems.len(),
+            plan.methods.len(),
+            plan.reps,
+            plan.num_jobs(),
+            args.threads,
+            plan.model,
+            if cache { "on" } else { "off" },
+        );
+    }
+
+    let mut engine = Engine::new(args.threads).with_progress(!quiet);
+    if !cache {
+        engine = engine.without_cache();
+    }
+    let factory = SimulatedClientFactory::for_model(plan.model);
+    let result = engine.execute(&plan, &factory);
+    let summary = render_summary(&plan, &result);
+    if !quiet {
+        eprintln!();
+    }
+    print!("{summary}");
+
+    if let Some(dir) = &args.out {
+        let paths = write_artifacts_or_exit(dir, &result, &summary);
+        if !quiet {
+            eprintln!(
+                "artifacts: {} | {} | {}",
+                paths.outcomes.display(),
+                paths.timings.display(),
+                paths.summary.display()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The parallel evaluation engine.
+//!
+//! Every experiment in the paper is a sweep of *problems × methods ×
+//! seeds*; this crate is the layer that runs such sweeps fast and
+//! reproducibly for every experiment binary at once:
+//!
+//! * [`plan`] — declarative [`RunPlan`]s and their expansion into a
+//!   canonical job list;
+//! * [`scheduler`] — the work-stealing worker pool ([`Engine`]); outcome
+//!   order is restored by job id, so results are byte-identical
+//!   regardless of thread count;
+//! * [`worker`] — single-job execution with per-job clients and RNGs;
+//! * [`cache`] — the shared content-addressed simulation cache
+//!   (memoizes repeated `(DUT, driver, checker, scenarios)` runs across
+//!   jobs);
+//! * [`artifact`] — deterministic `outcomes.jsonl` plus the measured
+//!   `timings.jsonl` sidecar;
+//! * [`report`] — aggregate summaries.
+//!
+//! The `correctbench-run` binary drives all of it from the command line.
+//!
+//! # Examples
+//!
+//! ```
+//! use correctbench_harness::{Engine, RunPlan};
+//! use correctbench_llm::{ModelKind, SimulatedClientFactory};
+//!
+//! let problems = vec![correctbench_dataset::problem("and_8").expect("known problem")];
+//! let plan = RunPlan::new("doc", problems);
+//! let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+//! let result = Engine::new(2).execute(&plan, &factory);
+//! assert_eq!(result.outcomes.len(), plan.num_jobs());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cli;
+pub mod plan;
+pub mod report;
+pub mod scheduler;
+pub mod worker;
+
+/// The content-addressed simulation cache shared by worker threads.
+///
+/// The cache lives in `correctbench_tbgen` — the crate that owns the
+/// testbench runner it hooks — and is re-exported here because the
+/// harness is what installs, shares and reports it.
+pub mod cache {
+    pub use correctbench_tbgen::cache::{with_active, CacheKey, CacheStats, SimCache};
+}
+
+pub use artifact::{outcomes_jsonl, write_artifacts, ArtifactPaths};
+pub use cache::{CacheStats, SimCache};
+pub use cli::RunArgs;
+pub use plan::{mix_seed, problem_subset, Job, RunPlan};
+pub use report::{render_summary, summarize, MethodSummary};
+pub use scheduler::{parallel_map, Engine, RunResult};
+pub use worker::{run_job, TaskOutcome};

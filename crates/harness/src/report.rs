@@ -1,0 +1,116 @@
+//! Aggregate summaries of a run's outcome stream.
+
+use crate::plan::RunPlan;
+use crate::scheduler::RunResult;
+use crate::worker::TaskOutcome;
+use correctbench::Method;
+use correctbench_autoeval::EvalLevel;
+use std::fmt::Write as _;
+
+/// Aggregated statistics of one method across a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MethodSummary {
+    /// Number of (task, rep) runs.
+    pub runs: usize,
+    /// Runs whose highest level is Failed / Eval0 / Eval1 / Eval2.
+    pub at_level: [usize; 4],
+    /// Runs reaching at least Eval0 / Eval1 / Eval2.
+    pub at_least: [usize; 3],
+    /// Validated (CorrectBench) runs.
+    pub validated: usize,
+    /// Budget-exhausted (gave-up) runs.
+    pub gave_up: usize,
+    /// Mean input tokens per run.
+    pub mean_input_tokens: f64,
+    /// Mean output tokens per run.
+    pub mean_output_tokens: f64,
+}
+
+impl MethodSummary {
+    /// Pass ratio at `level_idx` (0 ⇒ Eval0 …).
+    pub fn ratio(&self, level_idx: usize) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.at_least[level_idx] as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Aggregates `outcomes` for one method.
+pub fn summarize(outcomes: &[TaskOutcome], method: Method) -> MethodSummary {
+    let selected: Vec<&TaskOutcome> = outcomes.iter().filter(|o| o.method == method).collect();
+    let mut s = MethodSummary {
+        runs: selected.len(),
+        ..MethodSummary::default()
+    };
+    let mut in_tok = 0u64;
+    let mut out_tok = 0u64;
+    for o in &selected {
+        s.at_level[o.level as usize] += 1;
+        for (i, lvl) in [EvalLevel::Eval0, EvalLevel::Eval1, EvalLevel::Eval2]
+            .iter()
+            .enumerate()
+        {
+            if o.level >= *lvl {
+                s.at_least[i] += 1;
+            }
+        }
+        s.validated += o.validated as usize;
+        s.gave_up += o.gave_up as usize;
+        in_tok += o.tokens.input_tokens;
+        out_tok += o.tokens.output_tokens;
+    }
+    if s.runs > 0 {
+        s.mean_input_tokens = in_tok as f64 / s.runs as f64;
+        s.mean_output_tokens = out_tok as f64 / s.runs as f64;
+    }
+    s
+}
+
+/// Renders the run summary: per-method evaluation table, token costs,
+/// and the engine's wall-clock / cache measurements.
+pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "plan `{}`: {} problems x {} methods x {} reps = {} jobs ({} model, seed {})",
+        plan.name,
+        plan.problems.len(),
+        plan.methods.len(),
+        plan.reps,
+        plan.num_jobs(),
+        plan.model,
+        plan.base_seed,
+    );
+    let _ = writeln!(
+        s,
+        "method         runs  Eval2%   Eval1%   Eval0%   validated  gave-up  in-tok/run  out-tok/run"
+    );
+    for &method in &plan.methods {
+        let m = summarize(&result.outcomes, method);
+        let _ = writeln!(
+            s,
+            "{:<13} {:>5}  {:>6.2}%  {:>6.2}%  {:>6.2}%  {:>9}  {:>7}  {:>10.1}  {:>11.1}",
+            method.name(),
+            m.runs,
+            m.ratio(2) * 100.0,
+            m.ratio(1) * 100.0,
+            m.ratio(0) * 100.0,
+            m.validated,
+            m.gave_up,
+            m.mean_input_tokens,
+            m.mean_output_tokens,
+        );
+    }
+    let _ = writeln!(s, "wall: {:?} on {} threads", result.wall, result.threads);
+    match &result.cache {
+        Some(stats) => {
+            let _ = writeln!(s, "simulation cache: {stats}");
+        }
+        None => {
+            let _ = writeln!(s, "simulation cache: disabled");
+        }
+    }
+    s
+}

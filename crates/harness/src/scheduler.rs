@@ -1,0 +1,189 @@
+//! The worker pool: executes a plan's job graph in parallel.
+//!
+//! Scheduling is a lock-free ticket counter over the canonical job list —
+//! fine-grained (one ticket per job, not per problem) so a straggler
+//! problem cannot idle the pool. Results land in a per-slot table indexed
+//! by job id, which restores canonical order no matter which worker
+//! finished what when: the outcome vector is byte-for-byte independent of
+//! the thread count.
+
+use crate::plan::RunPlan;
+use crate::worker::{run_job, TaskOutcome};
+use correctbench_llm::ClientFactory;
+use correctbench_tbgen::cache::CacheStats;
+use correctbench_tbgen::SimCache;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes [`RunPlan`]s over a worker pool with an optional shared
+/// simulation cache.
+pub struct Engine {
+    threads: usize,
+    cache: Option<Arc<SimCache>>,
+    progress: bool,
+}
+
+impl Engine {
+    /// An engine with `threads` workers and a fresh shared simulation
+    /// cache.
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+            cache: Some(SimCache::new()),
+            progress: false,
+        }
+    }
+
+    /// Replaces the simulation cache (pass an externally-shared cache to
+    /// memoize across several plans, e.g. an ablation's criterion sweep).
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disables the simulation cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Enables per-job progress output on stderr.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Runs every job of `plan`, returning outcomes in canonical job
+    /// order plus run-level measurements.
+    pub fn execute(&self, plan: &RunPlan, factory: &dyn ClientFactory) -> RunResult {
+        let t0 = Instant::now();
+        let jobs = plan.jobs();
+        let total = jobs.len();
+        let done = AtomicUsize::new(0);
+        let outcomes = parallel_map(self.threads, self.cache.as_ref(), &jobs, |_, job| {
+            let outcome = run_job(job, &plan.config, factory);
+            if self.progress {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprint!("[{n}/{total}] {}\r", job.problem.name);
+            }
+            outcome
+        });
+        RunResult {
+            outcomes,
+            threads: self.threads,
+            cache: self.cache.as_ref().map(|c| c.stats()),
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// The engine's shared cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<SimCache>> {
+        self.cache.as_ref()
+    }
+}
+
+/// Everything one engine run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-job outcomes in canonical job order (thread-count
+    /// independent).
+    pub outcomes: Vec<TaskOutcome>,
+    /// Worker count the run used (timing sidecar metadata).
+    pub threads: usize,
+    /// Simulation-cache counters at the end of the run, when caching was
+    /// enabled.
+    pub cache: Option<CacheStats>,
+    /// Total wall time of the run.
+    pub wall: Duration,
+}
+
+/// Order-preserving parallel map over `items` with work-stealing
+/// scheduling: applies `f(index, item)` on a pool of `threads` workers
+/// (each with `cache` installed, when given) and returns results in item
+/// order regardless of completion order.
+pub fn parallel_map<T, U, F>(
+    threads: usize,
+    cache: Option<&Arc<SimCache>>,
+    items: &[T],
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| {
+                let _guard = cache.map(|c| c.install());
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every ticket was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 3, 8] {
+            let out = parallel_map(threads, None, &items, |i, x| {
+                assert_eq!(i, *x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn workers_share_the_cache() {
+        use correctbench_tbgen::cache::CacheKey;
+        let cache = SimCache::new();
+        let key = CacheKey {
+            dut: 1,
+            driver: 2,
+            checker: 3,
+            scenarios: 4,
+            problem: 5,
+        };
+        // Prime the table once, then have every worker probe the same
+        // key: all 64 lookups must hit, which only holds when workers
+        // share one table rather than installing per-thread copies.
+        cache.put(
+            key,
+            Ok(correctbench_tbgen::TbRun {
+                results: Vec::new(),
+                records: Vec::new(),
+                end_time: 0,
+            }),
+        );
+        let items: Vec<u64> = (0..64).collect();
+        let found = parallel_map(4, Some(&cache), &items, |_, _| {
+            correctbench_tbgen::cache::with_active(|c| c.get(&key).is_some()).expect("installed")
+        });
+        assert!(found.iter().all(|f| *f), "every worker sees the entry");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (64, 0, 1));
+    }
+}

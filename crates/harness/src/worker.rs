@@ -1,0 +1,115 @@
+//! Job execution: one (problem, method, rep) cell, start to finish.
+//!
+//! Every job builds its own LLM client and RNG from the job seed (see
+//! [`correctbench_llm::ClientFactory`]), runs the method, and evaluates
+//! the resulting testbench with AutoEval. Nothing escapes the job except
+//! its [`TaskOutcome`], so jobs commute: any worker may run any job in
+//! any order and the collected outcomes are identical.
+
+use crate::plan::Job;
+use correctbench::Method;
+use correctbench::{run_method, Action, Config};
+use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
+use correctbench_dataset::CircuitKind;
+use correctbench_llm::{ClientFactory, ModelKind, TokenUsage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// The structured record a job leaves behind — the unit of the JSONL
+/// artifact stream. Everything except [`TaskOutcome::wall`] is a pure
+/// function of the job (deterministic across runs and thread counts);
+/// wall time is measured and therefore written to the separate timing
+/// sidecar, never the deterministic artifact.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// Job id (index into the plan's canonical job list).
+    pub job_id: usize,
+    /// Problem name.
+    pub problem: String,
+    /// Combinational or sequential.
+    pub kind: CircuitKind,
+    /// Generation method.
+    pub method: Method,
+    /// Model profile.
+    pub model: ModelKind,
+    /// Repetition index.
+    pub rep: u64,
+    /// The job's derived seed (artifact reproducibility).
+    pub seed: u64,
+    /// AutoEval level reached.
+    pub level: EvalLevel,
+    /// Final validator verdict was "correct" (CorrectBench only).
+    pub validated: bool,
+    /// The loop exhausted its budgets with a wrong verdict standing.
+    pub gave_up: bool,
+    /// Correction rounds performed.
+    pub corrections: u32,
+    /// Reboots performed.
+    pub reboots: u32,
+    /// The final checker came from the corrector.
+    pub final_from_corrector: bool,
+    /// The validator rejected at least one candidate.
+    pub validator_intervened: bool,
+    /// The agent's action trace in order.
+    pub trace: Vec<Action>,
+    /// Token usage of the run.
+    pub tokens: TokenUsage,
+    /// Measured wall time of the job (non-deterministic; timing sidecar
+    /// only).
+    pub wall: Duration,
+}
+
+/// Runs one job to completion.
+pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutcome {
+    let t0 = Instant::now();
+    let mut llm = factory.client(job.seed);
+    let mut rng = StdRng::seed_from_u64(job.seed ^ 0x777);
+    let outcome = run_method(job.method, &job.problem, &mut *llm, cfg, &mut rng);
+    let tb = EvalTb {
+        scenarios: outcome.tb.scenarios.clone(),
+        driver: outcome.tb.driver.clone(),
+        checker: outcome.tb.checker.clone(),
+    };
+    let level = evaluate(&job.problem, &tb, job.eval_seed);
+    TaskOutcome {
+        job_id: job.id,
+        problem: job.problem.name.clone(),
+        kind: job.problem.kind,
+        method: job.method,
+        model: job.model,
+        rep: job.rep,
+        seed: job.seed,
+        level,
+        validated: outcome.validated,
+        gave_up: outcome.gave_up(),
+        corrections: outcome.corrections,
+        reboots: outcome.reboots,
+        final_from_corrector: outcome.final_from_corrector,
+        validator_intervened: outcome.validator_intervened,
+        trace: outcome.trace,
+        tokens: outcome.tokens,
+        wall: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RunPlan;
+    use correctbench_llm::SimulatedClientFactory;
+
+    #[test]
+    fn job_outcome_is_deterministic() {
+        let problems = vec![correctbench_dataset::problem("and_8").expect("problem")];
+        let plan = RunPlan::new("det", problems);
+        let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+        let job = &plan.jobs()[0];
+        let a = run_job(job, &plan.config, &factory);
+        let b = run_job(job, &plan.config, &factory);
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,63 @@
+//! The harness's central contract: the JSONL artifact stream of a plan
+//! is **byte-identical** regardless of worker count, and independent of
+//! whether the simulation cache is enabled (caching is a pure
+//! memoization — it may change wall time, never results).
+
+use correctbench_harness::{outcomes_jsonl, Engine, RunPlan};
+use correctbench_llm::{ModelKind, SimulatedClientFactory};
+
+fn plan() -> RunPlan {
+    let problems = ["and_8", "mux4_8", "counter_8"]
+        .iter()
+        .map(|n| correctbench_dataset::problem(n).expect("problem"))
+        .collect();
+    let mut plan = RunPlan::new("determinism", problems);
+    plan.reps = 2;
+    plan
+}
+
+fn artifact_with(engine: Engine) -> String {
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let result = engine.execute(&plan(), &factory);
+    outcomes_jsonl(&result.outcomes)
+}
+
+#[test]
+fn two_and_eight_threads_produce_byte_identical_jsonl() {
+    let two = artifact_with(Engine::new(2));
+    let eight = artifact_with(Engine::new(8));
+    assert_eq!(plan().num_jobs(), two.lines().count());
+    assert!(
+        two == eight,
+        "artifact stream depends on thread count:\n--- 2 threads ---\n{two}\n--- 8 threads ---\n{eight}"
+    );
+}
+
+#[test]
+fn cache_is_semantically_transparent() {
+    let cached = artifact_with(Engine::new(4));
+    let uncached = artifact_with(Engine::new(4).without_cache());
+    assert!(
+        cached == uncached,
+        "simulation cache changed outcomes:\n--- cached ---\n{cached}\n--- uncached ---\n{uncached}"
+    );
+}
+
+#[test]
+fn sweep_plan_shows_cache_hits() {
+    // A Table-1-style sweep (multiple methods and reps per problem)
+    // re-simulates identical (design, testbench) pairs constantly; the
+    // shared cache must convert a substantial share into hits.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let engine = Engine::new(4);
+    let result = engine.execute(&plan(), &factory);
+    let stats = result.cache.expect("cache enabled by default");
+    assert!(
+        stats.hits > 0,
+        "no cache hits in a multi-rep sweep: {stats}"
+    );
+    assert!(
+        stats.entries < stats.hits + stats.misses,
+        "every lookup missed: {stats}"
+    );
+}

@@ -1,0 +1,71 @@
+//! Per-worker client construction.
+//!
+//! The harness runs jobs on a worker pool; every job builds its *own*
+//! [`LlmClient`] from a seed so runs stay deterministic and byte-identical
+//! regardless of thread count (clients are stateful — sharing one across
+//! jobs would order-couple them). A [`ClientFactory`] is the shared,
+//! thread-safe recipe the workers build from; production code would
+//! implement it over an HTTP connection pool, the reproduction uses
+//! [`SimulatedClientFactory`].
+
+use crate::client::LlmClient;
+use crate::profile::{ModelKind, ModelProfile};
+use crate::sim::SimulatedLlm;
+
+/// A thread-safe recipe for building per-job LLM clients.
+pub trait ClientFactory: Send + Sync {
+    /// Builds a fresh client, deterministic in `seed`.
+    fn client(&self, seed: u64) -> Box<dyn LlmClient + Send>;
+
+    /// The model this factory's clients imitate (artifact metadata).
+    fn model(&self) -> ModelKind;
+}
+
+/// Builds [`SimulatedLlm`]s from one calibrated profile.
+#[derive(Clone, Debug)]
+pub struct SimulatedClientFactory {
+    /// The profile every built client uses.
+    pub profile: ModelProfile,
+}
+
+impl SimulatedClientFactory {
+    /// A factory for `model`'s calibrated profile.
+    pub fn for_model(model: ModelKind) -> Self {
+        SimulatedClientFactory {
+            profile: ModelProfile::for_model(model),
+        }
+    }
+}
+
+impl ClientFactory for SimulatedClientFactory {
+    fn client(&self, seed: u64) -> Box<dyn LlmClient + Send> {
+        Box::new(SimulatedLlm::new(self.profile.clone(), seed))
+    }
+
+    fn model(&self) -> ModelKind {
+        self.profile.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{LlmRequest, LlmResponse};
+
+    #[test]
+    fn factory_clients_are_independent_and_deterministic() {
+        let p = correctbench_dataset::problem("alu_8").expect("problem");
+        let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+        let gen = |seed| {
+            let mut c = factory.client(seed);
+            match c.request(&LlmRequest::GenerateRtl { problem: &p }) {
+                LlmResponse::Source(s) => s,
+                other => panic!("unexpected response {other:?}"),
+            }
+        };
+        assert_eq!(gen(3), gen(3), "same seed, same stream");
+        // The factory itself is shareable across threads.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&factory);
+    }
+}

@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod factory;
 pub mod profile;
 pub mod sim;
 pub mod tokens;
 
-pub use client::{ArtifactKind, BugReport, CheckerArtifact, Defect, LlmClient, LlmRequest, LlmResponse};
+pub use client::{
+    ArtifactKind, BugReport, CheckerArtifact, Defect, LlmClient, LlmRequest, LlmResponse,
+};
+pub use factory::{ClientFactory, SimulatedClientFactory};
 pub use profile::{ModelKind, ModelProfile};
 pub use sim::SimulatedLlm;
 pub use tokens::{estimate_tokens, TokenUsage};

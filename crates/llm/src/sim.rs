@@ -15,11 +15,11 @@
 //! defects occasionally slip in — matching how a real LLM patches the
 //! flagged lines of its Python checker, usually but not always correctly.
 
+use crate::client::Defect;
 use crate::client::*;
 use crate::profile::ModelProfile;
 use crate::tokens::{estimate_tokens, TokenUsage};
 use correctbench_checker::{compile_module, mutate_ir_once};
-use crate::client::Defect;
 use correctbench_dataset::Problem;
 use correctbench_tbgen::{generate_driver, generate_scenarios, ScenarioSet};
 use correctbench_verilog::corrupt::corrupt_source;
@@ -27,8 +27,8 @@ use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// The offline stand-in for a commercial LLM.
@@ -339,14 +339,18 @@ impl LlmClient for SimulatedLlm {
                 } else {
                     self.profile.fix_defect_success_rate
                 };
+                // Revert in reverse injection order: mutations overlapping
+                // on one node only restore last-in-first-out.
+                let defects: Vec<Defect> = fixed.defects.drain(..).collect();
                 let mut remaining = Vec::new();
-                for defect in fixed.defects.drain(..) {
+                for defect in defects.into_iter().rev() {
                     if defect.fixable && self.rng.gen_bool(p_fix) {
                         defect.mutation.revert(&mut fixed.program);
                     } else {
                         remaining.push(defect);
                     }
                 }
+                remaining.reverse();
                 fixed.defects = remaining;
                 if self.rng.gen_bool(self.profile.fix_new_defect_rate) {
                     if let Some(m) = mutate_ir_once(&mut fixed.program, &mut self.rng) {
@@ -594,8 +598,7 @@ mod tests {
         let p = problem("alu_8").expect("problem");
         let run = |seed| {
             let mut c = client(seed);
-            let LlmResponse::Source(s) = c.request(&LlmRequest::GenerateRtl { problem: &p })
-            else {
+            let LlmResponse::Source(s) = c.request(&LlmRequest::GenerateRtl { problem: &p }) else {
                 panic!("wrong response kind");
             };
             s

@@ -77,11 +77,7 @@ pub fn generate_driver(problem: &Problem, scenarios: &ScenarioSet) -> String {
     let fmt = record_format(problem);
     let args: Vec<String> = record_args(problem);
     for sc in &scenarios.scenarios {
-        let _ = writeln!(
-            s,
-            "        // Scenario {}: {}",
-            sc.index, sc.description
-        );
+        let _ = writeln!(s, "        // Scenario {}: {}", sc.index, sc.description);
         for stim in &sc.stimuli {
             for port in &inputs {
                 if let Some(v) = stim.value(&port.name) {

@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod coverage;
 pub mod driver;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
 
+pub use cache::{CacheKey, CacheStats, SimCache};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
 pub use record::{parse_record, parse_records, FieldValue, Record};

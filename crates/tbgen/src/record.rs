@@ -42,7 +42,10 @@ impl FieldValue {
 impl Record {
     /// The value of `signal`, if the record carries it.
     pub fn field(&self, signal: &str) -> Option<&FieldValue> {
-        self.fields.iter().find(|(n, _)| n == signal).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .find(|(n, _)| n == signal)
+            .map(|(_, v)| v)
     }
 }
 

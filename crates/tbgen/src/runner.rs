@@ -168,21 +168,42 @@ pub fn run_testbench(
 ) -> Result<TbRun, TbError> {
     let dut = parse(dut_src).map_err(VerilogError::from)?;
     let driver = parse(driver_src).map_err(VerilogError::from)?;
-    let (records, end_time) = simulate_records_limited(&dut, &driver, limits_for(scenarios))?;
-    let results = judge_records(&records, checker, problem, scenarios.len())?;
-    Ok(TbRun {
-        results,
-        records,
-        end_time,
-    })
+    run_testbench_parsed(&dut, &driver, checker, problem, scenarios)
 }
 
 /// [`run_testbench`] over already-parsed sources.
+///
+/// When a [`crate::SimCache`] is installed on the current thread (see
+/// [`crate::SimCache::install`]), the run is memoized under the content
+/// address of `(dut, driver, checker, problem ports, scenarios)`: a
+/// repeated key returns the stored result without simulating. A run is a
+/// pure function of that key, so cached and fresh results are identical.
 ///
 /// # Errors
 ///
 /// As [`run_testbench`].
 pub fn run_testbench_parsed(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+    checker: &CheckerProgram,
+    problem: &Problem,
+    scenarios: &ScenarioSet,
+) -> Result<TbRun, TbError> {
+    let key = crate::cache::with_active(|_| {
+        crate::cache::CacheKey::for_run(dut, driver, checker, problem, scenarios)
+    });
+    if let Some(key) = key {
+        if let Some(cached) = crate::cache::with_active(|c| c.get(&key)).flatten() {
+            return cached;
+        }
+        let result = run_testbench_uncached(dut, driver, checker, problem, scenarios);
+        crate::cache::with_active(|c| c.put(key, result.clone()));
+        return result;
+    }
+    run_testbench_uncached(dut, driver, checker, problem, scenarios)
+}
+
+fn run_testbench_uncached(
     dut: &correctbench_verilog::ast::SourceFile,
     driver: &correctbench_verilog::ast::SourceFile,
     checker: &CheckerProgram,
@@ -268,7 +289,15 @@ mod tests {
     use correctbench_checker::compile_module;
     use correctbench_dataset::problem;
 
-    fn golden_setup(name: &str, seed: u64) -> (correctbench_dataset::Problem, ScenarioSet, String, CheckerProgram) {
+    fn golden_setup(
+        name: &str,
+        seed: u64,
+    ) -> (
+        correctbench_dataset::Problem,
+        ScenarioSet,
+        String,
+        CheckerProgram,
+    ) {
         let p = problem(name).expect("problem");
         let scen = generate_scenarios(&p, seed);
         let driver = generate_driver(&p, &scen);

@@ -58,6 +58,13 @@ impl ScenarioSet {
     pub fn total_stimuli(&self) -> usize {
         self.scenarios.iter().map(|s| s.stimuli.len()).sum()
     }
+
+    /// Stable structural hash (FNV-1a over the canonical `Debug`
+    /// rendering). Used as the scenario component of simulation-cache
+    /// keys.
+    pub fn structural_hash(&self) -> u64 {
+        correctbench_verilog::hash::debug_hash(self)
+    }
 }
 
 /// Generates the canonical scenario list for `problem`.
@@ -106,9 +113,7 @@ pub fn generate_scenarios(problem: &Problem, seed: u64) -> ScenarioSet {
                     // One dedicated scenario exercises a mid-stream reset.
                     let mid_reset = index == spec.scenarios && k == spec.stimuli_per_scenario / 2;
                     LogicVec::from_u64(1, mid_reset as u64)
-                } else if let Some((_, fixed)) =
-                    controls.iter().find(|(n, _)| n == &port.name)
-                {
+                } else if let Some((_, fixed)) = controls.iter().find(|(n, _)| n == &port.name) {
                     // Mostly hold the scenario's control value, with an
                     // occasional excursion so load-then-operate sequences
                     // still happen inside one scenario.
@@ -139,8 +144,22 @@ pub fn generate_scenarios(problem: &Problem, seed: u64) -> ScenarioSet {
 fn is_data_port(name: &str) -> bool {
     matches!(
         name,
-        "d" | "din" | "dout" | "data" | "a" | "b" | "c" | "x" | "v" | "g" | "t" | "tick"
-            | "req" | "bump_left" | "bump_right" | "nickel" | "dime"
+        "d" | "din"
+            | "dout"
+            | "data"
+            | "a"
+            | "b"
+            | "c"
+            | "x"
+            | "v"
+            | "g"
+            | "t"
+            | "tick"
+            | "req"
+            | "bump_left"
+            | "bump_right"
+            | "nickel"
+            | "dime"
     )
 }
 

@@ -329,7 +329,10 @@ impl LValue {
     /// The identifiers written by this lvalue.
     pub fn targets(&self) -> Vec<&str> {
         match self {
-            LValue::Ident(n) | LValue::Bit(n, _) | LValue::Part(n, _, _) | LValue::IndexedPart(n, _, _) => {
+            LValue::Ident(n)
+            | LValue::Bit(n, _)
+            | LValue::Part(n, _, _)
+            | LValue::IndexedPart(n, _, _) => {
                 vec![n.as_str()]
             }
             LValue::Concat(parts) => parts.iter().flat_map(|p| p.targets()).collect(),

@@ -99,8 +99,23 @@ fn mangle_ident(src: &str, rng: &mut impl Rng) -> String {
     // Find identifier-looking runs of length >= 3 that are not keywords we
     // depend on structurally, and splice a '?' into one.
     let keywords = [
-        "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "initial",
-        "begin", "end", "posedge", "negedge", "case", "endcase", "default", "integer",
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "wire",
+        "reg",
+        "assign",
+        "always",
+        "initial",
+        "begin",
+        "end",
+        "posedge",
+        "negedge",
+        "case",
+        "endcase",
+        "default",
+        "integer",
     ];
     let mut spans = Vec::new();
     let bytes = src.as_bytes();

@@ -360,9 +360,15 @@ fn eval_unary<S: SigRead>(op: UnaryOp, a: &RExpr, ctx: usize, store: &S) -> Logi
             };
             LogicVec::from_bit(b).resize(ctx, false)
         }
-        UnaryOp::RedAnd => LogicVec::from_bit(eval(a, a.width, store).reduce_and()).resize(ctx, false),
-        UnaryOp::RedOr => LogicVec::from_bit(eval(a, a.width, store).reduce_or()).resize(ctx, false),
-        UnaryOp::RedXor => LogicVec::from_bit(eval(a, a.width, store).reduce_xor()).resize(ctx, false),
+        UnaryOp::RedAnd => {
+            LogicVec::from_bit(eval(a, a.width, store).reduce_and()).resize(ctx, false)
+        }
+        UnaryOp::RedOr => {
+            LogicVec::from_bit(eval(a, a.width, store).reduce_or()).resize(ctx, false)
+        }
+        UnaryOp::RedXor => {
+            LogicVec::from_bit(eval(a, a.width, store).reduce_xor()).resize(ctx, false)
+        }
         UnaryOp::RedNand => {
             LogicVec::from_bit(invert(eval(a, a.width, store).reduce_and())).resize(ctx, false)
         }
@@ -506,7 +512,11 @@ fn signed_divmod(a: &LogicVec, b: &LogicVec, ctx: usize, want_div: bool) -> Logi
     if bi == 0 {
         return LogicVec::filled_x(ctx);
     }
-    let r = if want_div { ai.wrapping_div(bi) } else { ai.wrapping_rem(bi) };
+    let r = if want_div {
+        ai.wrapping_div(bi)
+    } else {
+        ai.wrapping_rem(bi)
+    };
     LogicVec::from_u64(64.max(ctx), r as u64).resize(ctx, true)
 }
 

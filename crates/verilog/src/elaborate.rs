@@ -58,9 +58,9 @@ impl Scope {
     fn sig(&self, name: &str) -> Result<SignalId, ElabError> {
         match self.lookup(name) {
             Some(Binding::Sig(s)) => Ok(*s),
-            Some(Binding::Const(_, _)) => {
-                Err(ElabError::new(format!("`{name}` is a parameter, not a signal")))
-            }
+            Some(Binding::Const(_, _)) => Err(ElabError::new(format!(
+                "`{name}` is a parameter, not a signal"
+            ))),
             None => Err(ElabError::new(format!("undeclared identifier `{name}`"))),
         }
     }
@@ -73,6 +73,7 @@ struct Elaborator<'a> {
 }
 
 impl<'a> Elaborator<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn add_signal(
         &mut self,
         scope: &mut Scope,
@@ -626,9 +627,8 @@ impl<'a> Elaborator<'a> {
                         return Err(ElabError::new("$clog2 takes one argument"));
                     }
                     let inner = self.resolve_expr(scope, &args[0])?;
-                    let v = const_eval(&inner).ok_or_else(|| {
-                        ElabError::new("$clog2 argument must be constant")
-                    })?;
+                    let v = const_eval(&inner)
+                        .ok_or_else(|| ElabError::new("$clog2 argument must be constant"))?;
                     let n = v
                         .to_u128()
                         .ok_or_else(|| ElabError::new("$clog2 argument must be known"))?;
@@ -932,9 +932,7 @@ impl BodyCompiler<'_, '_> {
                         self.code.push(Instr::WaitEvent(edges));
                     }
                     EventControl::Star => {
-                        return Err(ElabError::new(
-                            "@(*) is only supported on always blocks",
-                        ));
+                        return Err(ElabError::new("@(*) is only supported on always blocks"));
                     }
                 }
                 if let Some(s) = stmt {
@@ -947,9 +945,7 @@ impl BodyCompiler<'_, '_> {
                     "$display" | "$fdisplay" | "$write" | "$fwrite" | "$monitor" | "$finish"
                     | "$stop" | "$fopen" | "$fclose" | "$dumpfile" | "$dumpvars" => {}
                     other => {
-                        return Err(ElabError::new(format!(
-                            "unsupported system task `{other}`"
-                        )))
+                        return Err(ElabError::new(format!("unsupported system task `{other}`")))
                     }
                 }
                 let args = args

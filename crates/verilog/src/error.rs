@@ -90,7 +90,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::DeltaOverflow { time } => {
-                write!(f, "delta cycle overflow at time {time} (combinational loop)")
+                write!(
+                    f,
+                    "delta cycle overflow at time {time} (combinational loop)"
+                )
             }
             SimError::EventBudgetExhausted => {
                 write!(f, "event budget exhausted before $finish")

@@ -1,0 +1,113 @@
+//! Stable structural hashing for cache keys.
+//!
+//! `std::collections::hash_map::DefaultHasher` makes no cross-version
+//! stability promise, so content-addressed caches (the harness's
+//! simulation cache) key on an explicit FNV-1a implementation instead.
+//! Two sources that pretty-print identically are structurally identical
+//! (the printer is a parser fixpoint — see `tests/roundtrip_props.rs`),
+//! which makes the print stream the canonical form to hash.
+
+use crate::ast::SourceFile;
+use crate::pretty::print_file;
+use std::fmt::{self, Write};
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An [`fmt::Write`] sink that folds everything written into an FNV-1a
+/// state, so `Debug`/`Display` streams can be hashed without allocating
+/// the intermediate string.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvWriter(u64);
+
+impl FnvWriter {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for FnvWriter {
+    fn default() -> Self {
+        FnvWriter::new()
+    }
+}
+
+impl Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Stable hash of a value's `Debug` rendering.
+pub fn debug_hash<T: fmt::Debug>(value: &T) -> u64 {
+    let mut w = FnvWriter::new();
+    write!(w, "{value:?}").expect("FnvWriter never fails");
+    w.finish()
+}
+
+/// Stable structural hash of a parsed source file: equal for files that
+/// pretty-print identically, independent of the process or platform.
+pub fn structural_hash(file: &SourceFile) -> u64 {
+    fnv1a64(print_file(file).as_bytes())
+}
+
+impl SourceFile {
+    /// Stable structural hash of this file (see [`structural_hash`]).
+    pub fn structural_hash(&self) -> u64 {
+        structural_hash(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str =
+        "module inc(input [3:0] a, output [3:0] y);\nassign y = a + 4'd1;\nendmodule\n";
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn writer_matches_slice_hash() {
+        let mut w = FnvWriter::new();
+        use std::fmt::Write as _;
+        w.write_str("foobar").unwrap();
+        assert_eq!(w.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn hash_is_formatting_insensitive() {
+        let a = parse(SRC).expect("parses");
+        let b = parse(&SRC.replace('\n', "  \n ")).expect("parses");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn hash_separates_different_designs() {
+        let a = parse(SRC).expect("parses");
+        let b = parse(&SRC.replace("a + 4'd1", "a - 4'd1")).expect("parses");
+        assert_ne!(a.structural_hash(), b.structural_hash());
+    }
+}

@@ -45,6 +45,7 @@ macro_rules! keywords {
 
         impl Keyword {
             /// Parses a keyword from its source spelling.
+            #[allow(clippy::should_implement_trait)]
             pub fn from_str(s: &str) -> Option<Keyword> {
                 match s {
                     $($text => Some(Keyword::$kw),)+
@@ -497,8 +498,8 @@ impl<'a> Lexer<'a> {
             let mut bits: Vec<Bit> = Vec::new();
             for ch in &digits {
                 match ch.to_ascii_lowercase() {
-                    'x' => bits.extend(std::iter::repeat(Bit::X).take(radix_bits)),
-                    'z' | '?' => bits.extend(std::iter::repeat(Bit::Z).take(radix_bits)),
+                    'x' => bits.extend(std::iter::repeat_n(Bit::X, radix_bits)),
+                    'z' | '?' => bits.extend(std::iter::repeat_n(Bit::Z, radix_bits)),
                     c => {
                         let d = c
                             .to_digit(16)
@@ -507,7 +508,11 @@ impl<'a> Lexer<'a> {
                             return Err(ParseError::new(span, "digit too large for base"));
                         }
                         for i in (0..radix_bits).rev() {
-                            bits.push(if (d >> i) & 1 == 1 { Bit::One } else { Bit::Zero });
+                            bits.push(if (d >> i) & 1 == 1 {
+                                Bit::One
+                            } else {
+                                Bit::Zero
+                            });
                         }
                     }
                 }
@@ -698,12 +703,7 @@ impl<'a> Lexer<'a> {
 
 impl Clone for Lexer<'_> {
     fn clone(&self) -> Self {
-        Lexer {
-            src: self.src,
-            pos: self.pos,
-            line: self.line,
-            col: self.col,
-        }
+        *self
     }
 }
 impl Copy for Lexer<'_> {}
@@ -713,7 +713,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.token).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -811,8 +815,24 @@ mod tests {
         let t = toks("<= << <<< >= >> >>> === !== == != ~^ ~& ~| && || ** +: -:");
         use Punct::*;
         let expect = [
-            NonBlocking, Shl, AShl, GtEq, Shr, AShr, EqEqEq, BangEqEq, EqEq, BangEq, TildeCaret,
-            TildeAmp, TildePipe, AmpAmp, PipePipe, Power, PlusColon, MinusColon,
+            NonBlocking,
+            Shl,
+            AShl,
+            GtEq,
+            Shr,
+            AShr,
+            EqEqEq,
+            BangEqEq,
+            EqEq,
+            BangEq,
+            TildeCaret,
+            TildeAmp,
+            TildePipe,
+            AmpAmp,
+            PipePipe,
+            Power,
+            PlusColon,
+            MinusColon,
         ];
         for (i, p) in expect.iter().enumerate() {
             assert_eq!(t[i], Token::Punct(*p), "operator {i}");

@@ -44,6 +44,7 @@ pub mod corrupt;
 pub mod design;
 pub mod elaborate;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod logic;
 pub mod mutate;
@@ -55,6 +56,7 @@ pub mod sysfmt;
 pub use design::{Design, SignalId};
 pub use elaborate::elaborate;
 pub use error::{ElabError, ParseError, SimError, VerilogError};
+pub use hash::{fnv1a64, structural_hash};
 pub use logic::{Bit, LogicVec};
 pub use parser::parse;
 pub use sim::{run_source, SimLimits, SimOutput, Simulator};

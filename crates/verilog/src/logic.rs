@@ -205,7 +205,11 @@ impl LogicVec {
     ///
     /// Panics if `i >= self.width()`.
     pub fn bit(&self, i: usize) -> Bit {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = i / 64;
         let b = i % 64;
         let v = (self.val[w] >> b) & 1;
@@ -224,7 +228,11 @@ impl LogicVec {
     ///
     /// Panics if `i >= self.width()`.
     pub fn set_bit(&mut self, i: usize, b: Bit) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = i / 64;
         let sh = i % 64;
         let (u, v) = match b {
@@ -269,7 +277,11 @@ impl LogicVec {
             return None;
         }
         let lo = self.val[0] as u128;
-        let hi = if self.val.len() > 1 { self.val[1] as u128 } else { 0 };
+        let hi = if self.val.len() > 1 {
+            self.val[1] as u128
+        } else {
+            0
+        };
         Some(lo | (hi << 64))
     }
 
@@ -303,11 +315,7 @@ impl LogicVec {
     /// Truth value per Verilog: `1` if any bit is one, `0` if all bits are
     /// zero, `x` otherwise.
     pub fn truthy(&self) -> Bit {
-        let any_one = self
-            .val
-            .iter()
-            .zip(&self.unk)
-            .any(|(&v, &u)| v & !u != 0);
+        let any_one = self.val.iter().zip(&self.unk).any(|(&v, &u)| v & !u != 0);
         if any_one {
             return Bit::One;
         }
@@ -408,7 +416,11 @@ impl LogicVec {
         let mut out = LogicVec::zeros(width);
         for i in 0..width {
             let src = lo + i;
-            let b = if src < self.width { self.bit(src) } else { Bit::X };
+            let b = if src < self.width {
+                self.bit(src)
+            } else {
+                Bit::X
+            };
             out.set_bit(i, b);
         }
         out
@@ -459,11 +471,7 @@ impl LogicVec {
         self.xor(other).not()
     }
 
-    fn bitwise(
-        &self,
-        other: &LogicVec,
-        f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
-    ) -> LogicVec {
+    fn bitwise(&self, other: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
         let width = self.width.max(other.width);
         let a = self.zero_extend(width);
         let b = other.zero_extend(width);
@@ -578,7 +586,8 @@ impl LogicVec {
             return x;
         }
         let b = other.zero_extend(width);
-        self.zero_extend(width).add(&b.not_bits().add(&LogicVec::from_u64(width, 1)))
+        self.zero_extend(width)
+            .add(&b.not_bits().add(&LogicVec::from_u64(width, 1)))
     }
 
     /// Two's-complement negation.
@@ -613,9 +622,7 @@ impl LogicVec {
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let cur = acc[i + j] as u128
-                    + (a.val[i] as u128) * (b.val[j] as u128)
-                    + carry;
+                let cur = acc[i + j] as u128 + (a.val[i] as u128) * (b.val[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -822,7 +829,11 @@ impl LogicVec {
                 let n = (n as usize).min(self.width);
                 let mut out = LogicVec::zeros(self.width);
                 for i in 0..self.width {
-                    let b = if i + n < self.width { self.bit(i + n) } else { msb };
+                    let b = if i + n < self.width {
+                        self.bit(i + n)
+                    } else {
+                        msb
+                    };
                     out.set_bit(i, b);
                 }
                 out
@@ -974,10 +985,20 @@ mod tests {
     #[test]
     fn bit_roundtrip() {
         let mut v = LogicVec::zeros(130);
-        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero].iter().cycle().take(130).enumerate() {
+        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero]
+            .iter()
+            .cycle()
+            .take(130)
+            .enumerate()
+        {
             v.set_bit(i, *b);
         }
-        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero].iter().cycle().take(130).enumerate() {
+        for (i, b) in [Bit::One, Bit::X, Bit::Z, Bit::Zero]
+            .iter()
+            .cycle()
+            .take(130)
+            .enumerate()
+        {
             assert_eq!(v.bit(i), *b, "bit {i}");
         }
     }
@@ -1109,7 +1130,10 @@ mod tests {
         let v = LogicVec::from_u64(8, 0b1001_0110);
         assert_eq!(v.shl(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b0101_1000));
         assert_eq!(v.shr(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b0010_0101));
-        assert_eq!(v.ashr(&LogicVec::from_u64(3, 2)).to_u64(), Some(0b1110_0101));
+        assert_eq!(
+            v.ashr(&LogicVec::from_u64(3, 2)).to_u64(),
+            Some(0b1110_0101)
+        );
         assert_eq!(v.shl(&LogicVec::from_u64(8, 200)).to_u64(), Some(0));
         assert_eq!(v.ashr(&LogicVec::from_u64(8, 200)).to_u64(), Some(0xff));
     }

@@ -130,9 +130,7 @@ pub fn mutate_once(module: &mut Module, rng: &mut impl Rng) -> Option<Mutation> 
 /// Read-only view of a mutation site.
 enum SiteRef<'a> {
     Expr(&'a Expr),
-    IfStmt {
-        has_else: bool,
-    },
+    IfStmt { has_else: bool },
     CaseArms(&'a [CaseArm]),
 }
 

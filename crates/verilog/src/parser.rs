@@ -93,7 +93,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected `{p}`, found {}",
-                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_string(), |t| format!("`{t}`"))
             )))
         }
     }
@@ -113,7 +114,8 @@ impl Parser {
         } else {
             Err(self.err(format!(
                 "expected `{k}`, found {}",
-                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_string(), |t| format!("`{t}`"))
             )))
         }
     }
@@ -121,7 +123,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
             Some(Token::Ident(_)) => {
-                let Some(Token::Ident(s)) = self.bump() else { unreachable!() };
+                let Some(Token::Ident(s)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(s)
             }
             other => Err(self.err(format!(
@@ -134,7 +138,9 @@ impl Parser {
     fn expect_number(&mut self) -> Result<NumberLit, ParseError> {
         match self.peek() {
             Some(Token::Number(_)) => {
-                let Some(Token::Number(n)) = self.bump() else { unreachable!() };
+                let Some(Token::Number(n)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(n)
             }
             other => Err(self.err(format!(
@@ -151,7 +157,8 @@ impl Parser {
         let v = n
             .value
             .to_u64()
-            .ok_or_else(|| self.err("range bound must be a known constant"))? as i64;
+            .ok_or_else(|| self.err("range bound must be a known constant"))?
+            as i64;
         Ok(if neg { -v } else { v })
     }
 
@@ -162,16 +169,14 @@ impl Parser {
         let name = self.expect_ident()?;
         let mut port_order = Vec::new();
         let mut ports: Vec<PortDecl> = Vec::new();
-        if self.eat_punct(Punct::LParen) {
-            if !self.eat_punct(Punct::RParen) {
-                loop {
-                    self.port_entry(&mut port_order, &mut ports)?;
-                    if self.eat_punct(Punct::Comma) {
-                        continue;
-                    }
-                    self.expect_punct(Punct::RParen)?;
-                    break;
+        if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+            loop {
+                self.port_entry(&mut port_order, &mut ports)?;
+                if self.eat_punct(Punct::Comma) {
+                    continue;
                 }
+                self.expect_punct(Punct::RParen)?;
+                break;
             }
         }
         self.expect_punct(Punct::Semi)?;
@@ -639,24 +644,26 @@ impl Parser {
                 Ok(Stmt::EventWait { event, stmt })
             }
             Some(Token::SysName(_)) => {
-                let Some(Token::SysName(name)) = self.bump() else { unreachable!() };
+                let Some(Token::SysName(name)) = self.bump() else {
+                    unreachable!()
+                };
                 let mut args = Vec::new();
-                if self.eat_punct(Punct::LParen) {
-                    if !self.eat_punct(Punct::RParen) {
-                        loop {
-                            match self.peek() {
-                                Some(Token::Str(_)) => {
-                                    let Some(Token::Str(s)) = self.bump() else { unreachable!() };
-                                    args.push(SysArg::Str(s));
-                                }
-                                _ => args.push(SysArg::Expr(self.expr()?)),
+                if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+                    loop {
+                        match self.peek() {
+                            Some(Token::Str(_)) => {
+                                let Some(Token::Str(s)) = self.bump() else {
+                                    unreachable!()
+                                };
+                                args.push(SysArg::Str(s));
                             }
-                            if self.eat_punct(Punct::Comma) {
-                                continue;
-                            }
-                            self.expect_punct(Punct::RParen)?;
-                            break;
+                            _ => args.push(SysArg::Expr(self.expr()?)),
                         }
+                        if self.eat_punct(Punct::Comma) {
+                            continue;
+                        }
+                        self.expect_punct(Punct::RParen)?;
+                        break;
                     }
                 }
                 self.expect_punct(Punct::Semi)?;
@@ -823,7 +830,9 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
             Some(Token::Number(_)) => {
-                let Some(Token::Number(n)) = self.bump() else { unreachable!() };
+                let Some(Token::Number(n)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Expr::Literal {
                     value: n.value,
                     signed: n.signed,
@@ -872,18 +881,18 @@ impl Parser {
                 }
             }
             Some(Token::SysName(_)) => {
-                let Some(Token::SysName(name)) = self.bump() else { unreachable!() };
+                let Some(Token::SysName(name)) = self.bump() else {
+                    unreachable!()
+                };
                 let mut args = Vec::new();
-                if self.eat_punct(Punct::LParen) {
-                    if !self.eat_punct(Punct::RParen) {
-                        loop {
-                            args.push(self.expr()?);
-                            if self.eat_punct(Punct::Comma) {
-                                continue;
-                            }
-                            self.expect_punct(Punct::RParen)?;
-                            break;
+                if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_punct(Punct::Comma) {
+                            continue;
                         }
+                        self.expect_punct(Punct::RParen)?;
+                        break;
                     }
                 }
                 Ok(Expr::SysFunc(name, args))
@@ -974,9 +983,7 @@ mod tests {
 
     #[test]
     fn non_ansi_ports() {
-        let f = parse_ok(
-            "module m(a, y);\ninput [1:0] a;\noutput reg y;\nendmodule",
-        );
+        let f = parse_ok("module m(a, y);\ninput [1:0] a;\noutput reg y;\nendmodule");
         let m = &f.modules[0];
         assert_eq!(m.port_order, vec!["a", "y"]);
         assert_eq!(m.ports.len(), 2);
@@ -1110,8 +1117,20 @@ mod tests {
         }
         match &m.items[2] {
             Item::Initial(Stmt::Block(stmts)) => {
-                assert!(matches!(stmts[0], Stmt::Delay { delay: 10, stmt: Some(_) }));
-                assert!(matches!(stmts[1], Stmt::Delay { delay: 10, stmt: None }));
+                assert!(matches!(
+                    stmts[0],
+                    Stmt::Delay {
+                        delay: 10,
+                        stmt: Some(_)
+                    }
+                ));
+                assert!(matches!(
+                    stmts[1],
+                    Stmt::Delay {
+                        delay: 10,
+                        stmt: None
+                    }
+                ));
                 assert!(matches!(stmts[2], Stmt::SysCall { .. }));
             }
             other => panic!("expected initial block, got {other:?}"),
@@ -1120,9 +1139,8 @@ mod tests {
 
     #[test]
     fn instance_named_and_ordered() {
-        let f = parse_ok(
-            "module tb;\nwire y; reg a;\nmux u1(.y(y), .a(a));\nmux u2(y, a);\nendmodule",
-        );
+        let f =
+            parse_ok("module tb;\nwire y; reg a;\nmux u1(.y(y), .a(a));\nmux u2(y, a);\nendmodule");
         match &f.modules[0].items[2] {
             Item::Instance(i) => {
                 assert_eq!(i.module, "mux");

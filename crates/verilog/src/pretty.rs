@@ -103,7 +103,12 @@ fn print_item(s: &mut String, item: &Item, level: usize) {
         }
         Item::Assign(a) => {
             indent(s, level);
-            let _ = writeln!(s, "assign {} = {};", print_lvalue(&a.lhs), print_expr(&a.rhs));
+            let _ = writeln!(
+                s,
+                "assign {} = {};",
+                print_lvalue(&a.lhs),
+                print_expr(&a.rhs)
+            );
         }
         Item::Always(blk) => {
             indent(s, level);
@@ -135,11 +140,9 @@ fn print_item(s: &mut String, item: &Item, level: usize) {
         Item::Instance(i) => {
             indent(s, level);
             let conns = match &i.conns {
-                Connections::Ordered(exprs) => exprs
-                    .iter()
-                    .map(print_expr)
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                Connections::Ordered(exprs) => {
+                    exprs.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+                }
                 Connections::Named(named) => named
                     .iter()
                     .map(|(p, e)| match e {

@@ -295,7 +295,8 @@ impl<'d> Simulator<'d> {
                         values: &self.values,
                         time: self.time,
                     };
-                    let v = eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
+                    let v =
+                        eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
                     self.write_lvalue(&lhs, v)?;
                     self.procs[i].pc = pc + 1;
                 }
@@ -305,7 +306,8 @@ impl<'d> Simulator<'d> {
                         values: &self.values,
                         time: self.time,
                     };
-                    let v = eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
+                    let v =
+                        eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
                     self.schedule_nba(&lhs, v)?;
                     self.procs[i].pc = pc + 1;
                 }
@@ -357,7 +359,7 @@ impl<'d> Simulator<'d> {
                     self.procs[i].status = ProcStatus::Waiting;
                     self.seq += 1;
                     self.timed
-                        .push(std::cmp::Reverse((self.time + d.max(0), self.seq, i)));
+                        .push(std::cmp::Reverse((self.time + d, self.seq, i)));
                     return Ok(());
                 }
                 Instr::WaitEvent(edges) => {
@@ -715,7 +717,8 @@ mod tests {
 
     #[test]
     fn zero_delay_runaway_caught() {
-        let src = "module tb;\nreg x;\ninitial begin x = 0; forever begin #0; x = ~x; end end\nendmodule";
+        let src =
+            "module tb;\nreg x;\ninitial begin x = 0; forever begin #0; x = ~x; end end\nendmodule";
         // #0 delays still advance the queue at the same time; the step
         // budget eventually trips.
         let file = crate::parser::parse(src).expect("parse");

@@ -118,12 +118,18 @@ mod tests {
     #[test]
     fn unknown_values() {
         let v = LogicVec::filled_x(4);
-        assert_eq!(format_display("%0d %b %h", &[v.clone(), v.clone(), v], 0), "x xxxx x");
+        assert_eq!(
+            format_display("%0d %b %h", &[v.clone(), v.clone(), v], 0),
+            "x xxxx x"
+        );
     }
 
     #[test]
     fn literal_percent_and_missing() {
-        assert_eq!(format_display("100%% done %0d", &[], 0), "100% done <missing>");
+        assert_eq!(
+            format_display("100%% done %0d", &[], 0),
+            "100% done <missing>"
+        );
     }
 
     #[test]

@@ -11,12 +11,19 @@ use correctbench_suite::llm::{ModelKind, ModelProfile, SimulatedLlm};
 use rand::SeedableRng;
 
 fn main() {
-    let names = ["adder_8", "mux6_4", "priority_enc_8", "counter_8", "shift18", "seq_det_101"];
+    let names = [
+        "adder_8",
+        "mux6_4",
+        "priority_enc_8",
+        "counter_8",
+        "shift18",
+        "seq_det_101",
+    ];
     let cfg = Config::default();
 
     println!(
-        "{:<16} {:<14} {:<12} {:<10} {}",
-        "task", "CorrectBench", "AutoBench", "Baseline", "(AutoEval level per method)"
+        "{:<16} {:<14} {:<12} {:<10} (AutoEval level per method)",
+        "task", "CorrectBench", "AutoBench", "Baseline"
     );
     for name in names {
         let problem = correctbench_suite::dataset::problem(name).expect("known problem");

@@ -11,11 +11,16 @@ use correctbench_suite::llm::{LlmClient, ModelKind, ModelProfile, SimulatedLlm};
 use rand::SeedableRng;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "shift18".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "shift18".to_string());
     let problem = correctbench_suite::dataset::problem(&name)
         .unwrap_or_else(|| panic!("unknown problem `{name}`; see `dataset::all_problems()`"));
 
-    println!("== task: {} ({:?}, {:?}) ==", problem.name, problem.kind, problem.difficulty);
+    println!(
+        "== task: {} ({:?}, {:?}) ==",
+        problem.name, problem.kind, problem.difficulty
+    );
     println!("{}\n", problem.spec);
 
     let cfg = Config::default();

@@ -41,7 +41,11 @@ endmodule
 
 fn main() {
     let out = run_source(SRC, "tb").expect("simulation succeeds");
-    println!("captured {} lines (finished: {}):", out.lines.len(), out.finished);
+    println!(
+        "captured {} lines (finished: {}):",
+        out.lines.len(),
+        out.finished
+    );
     for line in &out.lines {
         println!("  {line}");
     }
@@ -54,5 +58,8 @@ fn main() {
     for w in codes.windows(2) {
         assert_eq!((w[0] ^ w[1]).count_ones(), 1, "gray property violated");
     }
-    println!("gray single-bit-change property verified across {} steps", codes.len() - 1);
+    println!(
+        "gray single-bit-change property verified across {} steps",
+        codes.len() - 1
+    );
 }

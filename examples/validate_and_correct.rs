@@ -21,12 +21,10 @@ fn main() {
     // for the LLM's buggy Python checker in Fig. 5.
     let scenarios = generate_scenarios(&problem, 99);
     let driver = generate_driver(&problem, &scenarios);
-    let mut checker = CheckerArtifact::clean(
-        compile_module(&problem.golden_module()).expect("golden checker"),
-    );
+    let mut checker =
+        CheckerArtifact::clean(compile_module(&problem.golden_module()).expect("golden checker"));
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
-    let defects =
-        correctbench_suite::checker::mutate_ir(&mut checker.program, &mut rng, 2);
+    let defects = correctbench_suite::checker::mutate_ir(&mut checker.program, &mut rng, 2);
     println!("injected checker defects:");
     for d in &defects {
         println!("  - {}", d.description);
@@ -48,7 +46,11 @@ fn main() {
     let mut llm = SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), 77);
     let rtls = generate_rtl_group(&problem, &mut llm, &cfg);
     let matrix = build_rs_matrix(&problem, &tb, &rtls);
-    println!("\nRS matrix ({} RTLs x {} scenarios):", matrix.num_rtls(), matrix.num_scenarios());
+    println!(
+        "\nRS matrix ({} RTLs x {} scenarios):",
+        matrix.num_rtls(),
+        matrix.num_scenarios()
+    );
     print!("{}", matrix.to_ascii());
 
     let verdict = judge(&matrix, &cfg);
@@ -73,7 +75,11 @@ fn main() {
             let verdict2 = judge(&matrix2, &cfg);
             println!(
                 "re-validation verdict: {}",
-                if verdict2.is_correct() { "correct" } else { "still wrong" }
+                if verdict2.is_correct() {
+                    "correct"
+                } else {
+                    "still wrong"
+                }
             );
             print!("{}", matrix2.to_ascii());
         }

@@ -10,7 +10,9 @@
 //! * [`llm`] — LLM client abstraction + calibrated simulation;
 //! * [`tbgen`] — scenarios, driver codegen, hybrid-TB runner;
 //! * [`core`] — the CorrectBench pipeline (generator/validator/corrector/agent);
-//! * [`autoeval`] — Eval0/1/2 harness.
+//! * [`autoeval`] — Eval0/1/2 harness;
+//! * [`harness`] — the parallel evaluation engine (run plans, worker
+//!   pool, content-addressed simulation cache, JSONL artifacts).
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub use correctbench as core;
 pub use correctbench_autoeval as autoeval;
 pub use correctbench_checker as checker;
 pub use correctbench_dataset as dataset;
+pub use correctbench_harness as harness;
 pub use correctbench_llm as llm;
 pub use correctbench_tbgen as tbgen;
 pub use correctbench_verilog as verilog;

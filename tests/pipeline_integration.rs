@@ -8,13 +8,7 @@ use correctbench_suite::core::{run_method, Config, Method};
 use correctbench_suite::llm::{ModelKind, ModelProfile, SimulatedLlm};
 use rand::SeedableRng;
 
-const TASKS: [&str; 5] = [
-    "adder_8",
-    "alu_8",
-    "counter_8",
-    "sipo_8",
-    "seq_det_101",
-];
+const TASKS: [&str; 5] = ["adder_8", "alu_8", "counter_8", "sipo_8", "seq_det_101"];
 
 fn eval2_count(method: Method, seeds: std::ops::Range<u64>) -> usize {
     // A reduced reboot budget keeps debug-mode runtime sane; the ordering
@@ -71,11 +65,13 @@ fn correctbench_outcome_invariants() {
             let mut llm = SimulatedLlm::new(ModelProfile::for_model(ModelKind::Gpt4o), seed);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let out = run_method(Method::CorrectBench, &problem, &mut llm, &cfg, &mut rng);
-            // The trace always ends with Pass.
-            assert!(matches!(
-                out.trace.last(),
-                Some(correctbench_suite::core::Action::Pass)
-            ));
+            // The trace always ends with a terminal action, and Pass is
+            // reserved for a validated testbench.
+            use correctbench_suite::core::Action;
+            let last = out.trace.last().copied();
+            assert!(matches!(last, Some(Action::Pass | Action::GiveUp)));
+            assert_eq!(last == Some(Action::Pass), out.validated);
+            assert_eq!(out.gave_up(), !out.validated);
             // Budgets respected.
             assert!(out.corrections <= cfg.max_corrections);
             assert!(out.reboots <= cfg.max_reboots);

@@ -1,0 +1,91 @@
+//! `any::<T>()` — whole-domain generation for common types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain generator.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Bias toward boundary values: uniform draws almost never
+                // hit 0 / MAX, which is where integer bugs live.
+                match rng.gen_range(0u32..8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Mostly printable ASCII with occasional exotic code points.
+        if rng.gen_bool(0.85) {
+            char::from(rng.gen_range(0x20u8..0x7f))
+        } else {
+            char::from_u32(rng.gen_range(0u32..=0x10_ffff)).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+impl_arbitrary_tuple! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

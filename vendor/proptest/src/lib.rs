@@ -1,0 +1,157 @@
+//! Offline stand-in for the subset of the `proptest` crate API this
+//! workspace uses: the `proptest!` macro, `prop_assert*` / `prop_assume!`,
+//! `any::<T>()`, range strategies, `Just`, tuple strategies,
+//! `prop_oneof!`, `prop_map` / `prop_recursive`, and
+//! `proptest::collection::vec`.
+//!
+//! The container this repository builds in has no network access, so the
+//! real crates.io `proptest` cannot be fetched. This shim keeps the same
+//! *testing semantics* — each property runs over `cases` pseudo-random
+//! inputs, deterministically derived from the property's name — but does
+//! no shrinking: a failing case panics with the generated inputs left to
+//! the assertion message.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+
+/// Runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many cases each property runs. The shim ignores every other
+    /// knob of the real crate.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of pseudo-random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name gives every property its own stream;
+    // mixing the case index in keeps cases independent.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Defines property tests. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::__rng_for(stringify!($name), __case);
+                $crate::__bind_params!{ __rng, $($params)* }
+                // The body runs in a closure so `prop_assume!` can bail
+                // out of one case with `return`.
+                #[allow(clippy::redundant_closure_call)]
+                (|| $body)();
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_params {
+    ($rng:ident,) => {};
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__bind_params!{ $rng, $($rest)* }
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&$strat, &mut $rng);
+        $crate::__bind_params!{ $rng, $($rest)* }
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
