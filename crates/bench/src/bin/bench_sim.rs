@@ -1,0 +1,294 @@
+//! `bench_sim`: the simulation-core micro-benchmark behind the
+//! `BENCH_sim.json` perf trajectory.
+//!
+//! Measures the end-to-end testbench hot path — combine DUT + driver,
+//! elaborate, execute, judge against the checker — on representative
+//! combinational and sequential problems, in three configurations:
+//!
+//! * `tree_walk_ns` — re-elaborate every run (no compile stage — the
+//!   pre-bytecode pipeline had none) and execute with the tree-walking
+//!   interpreter: the shape of the pre-bytecode hot path (which
+//!   additionally deep-cloned each executed instruction, so the
+//!   historical baseline was strictly slower than this arm).
+//! * `bytecode_ns` — re-elaborate *and recompile* every run, execute
+//!   bytecode: the elaboration-cache miss path.
+//! * `bytecode_cached_ns` — execute bytecode against the pre-compiled
+//!   design: the steady-state path `run_testbench_parsed` takes on an
+//!   elaboration-cache hit.
+//!
+//! ```text
+//! bench_sim [--quick] [--samples N] [--out FILE]
+//!           [--baseline NAME=NS]... [--baseline-commit HASH]
+//! ```
+//!
+//! Writes `BENCH_sim.json` (default, in the working directory) with the
+//! per-problem medians in nanoseconds and the speedup of the new hot
+//! path over the tree-walker. `--quick` is the CI smoke mode.
+//!
+//! The *pre-PR* simulator (per-step instruction deep-clones, heap-backed
+//! `LogicVec`) no longer exists in this tree, so it cannot be re-run
+//! here; `--baseline NAME=NS` records an externally measured end-to-end
+//! `run_testbench_parsed` median (e.g. from a `git worktree` checkout of
+//! the pre-PR commit running the same workload on the same machine), and
+//! the report then includes `speedup_vs_pre_pr` per problem. The
+//! committed `BENCH_sim.json` documents the exact command used.
+
+use correctbench_checker::CheckerProgram;
+use correctbench_dataset::Problem;
+use correctbench_tbgen::{
+    compile_pair, generate_driver, generate_scenarios, judge_records, limits_for, ScenarioSet,
+};
+use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::{elaborate, parse, CompiledDesign, ExecMode, SimLimits, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROBLEMS: &[&str] = &["alu_8", "mux4_8", "counter_8", "shift18"];
+
+struct Case {
+    problem: Problem,
+    scenarios: ScenarioSet,
+    dut: SourceFile,
+    driver: SourceFile,
+    checker: CheckerProgram,
+    limits: SimLimits,
+}
+
+fn case_for(name: &str) -> Case {
+    let problem = correctbench_dataset::problem(name).expect("known problem");
+    let scenarios = generate_scenarios(&problem, 7);
+    let driver = parse(&generate_driver(&problem, &scenarios)).expect("driver parses");
+    let dut = parse(&problem.golden_rtl).expect("golden parses");
+    let checker =
+        correctbench_checker::compile_module(&problem.golden_module()).expect("golden checker");
+    let limits = limits_for(&scenarios);
+    Case {
+        problem,
+        scenarios,
+        dut,
+        driver,
+        checker,
+        limits,
+    }
+}
+
+/// The pre-PR pipeline's per-run front-end cost: combine + elaborate,
+/// no compile stage. The result is only a cost model (execution itself
+/// runs on the case's shared compiled design, which `compile_pair` —
+/// the runner's own helper — produced).
+fn elaborate_cost(dut: &SourceFile, driver: &SourceFile) {
+    let mut file = dut.clone();
+    file.modules.extend(driver.modules.iter().cloned());
+    std::hint::black_box(elaborate(&file, correctbench_tbgen::TB_MODULE).expect("elaborate"));
+}
+
+/// One full run: simulate `compiled` and judge the records — everything
+/// `run_testbench_parsed` does after elaboration.
+fn simulate_and_judge(case: &Case, compiled: &CompiledDesign, mode: ExecMode) {
+    let out = Simulator::from_compiled_with_limits(compiled, case.limits)
+        .with_mode(mode)
+        .run()
+        .expect("simulation ok");
+    let records = correctbench_tbgen::parse_records(&out.lines);
+    let verdicts = judge_records(&records, &case.checker, &case.problem, case.scenarios.len())
+        .expect("judge ok");
+    std::hint::black_box(verdicts);
+}
+
+/// Median wall times of `samples` *interleaved* runs of each arm, in
+/// nanoseconds. Interleaving matters on shared machines: measuring the
+/// arms back-to-back lets a load spike land entirely on one arm and
+/// skew the ratio; round-robin sampling spreads drift across all of
+/// them.
+fn medians_interleaved<const N: usize>(
+    samples: usize,
+    arms: &mut [&mut dyn FnMut(); N],
+) -> [u64; N] {
+    for arm in arms.iter_mut() {
+        arm(); // warm up
+    }
+    let mut times = vec![Vec::with_capacity(samples); N];
+    for _ in 0..samples {
+        for (arm, t) in arms.iter_mut().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            arm();
+            t.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    std::array::from_fn(|i| {
+        times[i].sort_unstable();
+        times[i][samples / 2]
+    })
+}
+
+struct Row {
+    name: String,
+    kind: &'static str,
+    tree_walk_ns: u64,
+    bytecode_ns: u64,
+    bytecode_cached_ns: u64,
+    pre_pr_ns: Option<u64>,
+}
+
+impl Row {
+    /// Conservative speedup: new hot path vs. the *current* tree-walker
+    /// (itself already sped up by the inline `LogicVec` and the clone
+    /// removal).
+    fn speedup_vs_tree_walk(&self) -> f64 {
+        self.tree_walk_ns as f64 / self.bytecode_cached_ns.max(1) as f64
+    }
+
+    /// Speedup vs. the externally measured pre-PR baseline, when given.
+    fn speedup_vs_pre_pr(&self) -> Option<f64> {
+        self.pre_pr_ns
+            .map(|b| b as f64 / self.bytecode_cached_ns.max(1) as f64)
+    }
+}
+
+fn median_f64(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Some(xs[xs.len() / 2])
+}
+
+fn main() {
+    let mut samples = 40usize;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut baselines: Vec<(String, u64)> = Vec::new();
+    let mut baseline_commit = String::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => samples = 9,
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage("--samples needs a positive number"))
+            }
+            "--out" => out_path = it.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--baseline" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline needs NAME=NS"));
+                let (name, ns) = spec
+                    .split_once('=')
+                    .and_then(|(n, v)| v.parse().ok().map(|ns| (n.to_string(), ns)))
+                    .unwrap_or_else(|| usage("--baseline needs NAME=NS"));
+                baselines.push((name, ns));
+            }
+            "--baseline-commit" => {
+                baseline_commit = it
+                    .next()
+                    .unwrap_or_else(|| usage("--baseline-commit needs a hash"))
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut rows = Vec::new();
+    for name in PROBLEMS {
+        let case = case_for(name);
+        let compiled = compile_pair(&case.dut, &case.driver).expect("elaborate");
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns] = medians_interleaved(
+            samples,
+            &mut [
+                &mut || {
+                    elaborate_cost(&case.dut, &case.driver);
+                    simulate_and_judge(&case, &compiled, ExecMode::TreeWalk);
+                },
+                &mut || {
+                    let fresh = compile_pair(&case.dut, &case.driver).expect("elaborate");
+                    simulate_and_judge(&case, &fresh, ExecMode::Bytecode);
+                },
+                &mut || {
+                    simulate_and_judge(&case, &compiled, ExecMode::Bytecode);
+                },
+            ],
+        );
+        let row = Row {
+            name: case.problem.name.clone(),
+            kind: if case.problem.kind.is_combinational() {
+                "cmb"
+            } else {
+                "seq"
+            },
+            tree_walk_ns,
+            bytecode_ns,
+            bytecode_cached_ns,
+            pre_pr_ns: baselines
+                .iter()
+                .find(|(n, _)| n == &case.problem.name)
+                .map(|(_, ns)| *ns),
+        };
+        let vs_pre_pr = row
+            .speedup_vs_pre_pr()
+            .map(|s| format!(" | vs pre-PR {s:.2}x"))
+            .unwrap_or_default();
+        eprintln!(
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x{vs_pre_pr}",
+            row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
+            row.speedup_vs_tree_walk(),
+        );
+        rows.push(row);
+    }
+
+    let median_vs_tree =
+        median_f64(rows.iter().map(Row::speedup_vs_tree_walk).collect()).expect("rows");
+    let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sim_exec\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_vs_tree_walk\": {median_vs_tree:.2},"
+    );
+    if let Some(m) = median_vs_pre_pr {
+        let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
+        let _ = writeln!(
+            json,
+            "  \"pre_pr_baseline\": {{\"commit\": \"{}\", \"method\": \"end-to-end run_testbench_parsed equivalent (elaborate + simulate + parse records + judge) measured at the pre-PR commit via git worktree, same machine and flags\"}},",
+            if baseline_commit.is_empty() { "unspecified" } else { &baseline_commit },
+        );
+    }
+    let _ = writeln!(json, "  \"problems\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let pre = match (r.pre_pr_ns, r.speedup_vs_pre_pr()) {
+            (Some(ns), Some(s)) => format!(",\"pre_pr_ns\":{ns},\"speedup_vs_pre_pr\":{s:.2}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2}{pre}}}{comma}",
+            r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
+            r.speedup_vs_tree_walk(),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    match median_vs_pre_pr {
+        Some(m) => eprintln!(
+            "median speedup {median_vs_tree:.2}x vs tree-walk, {m:.2}x vs pre-PR -> {out_path}"
+        ),
+        None => eprintln!("median speedup {median_vs_tree:.2}x vs tree-walk -> {out_path}"),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: bench_sim [--quick] [--samples N] [--out FILE] [--baseline NAME=NS]... [--baseline-commit HASH]"
+    );
+    std::process::exit(2)
+}

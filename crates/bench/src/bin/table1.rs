@@ -42,6 +42,9 @@ fn main() {
     if let Some(stats) = &result.cache {
         eprintln!("simulation cache: {stats}");
     }
+    if let Some(stats) = &result.elab_cache {
+        eprintln!("elaboration cache: {stats}");
+    }
     if let Some(dir) = &args.out {
         let summary = render_summary(&plan, &result);
         let paths = write_artifacts_or_exit(dir, &result, &summary);

@@ -145,8 +145,12 @@ pub fn run_sweep(
     );
     let (records, result) = run_plan(&plan, threads);
     if let Some(stats) = &result.cache {
+        let elab = result
+            .elab_cache
+            .map(|e| format!("; elaboration cache: {e}"))
+            .unwrap_or_default();
         eprintln!(
-            "sweep: {} jobs in {:?}; simulation cache: {stats}",
+            "sweep: {} jobs in {:?}; simulation cache: {stats}{elab}",
             records.len(),
             result.wall
         );

@@ -50,7 +50,9 @@ pub fn collect_corpus(
 ) -> Vec<TaskCorpus> {
     let factory = SimulatedClientFactory::for_model(model);
     let cache = SimCache::new();
+    let elab_cache = correctbench_harness::ElabCache::new();
     let mut corpora = parallel_map(threads, Some(&cache), problems, |i, problem| {
+        let _elab_guard = elab_cache.install();
         let seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9);
         let mut llm = factory.client(seed);
         // One shared RTL group per task, as in the paper.
@@ -83,7 +85,11 @@ pub fn collect_corpus(
             tbs,
         }
     });
-    eprintln!("corpus: simulation cache: {}", cache.stats());
+    eprintln!(
+        "corpus: simulation cache: {} | elaboration cache: {}",
+        cache.stats(),
+        elab_cache.stats()
+    );
     corpora.sort_by(|a, b| a.problem.name.cmp(&b.problem.name));
     corpora
 }

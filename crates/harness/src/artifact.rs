@@ -95,15 +95,32 @@ pub fn outcomes_jsonl(outcomes: &[TaskOutcome]) -> String {
     s
 }
 
-/// Renders the measured timing sidecar for one run.
+/// Renders one cache's counters as a JSON object (`null` when the cache
+/// was disabled) for the timing sidecar's run line.
+fn cache_json(stats: &Option<correctbench_tbgen::CacheStats>) -> String {
+    match stats {
+        Some(s) => format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+            s.hits, s.misses, s.entries
+        ),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the measured timing sidecar for one run. Cache counters live
+/// here, not in `outcomes.jsonl`: totals depend on worker interleaving,
+/// so they are measurements, like wall times — the sidecar is where
+/// sweeps attribute their wall-time wins to the two cache layers.
 pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{}}}",
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{}}}",
         result.wall.as_millis(),
         result.threads,
-        result.outcomes.len()
+        result.outcomes.len(),
+        cache_json(&result.cache),
+        cache_json(&result.elab_cache),
     );
     for o in &result.outcomes {
         let _ = writeln!(

@@ -7,10 +7,11 @@
 //! ```
 //!
 //! Expands (problems × methods × reps) into a job graph, runs it on a
-//! worker pool with a shared content-addressed simulation cache, prints
-//! the aggregate summary, and (with `--out`) writes `outcomes.jsonl`
-//! (deterministic, thread-count independent), `timings.jsonl` (measured)
-//! and `summary.txt`.
+//! worker pool with shared content-addressed simulation and elaboration
+//! caches (`--no-cache` disables both), prints the aggregate summary,
+//! and (with `--out`) writes `outcomes.jsonl` (deterministic,
+//! thread-count independent), `timings.jsonl` (measured) and
+//! `summary.txt`.
 
 use correctbench::Method;
 use correctbench_harness::cli::{usage, write_artifacts_or_exit, RunArgs};

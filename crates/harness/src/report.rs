@@ -112,5 +112,13 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
             let _ = writeln!(s, "simulation cache: disabled");
         }
     }
+    match &result.elab_cache {
+        Some(stats) => {
+            let _ = writeln!(s, "elaboration cache: {stats}");
+        }
+        None => {
+            let _ = writeln!(s, "elaboration cache: disabled");
+        }
+    }
     s
 }

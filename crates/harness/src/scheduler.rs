@@ -11,26 +11,29 @@ use crate::plan::RunPlan;
 use crate::worker::{run_job, TaskOutcome};
 use correctbench_llm::ClientFactory;
 use correctbench_tbgen::cache::CacheStats;
-use correctbench_tbgen::SimCache;
+use correctbench_tbgen::{ElabCache, SimCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Executes [`RunPlan`]s over a worker pool with an optional shared
-/// simulation cache.
+/// Executes [`RunPlan`]s over a worker pool with two optional shared
+/// memoization layers: the simulation cache (whole testbench runs) and
+/// the elaboration cache (compiled DUT + driver designs).
 pub struct Engine {
     threads: usize,
     cache: Option<Arc<SimCache>>,
+    elab_cache: Option<Arc<ElabCache>>,
     progress: bool,
 }
 
 impl Engine {
-    /// An engine with `threads` workers and a fresh shared simulation
-    /// cache.
+    /// An engine with `threads` workers and fresh shared simulation and
+    /// elaboration caches.
     pub fn new(threads: usize) -> Self {
         Engine {
             threads: threads.max(1),
             cache: Some(SimCache::new()),
+            elab_cache: Some(ElabCache::new()),
             progress: false,
         }
     }
@@ -42,9 +45,17 @@ impl Engine {
         self
     }
 
-    /// Disables the simulation cache.
+    /// Disables both caches (simulation and elaboration).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self.elab_cache = None;
+        self
+    }
+
+    /// Disables only the elaboration cache (the determinism tests use
+    /// this to pin cache transparency layer by layer).
+    pub fn without_elab_cache(mut self) -> Self {
+        self.elab_cache = None;
         self
     }
 
@@ -62,6 +73,7 @@ impl Engine {
         let total = jobs.len();
         let done = AtomicUsize::new(0);
         let outcomes = parallel_map(self.threads, self.cache.as_ref(), &jobs, |_, job| {
+            let _elab_guard = self.elab_cache.as_ref().map(|c| c.install());
             let outcome = run_job(job, &plan.config, factory);
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -73,13 +85,19 @@ impl Engine {
             outcomes,
             threads: self.threads,
             cache: self.cache.as_ref().map(|c| c.stats()),
+            elab_cache: self.elab_cache.as_ref().map(|c| c.stats()),
             wall: t0.elapsed(),
         }
     }
 
-    /// The engine's shared cache, if enabled.
+    /// The engine's shared simulation cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<SimCache>> {
         self.cache.as_ref()
+    }
+
+    /// The engine's shared elaboration cache, if enabled.
+    pub fn elab_cache(&self) -> Option<&Arc<ElabCache>> {
+        self.elab_cache.as_ref()
     }
 }
 
@@ -94,6 +112,9 @@ pub struct RunResult {
     /// Simulation-cache counters at the end of the run, when caching was
     /// enabled.
     pub cache: Option<CacheStats>,
+    /// Elaboration-cache counters at the end of the run, when caching
+    /// was enabled.
+    pub elab_cache: Option<CacheStats>,
     /// Total wall time of the run.
     pub wall: Duration,
 }

@@ -44,6 +44,34 @@ fn cache_is_semantically_transparent() {
 }
 
 #[test]
+fn elab_cache_is_semantically_transparent() {
+    // Isolate the elaboration layer: simulation cache on in both runs,
+    // elaboration cache toggled. A cached `CompiledDesign` must simulate
+    // byte-identically to a freshly recompiled one.
+    let with_elab = artifact_with(Engine::new(4));
+    let without_elab = artifact_with(Engine::new(4).without_elab_cache());
+    assert!(
+        with_elab == without_elab,
+        "elaboration cache changed outcomes:\n--- cached ---\n{with_elab}\n--- uncached ---\n{without_elab}"
+    );
+}
+
+#[test]
+fn sweep_plan_shows_elab_cache_hits() {
+    // The RS matrix runs one driver against many RTLs and each pair
+    // simulates under several scenario replays; repeated (DUT, driver)
+    // pairs must hit the elaboration cache even when the simulation
+    // cache missed.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let result = Engine::new(4).execute(&plan(), &factory);
+    let stats = result.elab_cache.expect("elab cache enabled by default");
+    assert!(
+        stats.hits > 0,
+        "no elaboration-cache hits in a multi-rep sweep: {stats}"
+    );
+}
+
+#[test]
 fn sweep_plan_shows_cache_hits() {
     // A Table-1-style sweep (multiple methods and reps per problem)
     // re-simulates identical (design, testbench) pairs constantly; the

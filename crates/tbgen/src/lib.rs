@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod coverage;
 pub mod driver;
+pub mod elab;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
@@ -36,9 +37,10 @@ pub mod scenarios;
 pub use cache::{CacheKey, CacheStats, SimCache};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
+pub use elab::{ElabCache, ElabKey};
 pub use record::{parse_record, parse_records, FieldValue, Record};
 pub use runner::{
-    judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,
+    compile_pair, judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,
     simulate_records_limited, simulate_records_parsed, ScenarioResult, TbError, TbRun,
 };
 pub use scenarios::{generate_scenarios, Scenario, ScenarioSet, Stimulus};

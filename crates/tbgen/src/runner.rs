@@ -10,9 +10,10 @@ use crate::record::{parse_records, FieldValue, Record};
 use crate::scenarios::ScenarioSet;
 use correctbench_checker::{step, CheckerProgram, CheckerRunError, CheckerState};
 use correctbench_dataset::Problem;
-use correctbench_verilog::{elaborate, parse, SimLimits, Simulator, VerilogError};
+use correctbench_verilog::{elaborate, parse, CompiledDesign, SimLimits, Simulator, VerilogError};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Per-scenario outcome of a testbench run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -115,6 +116,11 @@ pub fn simulate_records_parsed(
 /// runs bound `max_time` to the driver's stimulus schedule so a corrupted
 /// driver that lost its `$finish` cannot burn the full default horizon.
 ///
+/// When an [`crate::ElabCache`] is installed on the current thread (see
+/// [`crate::ElabCache::install`]), the combine-elaborate-compile step is
+/// memoized under the structural hashes of the two sources; repeated
+/// pairs reuse the shared [`CompiledDesign`] and only simulate.
+///
 /// # Errors
 ///
 /// Elaboration or simulation failure of the combined design.
@@ -123,13 +129,47 @@ pub fn simulate_records_limited(
     driver: &correctbench_verilog::ast::SourceFile,
     limits: SimLimits,
 ) -> Result<(Vec<Record>, u64), TbError> {
-    let mut file = dut.clone();
-    file.modules.extend(driver.modules.iter().cloned());
-    let design = elaborate(&file, crate::driver::TB_MODULE).map_err(VerilogError::from)?;
-    let out = Simulator::with_limits(&design, limits)
+    let compiled = compiled_for(dut, driver)?;
+    let out = Simulator::from_compiled_with_limits(&compiled, limits)
         .run()
         .map_err(VerilogError::from)?;
     Ok((parse_records(&out.lines), out.end_time))
+}
+
+/// The compiled form of the combined DUT + driver design, through the
+/// thread's elaboration cache when one is installed.
+fn compiled_for(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+) -> Result<Arc<CompiledDesign>, TbError> {
+    let key = crate::elab::with_active(|_| crate::elab::ElabKey::for_pair(dut, driver));
+    if let Some(key) = key {
+        if let Some(hit) = crate::elab::with_active(|c| c.get(&key)).flatten() {
+            return Ok(hit);
+        }
+        let compiled = Arc::new(compile_pair(dut, driver)?);
+        crate::elab::with_active(|c| c.put(key, Arc::clone(&compiled)));
+        return Ok(compiled);
+    }
+    Ok(Arc::new(compile_pair(dut, driver)?))
+}
+
+/// Combines a DUT with a driver, elaborates the pair under
+/// [`crate::driver::TB_MODULE`] and compiles it for the simulator —
+/// the single definition of "the design a testbench run executes",
+/// shared by the runner, the benches and the differential tests.
+///
+/// # Errors
+///
+/// Elaboration failure of the combined design.
+pub fn compile_pair(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+) -> Result<CompiledDesign, TbError> {
+    let mut file = dut.clone();
+    file.modules.extend(driver.modules.iter().cloned());
+    let design = elaborate(&file, crate::driver::TB_MODULE).map_err(VerilogError::from)?;
+    Ok(CompiledDesign::new(design))
 }
 
 /// The simulation-time bound implied by a scenario schedule: every
@@ -236,16 +276,24 @@ pub fn judge_records(
         .map(|p| (p.name.as_str(), p.width))
         .collect();
 
+    // One reusable input table: the key set is fixed (the checker's
+    // declared inputs), so per record only the values change — no
+    // per-record map or key-string allocation.
+    let mut inputs: HashMap<String, correctbench_verilog::LogicVec> = HashMap::new();
     for rec in records {
         // Build checker inputs from the record's input fields.
-        let mut inputs = HashMap::new();
         for name in &checker.inputs {
             let width = width_of.get(name.as_str()).copied().unwrap_or(1);
             let v = match rec.field(name) {
                 Some(fv) => fv.to_logic(width),
                 None => correctbench_verilog::LogicVec::filled_x(width),
             };
-            inputs.insert(name.clone(), v);
+            match inputs.get_mut(name) {
+                Some(slot) => *slot = v,
+                None => {
+                    inputs.insert(name.clone(), v);
+                }
+            }
         }
         let expected = step(checker, &mut state, &inputs)?;
 

@@ -1,0 +1,85 @@
+//! Design-level differential test: the bytecode executor must reproduce
+//! the tree-walker's behaviour — `$display` stream, end time, finish
+//! flag, and error classification — on real hybrid-testbench designs:
+//! golden DUTs and randomly mutated ones across the dataset.
+//!
+//! The expression-level equivalence is pinned by the proptests inside
+//! `correctbench-verilog`; this test closes the loop over whole
+//! event-driven runs (process scheduling, NBA commits, watchers, case
+//! dispatch, lvalue writes through dynamic indices).
+
+use correctbench_tbgen::{compile_pair, generate_driver, generate_scenarios, limits_for};
+use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::{parse, CompiledDesign, ExecMode, SimError, SimOutput, Simulator};
+use rand::SeedableRng;
+
+fn compiled(dut: &SourceFile, driver: &SourceFile) -> CompiledDesign {
+    compile_pair(dut, driver).expect("elaborate")
+}
+
+fn assert_modes_agree(
+    compiled: &CompiledDesign,
+    limits: correctbench_verilog::SimLimits,
+    what: &str,
+) {
+    let byte: Result<SimOutput, SimError> =
+        Simulator::from_compiled_with_limits(compiled, limits).run();
+    let tree: Result<SimOutput, SimError> = Simulator::from_compiled_with_limits(compiled, limits)
+        .with_mode(ExecMode::TreeWalk)
+        .run();
+    match (byte, tree) {
+        (Ok(b), Ok(t)) => {
+            assert_eq!(b.lines, t.lines, "{what}: output lines differ");
+            assert_eq!(b.end_time, t.end_time, "{what}: end time differs");
+            assert_eq!(b.finished, t.finished, "{what}: finish flag differs");
+        }
+        (Err(b), Err(t)) => {
+            assert_eq!(b, t, "{what}: errors differ");
+        }
+        (b, t) => panic!("{what}: one mode errored and the other did not: {b:?} vs {t:?}"),
+    }
+}
+
+/// Every `n`-th problem of the dataset (full golden coverage is the
+/// slower harness suites' job; a stride keeps this differential fast
+/// while still touching cmb and seq designs of every family).
+fn sampled_problems(stride: usize) -> Vec<correctbench_dataset::Problem> {
+    correctbench_dataset::all_problems()
+        .into_iter()
+        .step_by(stride)
+        .collect()
+}
+
+#[test]
+fn golden_designs_agree_across_modes() {
+    for (i, p) in sampled_problems(9).iter().enumerate() {
+        let scenarios = generate_scenarios(p, 11 + i as u64);
+        let driver = parse(&generate_driver(p, &scenarios)).expect("driver parses");
+        let dut = parse(&p.golden_rtl).expect("golden parses");
+        let compiled = compiled(&dut, &driver);
+        assert_modes_agree(&compiled, limits_for(&scenarios), &p.name);
+    }
+}
+
+#[test]
+fn mutant_designs_agree_across_modes() {
+    use rand::rngs::StdRng;
+    for (i, p) in sampled_problems(13).iter().enumerate() {
+        let scenarios = generate_scenarios(p, 5 + i as u64);
+        let driver = parse(&generate_driver(p, &scenarios)).expect("driver parses");
+        for seed in 0..3u64 {
+            let mut file = parse(&p.golden_rtl).expect("golden parses");
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ i as u64);
+            let m = file.module_mut(&p.name).expect("module");
+            correctbench_verilog::mutate::mutate_module(m, &mut rng, 2);
+            let mutant = correctbench_verilog::pretty::print_file(&file);
+            let dut = parse(&mutant).expect("mutant parses");
+            let compiled = compiled(&dut, &driver);
+            assert_modes_agree(
+                &compiled,
+                limits_for(&scenarios),
+                &format!("{} mutant {seed}", p.name),
+            );
+        }
+    }
+}

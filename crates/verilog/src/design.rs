@@ -381,7 +381,7 @@ fn eval_unary<S: SigRead>(op: UnaryOp, a: &RExpr, ctx: usize, store: &S) -> Logi
     }
 }
 
-fn invert(b: Bit) -> Bit {
+pub(crate) fn invert(b: Bit) -> Bit {
     match b {
         Bit::Zero => Bit::One,
         Bit::One => Bit::Zero,
@@ -433,8 +433,10 @@ fn eval_binary<S: SigRead>(
                         if e & 1 == 1 {
                             acc = acc.mul(&sq);
                         }
-                        sq = sq.mul(&sq.clone());
                         e >>= 1;
+                        if e > 0 {
+                            sq = sq.mul(&sq);
+                        }
                     }
                     acc
                 }
@@ -502,7 +504,7 @@ fn eval_binary<S: SigRead>(
 
 /// Signed division/remainder: Verilog truncates toward zero and the
 /// remainder takes the dividend's sign.
-fn signed_divmod(a: &LogicVec, b: &LogicVec, ctx: usize, want_div: bool) -> LogicVec {
+pub(crate) fn signed_divmod(a: &LogicVec, b: &LogicVec, ctx: usize, want_div: bool) -> LogicVec {
     if !a.is_fully_known() || !b.is_fully_known() {
         return LogicVec::filled_x(ctx);
     }

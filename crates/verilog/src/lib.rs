@@ -4,10 +4,14 @@
 //! reproduction: it plays the role Icarus Verilog plays in the paper.
 //! It provides:
 //!
-//! * [`logic`] — four-state values ([`logic::LogicVec`]);
+//! * [`logic`] — four-state values ([`logic::LogicVec`], inline for
+//!   widths ≤ 64, with in-place mutating ops);
 //! * [`lexer`] / [`parser`] / [`ast`] — the front end;
-//! * [`elaborate`] — hierarchy flattening and bytecode compilation;
-//! * [`sim`] — the event-driven simulator with `$display` capture;
+//! * [`elaborate`] — hierarchy flattening into a [`Design`];
+//! * [`compile`] — compile-once register bytecode
+//!   ([`compile::CompiledDesign`]) for run-many simulation;
+//! * [`sim`] — the event-driven simulator with `$display` capture and
+//!   tree-walk/bytecode execution modes;
 //! * [`pretty`] — AST → source rendering (artifacts round-trip as text);
 //! * [`mutate`] — semantic mutation (Eval2 mutants, validator RTL groups,
 //!   simulated-LLM defect injection);
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod corrupt;
 pub mod design;
 pub mod elaborate;
@@ -53,10 +58,11 @@ pub mod pretty;
 pub mod sim;
 pub mod sysfmt;
 
+pub use compile::{compile, CompiledDesign};
 pub use design::{Design, SignalId};
 pub use elaborate::elaborate;
 pub use error::{ElabError, ParseError, SimError, VerilogError};
 pub use hash::{fnv1a64, structural_hash};
 pub use logic::{Bit, LogicVec};
 pub use parser::parse;
-pub use sim::{run_source, SimLimits, SimOutput, Simulator};
+pub use sim::{run_source, ExecMode, SimLimits, SimOutput, Simulator};

@@ -16,6 +16,18 @@
 //! truth tables, arithmetic and relational operators produce an all-`x`
 //! result if any input bit is unknown, and `===`/`!==` compare the four-state
 //! encoding exactly.
+//!
+//! # Representation
+//!
+//! Widths up to 64 bits — the overwhelmingly common case in the benchmark
+//! designs — are stored **inline** as two `u64` plane words with no heap
+//! allocation; wider vectors spill to heap-allocated word vectors. The
+//! variant is determined solely by the width, so plane-level equality and
+//! hashing remain value equality. On top of the value-returning operators
+//! the type offers **in-place mutating ops** (`and_assign`, `add_assign`,
+//! `not_assign`, [`LogicVec::assign_resize`], …) used by the bytecode
+//! simulator so steady-state expression evaluation performs zero
+//! allocations.
 
 use std::fmt;
 
@@ -47,6 +59,17 @@ impl Bit {
             Bit::Z => 'z',
         }
     }
+
+    /// The `(unk, val)` plane encoding of this bit.
+    #[inline]
+    fn planes(self) -> (u64, u64) {
+        match self {
+            Bit::Zero => (0, 0),
+            Bit::One => (0, 1),
+            Bit::X => (1, 0),
+            Bit::Z => (1, 1),
+        }
+    }
 }
 
 impl fmt::Display for Bit {
@@ -58,9 +81,10 @@ impl fmt::Display for Bit {
 /// A fixed-width vector of four-state bits.
 ///
 /// Bit 0 is the least significant bit. Widths of any size are supported;
-/// storage is in 64-bit words. Unused high bits of the last word are always
-/// kept at zero in both planes (the *normalized* invariant), so plane-level
-/// equality is value equality.
+/// storage is in 64-bit words — inline for widths ≤ 64, heap-spilled
+/// above. Unused high bits of the last word are always kept at zero in
+/// both planes (the *normalized* invariant), so plane-level equality is
+/// value equality.
 ///
 /// # Examples
 ///
@@ -75,8 +99,17 @@ impl fmt::Display for Bit {
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct LogicVec {
     width: usize,
-    val: Vec<u64>,
-    unk: Vec<u64>,
+    repr: Repr,
+}
+
+/// Plane storage. The variant is a pure function of the width (≤ 64 ⇒
+/// `Small`), which keeps derived equality/hashing value-accurate.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// One inline word per plane; no allocation.
+    Small { val: u64, unk: u64 },
+    /// Spilled storage for widths above 64.
+    Wide { val: Vec<u64>, unk: Vec<u64> },
 }
 
 fn words_for(width: usize) -> usize {
@@ -92,16 +125,74 @@ fn top_mask(width: usize) -> u64 {
     }
 }
 
+/// Reads the 64-bit chunk of `words` starting at bit position `bit`,
+/// zero-filled beyond the end of the slice.
+#[inline]
+fn get_chunk(words: &[u64], bit: usize) -> u64 {
+    let w = bit / 64;
+    let r = bit % 64;
+    let lo = words.get(w).copied().unwrap_or(0) >> r;
+    if r == 0 {
+        lo
+    } else {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - r))
+    }
+}
+
+/// Overwrites `n` bits of `dst` starting at `dst_lo` with the bits of
+/// `src` starting at `src_lo` (zero-filled beyond `src`). Word-level.
+fn copy_words_range(dst: &mut [u64], dst_lo: usize, src: &[u64], src_lo: usize, n: usize) {
+    let mut done = 0usize;
+    while done < n {
+        let d = dst_lo + done;
+        let dw = d / 64;
+        let dr = d % 64;
+        let take = (64 - dr).min(n - done);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << dr
+        };
+        let chunk = get_chunk(src, src_lo + done) << dr;
+        dst[dw] = (dst[dw] & !mask) | (chunk & mask);
+        done += take;
+    }
+}
+
+/// Fills `n` bits of `words` starting at `lo` with `bit` (0 or all-ones
+/// pattern). Word-level.
+fn fill_words_range(words: &mut [u64], lo: usize, n: usize, bit: bool) {
+    let mut done = 0usize;
+    while done < n {
+        let d = lo + done;
+        let dw = d / 64;
+        let dr = d % 64;
+        let take = (64 - dr).min(n - done);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << dr
+        };
+        if bit {
+            words[dw] |= mask;
+        } else {
+            words[dw] &= !mask;
+        }
+        done += take;
+    }
+}
+
 impl LogicVec {
     /// An all-`x` vector, the value of every `reg` before first assignment.
     pub fn filled_x(width: usize) -> Self {
         assert!(width > 0, "logic vector width must be positive");
-        let n = words_for(width);
-        let mut v = LogicVec {
-            width,
-            val: vec![0; n],
-            unk: vec![u64::MAX; n],
-        };
+        let mut v = LogicVec::zeros(width);
+        {
+            let (_, unk) = v.planes_mut();
+            for w in unk.iter_mut() {
+                *w = u64::MAX;
+            }
+        }
         v.normalize();
         v
     }
@@ -109,12 +200,16 @@ impl LogicVec {
     /// An all-`z` vector.
     pub fn filled_z(width: usize) -> Self {
         assert!(width > 0, "logic vector width must be positive");
-        let n = words_for(width);
-        let mut v = LogicVec {
-            width,
-            val: vec![u64::MAX; n],
-            unk: vec![u64::MAX; n],
-        };
+        let mut v = LogicVec::zeros(width);
+        {
+            let (val, unk) = v.planes_mut();
+            for w in val.iter_mut() {
+                *w = u64::MAX;
+            }
+            for w in unk.iter_mut() {
+                *w = u64::MAX;
+            }
+        }
         v.normalize();
         v
     }
@@ -122,19 +217,26 @@ impl LogicVec {
     /// An all-zero vector.
     pub fn zeros(width: usize) -> Self {
         assert!(width > 0, "logic vector width must be positive");
-        let n = words_for(width);
-        LogicVec {
-            width,
-            val: vec![0; n],
-            unk: vec![0; n],
-        }
+        let repr = if width <= 64 {
+            Repr::Small { val: 0, unk: 0 }
+        } else {
+            let n = words_for(width);
+            Repr::Wide {
+                val: vec![0; n],
+                unk: vec![0; n],
+            }
+        };
+        LogicVec { width, repr }
     }
 
     /// An all-ones vector.
     pub fn ones(width: usize) -> Self {
         let mut v = LogicVec::zeros(width);
-        for w in &mut v.val {
-            *w = u64::MAX;
+        {
+            let (val, _) = v.planes_mut();
+            for w in val.iter_mut() {
+                *w = u64::MAX;
+            }
         }
         v.normalize();
         v
@@ -147,7 +249,7 @@ impl LogicVec {
     /// Panics if `width` is zero.
     pub fn from_u64(width: usize, value: u64) -> Self {
         let mut v = LogicVec::zeros(width);
-        v.val[0] = value;
+        v.planes_mut().0[0] = value;
         v.normalize();
         v
     }
@@ -155,9 +257,12 @@ impl LogicVec {
     /// Builds a vector from the low `width` bits of a `u128`.
     pub fn from_u128(width: usize, value: u128) -> Self {
         let mut v = LogicVec::zeros(width);
-        v.val[0] = value as u64;
-        if v.val.len() > 1 {
-            v.val[1] = (value >> 64) as u64;
+        {
+            let (val, _) = v.planes_mut();
+            val[0] = value as u64;
+            if val.len() > 1 {
+                val[1] = (value >> 64) as u64;
+            }
         }
         v.normalize();
         v
@@ -170,9 +275,11 @@ impl LogicVec {
 
     /// A 1-bit vector from a [`Bit`].
     pub fn from_bit(b: Bit) -> Self {
-        let mut v = LogicVec::zeros(1);
-        v.set_bit(0, b);
-        v
+        let (u, v) = b.planes();
+        LogicVec {
+            width: 1,
+            repr: Repr::Small { val: v, unk: u },
+        }
     }
 
     /// Builds a vector from bits listed most-significant first, as they
@@ -186,15 +293,48 @@ impl LogicVec {
         v
     }
 
+    /// The two plane word slices `(val, unk)`.
+    #[inline]
+    fn planes(&self) -> (&[u64], &[u64]) {
+        match &self.repr {
+            Repr::Small { val, unk } => (std::slice::from_ref(val), std::slice::from_ref(unk)),
+            Repr::Wide { val, unk } => (val, unk),
+        }
+    }
+
+    /// Mutable plane word slices `(val, unk)`.
+    #[inline]
+    fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        match &mut self.repr {
+            Repr::Small { val, unk } => (std::slice::from_mut(val), std::slice::from_mut(unk)),
+            Repr::Wide { val, unk } => (val, unk),
+        }
+    }
+
+    /// `true` when the value lives inline (width ≤ 64, no heap storage).
+    #[cfg(test)]
+    fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small { .. })
+    }
+
     /// Restores the normalized invariant (clears unused high bits).
     fn normalize(&mut self) {
         let m = top_mask(self.width);
-        let last = self.val.len() - 1;
-        self.val[last] &= m;
-        self.unk[last] &= m;
+        match &mut self.repr {
+            Repr::Small { val, unk } => {
+                *val &= m;
+                *unk &= m;
+            }
+            Repr::Wide { val, unk } => {
+                let last = val.len() - 1;
+                val[last] &= m;
+                unk[last] &= m;
+            }
+        }
     }
 
     /// The bit width.
+    #[inline]
     pub fn width(&self) -> usize {
         self.width
     }
@@ -204,16 +344,21 @@ impl LogicVec {
     /// # Panics
     ///
     /// Panics if `i >= self.width()`.
+    #[inline]
     pub fn bit(&self, i: usize) -> Bit {
         assert!(
             i < self.width,
             "bit index {i} out of range for width {}",
             self.width
         );
-        let w = i / 64;
-        let b = i % 64;
-        let v = (self.val[w] >> b) & 1;
-        let u = (self.unk[w] >> b) & 1;
+        let (v, u) = match &self.repr {
+            Repr::Small { val, unk } => ((*val >> i) & 1, (*unk >> i) & 1),
+            Repr::Wide { val, unk } => {
+                let w = i / 64;
+                let b = i % 64;
+                ((val[w] >> b) & 1, (unk[w] >> b) & 1)
+            }
+        };
         match (u, v) {
             (0, 0) => Bit::Zero,
             (0, 1) => Bit::One,
@@ -227,34 +372,43 @@ impl LogicVec {
     /// # Panics
     ///
     /// Panics if `i >= self.width()`.
+    #[inline]
     pub fn set_bit(&mut self, i: usize, b: Bit) {
         assert!(
             i < self.width,
             "bit index {i} out of range for width {}",
             self.width
         );
-        let w = i / 64;
-        let sh = i % 64;
-        let (u, v) = match b {
-            Bit::Zero => (0u64, 0u64),
-            Bit::One => (0, 1),
-            Bit::X => (1, 0),
-            Bit::Z => (1, 1),
-        };
-        self.val[w] = (self.val[w] & !(1 << sh)) | (v << sh);
-        self.unk[w] = (self.unk[w] & !(1 << sh)) | (u << sh);
+        let (u, v) = b.planes();
+        match &mut self.repr {
+            Repr::Small { val, unk } => {
+                *val = (*val & !(1 << i)) | (v << i);
+                *unk = (*unk & !(1 << i)) | (u << i);
+            }
+            Repr::Wide { val, unk } => {
+                let w = i / 64;
+                let sh = i % 64;
+                val[w] = (val[w] & !(1 << sh)) | (v << sh);
+                unk[w] = (unk[w] & !(1 << sh)) | (u << sh);
+            }
+        }
     }
 
     /// `true` when no bit is `x` or `z`.
+    #[inline]
     pub fn is_fully_known(&self) -> bool {
-        self.unk.iter().all(|&w| w == 0)
+        match &self.repr {
+            Repr::Small { unk, .. } => *unk == 0,
+            Repr::Wide { unk, .. } => unk.iter().all(|&w| w == 0),
+        }
     }
 
     /// `true` when every bit is `x` or `z`.
     pub fn is_fully_unknown(&self) -> bool {
         let m = top_mask(self.width);
-        let last = self.unk.len() - 1;
-        self.unk[..last].iter().all(|&w| w == u64::MAX) && self.unk[last] == m
+        let (_, unk) = self.planes();
+        let last = unk.len() - 1;
+        unk[..last].iter().all(|&w| w == u64::MAX) && unk[last] == m
     }
 
     /// The value as a `u64` if fully known and all bits above 64 are zero.
@@ -262,10 +416,11 @@ impl LogicVec {
         if !self.is_fully_known() {
             return None;
         }
-        if self.val[1..].iter().any(|&w| w != 0) {
+        let (val, _) = self.planes();
+        if val[1..].iter().any(|&w| w != 0) {
             return None;
         }
-        Some(self.val[0])
+        Some(val[0])
     }
 
     /// The value as a `u128` if fully known and all bits above 128 are zero.
@@ -273,49 +428,44 @@ impl LogicVec {
         if !self.is_fully_known() {
             return None;
         }
-        if self.val.len() > 2 && self.val[2..].iter().any(|&w| w != 0) {
+        let (val, _) = self.planes();
+        if val.len() > 2 && val[2..].iter().any(|&w| w != 0) {
             return None;
         }
-        let lo = self.val[0] as u128;
-        let hi = if self.val.len() > 1 {
-            self.val[1] as u128
-        } else {
-            0
-        };
+        let lo = val[0] as u128;
+        let hi = if val.len() > 1 { val[1] as u128 } else { 0 };
         Some(lo | (hi << 64))
     }
 
     /// Interprets the vector as a signed integer, if fully known and the
     /// magnitude fits an `i64`.
     pub fn to_i64(&self) -> Option<i64> {
-        if !self.is_fully_known() || self.width > 64 {
-            // Multi-word signed conversion: only handle sign-extension
-            // patterns that fit i64.
-            if !self.is_fully_known() {
-                return None;
-            }
+        if !self.is_fully_known() {
+            return None;
         }
         let sext = self.sign_extend(64.max(self.width));
+        let (val, _) = sext.planes();
         if sext.width > 64 {
             // All words above the first must be a sign extension of bit 63.
-            let neg = (sext.val[0] >> 63) & 1 == 1;
+            let neg = (val[0] >> 63) & 1 == 1;
             let fill = if neg { u64::MAX } else { 0 };
             let m = top_mask(sext.width);
-            let last = sext.val.len() - 1;
-            for (i, &w) in sext.val.iter().enumerate().skip(1) {
+            let last = val.len() - 1;
+            for (i, &w) in val.iter().enumerate().skip(1) {
                 let expect = if i == last { fill & m } else { fill };
                 if w != expect {
                     return None;
                 }
             }
         }
-        Some(sext.val[0] as i64)
+        Some(val[0] as i64)
     }
 
     /// Truth value per Verilog: `1` if any bit is one, `0` if all bits are
     /// zero, `x` otherwise.
     pub fn truthy(&self) -> Bit {
-        let any_one = self.val.iter().zip(&self.unk).any(|(&v, &u)| v & !u != 0);
+        let (val, unk) = self.planes();
+        let any_one = val.iter().zip(unk).any(|(&v, &u)| v & !u != 0);
         if any_one {
             return Bit::One;
         }
@@ -334,42 +484,22 @@ impl LogicVec {
     /// Zero- or sign-less resize: truncates or zero-extends to `width`.
     pub fn zero_extend(&self, width: usize) -> LogicVec {
         assert!(width > 0);
+        if width == self.width {
+            return self.clone();
+        }
         let mut out = LogicVec::zeros(width);
-        let copy = self.width.min(width);
-        for i in 0..copy.div_ceil(64) {
-            out.val[i] = self.val[i];
-            out.unk[i] = self.unk[i];
-        }
-        // Clear bits between `copy` and the end that were copied in excess.
-        if copy < width {
-            // mask out bits >= copy within the copied words
-            let w = copy / 64;
-            let rem = copy % 64;
-            if rem != 0 && w < out.val.len() {
-                let m = (1u64 << rem) - 1;
-                out.val[w] &= m;
-                out.unk[w] &= m;
-            }
-            for i in (copy.div_ceil(64))..out.val.len() {
-                out.val[i] = 0;
-                out.unk[i] = 0;
-            }
-        }
-        out.normalize();
+        out.assign_resize(self, false);
         out
     }
 
     /// Truncates or sign-extends (replicating the MSB, including `x`/`z`).
     pub fn sign_extend(&self, width: usize) -> LogicVec {
         assert!(width > 0);
-        if width <= self.width {
-            return self.zero_extend(width);
+        if width == self.width {
+            return self.clone();
         }
-        let msb = self.bit(self.width - 1);
-        let mut out = self.zero_extend(width);
-        for i in self.width..width {
-            out.set_bit(i, msb);
-        }
+        let mut out = LogicVec::zeros(width);
+        out.assign_resize(self, true);
         out
     }
 
@@ -382,15 +512,133 @@ impl LogicVec {
         }
     }
 
+    /// In-place resize: overwrites `self` with `src` truncated or extended
+    /// to `self`'s width (sign-extension replicates `src`'s MSB including
+    /// `x`/`z` when `signed`). The zero-allocation workhorse behind
+    /// [`LogicVec::resize`] and the bytecode executor's signal loads.
+    pub fn assign_resize(&mut self, src: &LogicVec, signed: bool) {
+        let width = self.width;
+        let copy = src.width.min(width);
+        {
+            let (sv, su) = src.planes();
+            let (dv, du) = self.planes_mut();
+            copy_words_range(dv, 0, sv, 0, copy);
+            copy_words_range(du, 0, su, 0, copy);
+            if width > copy {
+                let (fill_u, fill_v) = if signed {
+                    src.bit(src.width - 1).planes()
+                } else {
+                    (0, 0)
+                };
+                let (dv, du) = self.planes_mut();
+                fill_words_range(dv, copy, width - copy, fill_v == 1);
+                fill_words_range(du, copy, width - copy, fill_u == 1);
+            }
+        }
+        self.normalize();
+    }
+
+    /// In-place copy from an equal-width source. No allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &LogicVec) {
+        assert_eq!(self.width, src.width, "copy_from width mismatch");
+        match (&mut self.repr, &src.repr) {
+            (Repr::Small { val, unk }, Repr::Small { val: sv, unk: su }) => {
+                *val = *sv;
+                *unk = *su;
+            }
+            (Repr::Wide { val, unk }, Repr::Wide { val: sv, unk: su }) => {
+                val.copy_from_slice(sv);
+                unk.copy_from_slice(su);
+            }
+            _ => unreachable!("representation is width-determined"),
+        }
+    }
+
+    /// Overwrites every bit with `x` in place.
+    pub fn set_all_x(&mut self) {
+        let (val, unk) = self.planes_mut();
+        for w in val.iter_mut() {
+            *w = 0;
+        }
+        for w in unk.iter_mut() {
+            *w = u64::MAX;
+        }
+        self.normalize();
+    }
+
+    /// In-place `slice`-then-zero-extend: overwrites `self` with
+    /// `src.slice(lo, w)` zero-extended (or truncated) to `self`'s width —
+    /// bits of the slice beyond `src`'s width read `x`, exactly as
+    /// [`LogicVec::slice`] produces them.
+    pub fn assign_slice_ext(&mut self, src: &LogicVec, lo: usize, w: usize) {
+        let width = self.width;
+        let n = w.min(width);
+        let avail = src.width.saturating_sub(lo).min(n);
+        {
+            let (sv, su) = src.planes();
+            let (dv, du) = self.planes_mut();
+            copy_words_range(dv, 0, sv, lo, avail);
+            copy_words_range(du, 0, su, lo, avail);
+            // Slice bits beyond the source width read x.
+            fill_words_range(dv, avail, n - avail, false);
+            fill_words_range(du, avail, n - avail, true);
+            // Zero-extension above the slice width.
+            fill_words_range(dv, n, width - n, false);
+            fill_words_range(du, n, width - n, false);
+        }
+        self.normalize();
+    }
+
+    /// Writes up to `n` bits of `bits` into `self` starting at `lo`
+    /// (clipped to both widths), returning whether any stored bit actually
+    /// changed. In-place and allocation-free; the simulator's commit path
+    /// uses the change flag to decide whether watchers fire.
+    pub fn write_range(&mut self, lo: usize, bits: &LogicVec, n: usize) -> bool {
+        if lo >= self.width {
+            return false;
+        }
+        let count = n.min(bits.width).min(self.width - lo);
+        let mut changed = false;
+        let (sv, su) = bits.planes();
+        let (dv, du) = self.planes_mut();
+        let mut done = 0usize;
+        while done < count {
+            let d = lo + done;
+            let dw = d / 64;
+            let dr = d % 64;
+            let take = (64 - dr).min(count - done);
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << take) - 1) << dr
+            };
+            let new_v = (dv[dw] & !mask) | ((get_chunk(sv, done) << dr) & mask);
+            let new_u = (du[dw] & !mask) | ((get_chunk(su, done) << dr) & mask);
+            changed |= new_v != dv[dw] || new_u != du[dw];
+            dv[dw] = new_v;
+            du[dw] = new_u;
+            done += take;
+        }
+        changed
+    }
+
     /// Concatenation `{self, low}` — `self` becomes the high part.
     pub fn concat(&self, low: &LogicVec) -> LogicVec {
         let width = self.width + low.width;
         let mut out = LogicVec::zeros(width);
-        for i in 0..low.width {
-            out.set_bit(i, low.bit(i));
-        }
-        for i in 0..self.width {
-            out.set_bit(low.width + i, self.bit(i));
+        {
+            let (lv, lu) = low.planes();
+            let (hv, hu) = self.planes();
+            let (dv, du) = out.planes_mut();
+            copy_words_range(dv, 0, lv, 0, low.width);
+            copy_words_range(du, 0, lu, 0, low.width);
+            copy_words_range(dv, low.width, hv, 0, self.width);
+            copy_words_range(du, low.width, hu, 0, self.width);
         }
         out
     }
@@ -402,9 +650,14 @@ impl LogicVec {
     /// Panics if `n` is zero.
     pub fn repeat(&self, n: usize) -> LogicVec {
         assert!(n > 0, "replication count must be positive");
-        let mut out = self.clone();
-        for _ in 1..n {
-            out = out.concat(self);
+        let mut out = LogicVec::zeros(self.width * n);
+        {
+            let (sv, su) = self.planes();
+            let (dv, du) = out.planes_mut();
+            for i in 0..n {
+                copy_words_range(dv, i * self.width, sv, 0, self.width);
+                copy_words_range(du, i * self.width, su, 0, self.width);
+            }
         }
         out
     }
@@ -414,15 +667,7 @@ impl LogicVec {
     pub fn slice(&self, lo: usize, width: usize) -> LogicVec {
         assert!(width > 0);
         let mut out = LogicVec::zeros(width);
-        for i in 0..width {
-            let src = lo + i;
-            let b = if src < self.width {
-                self.bit(src)
-            } else {
-                Bit::X
-            };
-            out.set_bit(i, b);
-        }
+        out.assign_slice_ext(self, lo, width);
         out
     }
 
@@ -430,40 +675,44 @@ impl LogicVec {
 
     /// Bitwise AND with `x` propagation (`0 & x == 0`).
     pub fn and(&self, other: &LogicVec) -> LogicVec {
-        self.bitwise(other, |av, au, bv, bu| {
-            // treat z as x: a bit is "one" if val&!unk, "zero" if !val&!unk
-            let a_zero = !av & !au;
-            let b_zero = !bv & !bu;
-            let a_one = av & !au;
-            let b_one = bv & !bu;
-            let zero = a_zero | b_zero;
-            let one = a_one & b_one;
-            let unk = !(zero | one);
-            (one, unk)
-        })
+        self.bitwise(other, and_words)
+    }
+
+    /// In-place bitwise AND with an equal-width operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and_assign(&mut self, other: &LogicVec) {
+        self.bitwise_assign(other, and_words)
     }
 
     /// Bitwise OR with `x` propagation (`1 | x == 1`).
     pub fn or(&self, other: &LogicVec) -> LogicVec {
-        self.bitwise(other, |av, au, bv, bu| {
-            let a_one = av & !au;
-            let b_one = bv & !bu;
-            let a_zero = !av & !au;
-            let b_zero = !bv & !bu;
-            let one = a_one | b_one;
-            let zero = a_zero & b_zero;
-            let unk = !(zero | one);
-            (one, unk)
-        })
+        self.bitwise(other, or_words)
+    }
+
+    /// In-place bitwise OR with an equal-width operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or_assign(&mut self, other: &LogicVec) {
+        self.bitwise_assign(other, or_words)
     }
 
     /// Bitwise XOR (`x` if either bit is unknown).
     pub fn xor(&self, other: &LogicVec) -> LogicVec {
-        self.bitwise(other, |av, au, bv, bu| {
-            let unk = au | bu;
-            let one = (av ^ bv) & !unk;
-            (one, unk)
-        })
+        self.bitwise(other, xor_words)
+    }
+
+    /// In-place bitwise XOR with an equal-width operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor_assign(&mut self, other: &LogicVec) {
+        self.bitwise_assign(other, xor_words)
     }
 
     /// Bitwise XNOR.
@@ -471,44 +720,71 @@ impl LogicVec {
         self.xor(other).not()
     }
 
+    /// In-place bitwise XNOR with an equal-width operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xnor_assign(&mut self, other: &LogicVec) {
+        self.xor_assign(other);
+        self.not_assign();
+    }
+
     fn bitwise(&self, other: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
-        let width = self.width.max(other.width);
-        let a = self.zero_extend(width);
-        let b = other.zero_extend(width);
-        let mut out = LogicVec::zeros(width);
-        for i in 0..a.val.len() {
-            let (one, unk) = f(a.val[i], a.unk[i], b.val[i], b.unk[i]);
-            out.val[i] = one | unk; // x encodes val=0; recompute below
-            out.unk[i] = unk;
-            out.val[i] = one; // known ones only; unknown bits are x (val=0)
+        if self.width == other.width {
+            let mut out = self.clone();
+            out.bitwise_assign(other, f);
+            return out;
         }
-        out.normalize();
+        let width = self.width.max(other.width);
+        let mut out = self.zero_extend(width);
+        let b = other.zero_extend(width);
+        out.bitwise_assign(&b, f);
         out
+    }
+
+    fn bitwise_assign(&mut self, other: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) {
+        assert_eq!(self.width, other.width, "bitwise width mismatch");
+        let (bv, bu) = other.planes();
+        let (av, au) = self.planes_mut();
+        for i in 0..av.len() {
+            let (one, unk) = f(av[i], au[i], bv[i], bu[i]);
+            av[i] = one;
+            au[i] = unk;
+        }
+        self.normalize();
     }
 
     /// Bitwise NOT (`~x == x`).
     pub fn not(&self) -> LogicVec {
-        let mut out = LogicVec::zeros(self.width);
-        for i in 0..self.val.len() {
-            out.unk[i] = self.unk[i];
-            out.val[i] = !self.val[i] & !self.unk[i];
-        }
-        out.normalize();
+        let mut out = self.clone();
+        out.not_assign();
         out
+    }
+
+    /// In-place bitwise NOT.
+    pub fn not_assign(&mut self) {
+        let (val, unk) = self.planes_mut();
+        for i in 0..val.len() {
+            val[i] = !val[i] & !unk[i];
+        }
+        self.normalize();
     }
 
     // ---- reductions ----
 
     /// Reduction AND.
     pub fn reduce_and(&self) -> Bit {
+        let m = top_mask(self.width);
+        let (val, unk) = self.planes();
+        let last = val.len() - 1;
         let mut any_zero = false;
         let mut any_unk = false;
-        for i in 0..self.width {
-            match self.bit(i) {
-                Bit::Zero => any_zero = true,
-                Bit::One => {}
-                _ => any_unk = true,
-            }
+        for i in 0..val.len() {
+            let live = if i == last { m } else { u64::MAX };
+            // A bit is known-zero when both planes are 0.
+            any_zero |= (!val[i] & !unk[i] & live) != 0;
+            any_unk |= (unk[i] & live) != 0;
         }
         if any_zero {
             Bit::Zero
@@ -533,7 +809,8 @@ impl LogicVec {
         if !self.is_fully_known() {
             return Bit::X;
         }
-        let parity = self.val.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) & 1;
+        let (val, _) = self.planes();
+        let parity = val.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) & 1;
         if parity == 1 {
             Bit::One
         } else {
@@ -546,7 +823,8 @@ impl LogicVec {
         if !self.is_fully_known() {
             return None;
         }
-        Some(self.val.iter().map(|w| w.count_ones()).sum())
+        let (val, _) = self.planes();
+        Some(val.iter().map(|w| w.count_ones()).sum())
     }
 
     // ---- arithmetic (any unknown input -> all-x result) ----
@@ -565,18 +843,43 @@ impl LogicVec {
         if let Some(x) = self.all_x_if_unknown(other, width) {
             return x;
         }
-        let a = self.zero_extend(width);
-        let b = other.zero_extend(width);
-        let mut out = LogicVec::zeros(width);
+        let mut out = self.zero_extend(width);
+        if other.width == width {
+            out.add_known(other);
+        } else {
+            out.add_known(&other.zero_extend(width));
+        }
+        out
+    }
+
+    /// In-place wrapping addition with an equal-width operand (all-`x`
+    /// result when either input has unknown bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add_assign(&mut self, other: &LogicVec) {
+        assert_eq!(self.width, other.width, "add_assign width mismatch");
+        if !self.is_fully_known() || !other.is_fully_known() {
+            self.set_all_x();
+            return;
+        }
+        self.add_known(other);
+    }
+
+    /// Word-level wrapping add; both sides must be fully known and of
+    /// `self`'s width.
+    fn add_known(&mut self, other: &LogicVec) {
+        let (bv, _) = other.planes();
+        let (av, _) = self.planes_mut();
         let mut carry = 0u64;
-        for i in 0..a.val.len() {
-            let (s1, c1) = a.val[i].overflowing_add(b.val[i]);
+        for i in 0..av.len() {
+            let (s1, c1) = av[i].overflowing_add(bv[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out.val[i] = s2;
+            av[i] = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
-        out.normalize();
-        out
+        self.normalize();
     }
 
     /// Wrapping subtraction at `max(widths)` bits.
@@ -585,28 +888,63 @@ impl LogicVec {
         if let Some(x) = self.all_x_if_unknown(other, width) {
             return x;
         }
-        let b = other.zero_extend(width);
-        self.zero_extend(width)
-            .add(&b.not_bits().add(&LogicVec::from_u64(width, 1)))
+        let mut out = self.zero_extend(width);
+        if other.width == width {
+            out.sub_known(other);
+        } else {
+            out.sub_known(&other.zero_extend(width));
+        }
+        out
+    }
+
+    /// In-place wrapping subtraction with an equal-width operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub_assign(&mut self, other: &LogicVec) {
+        assert_eq!(self.width, other.width, "sub_assign width mismatch");
+        if !self.is_fully_known() || !other.is_fully_known() {
+            self.set_all_x();
+            return;
+        }
+        self.sub_known(other);
+    }
+
+    fn sub_known(&mut self, other: &LogicVec) {
+        let (bv, _) = other.planes();
+        let (av, _) = self.planes_mut();
+        let mut borrow = 0u64;
+        for i in 0..av.len() {
+            let (d1, b1) = av[i].overflowing_sub(bv[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            av[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        self.normalize();
     }
 
     /// Two's-complement negation.
     pub fn neg(&self) -> LogicVec {
-        if !self.is_fully_known() {
-            return LogicVec::filled_x(self.width);
-        }
-        self.not_bits().add(&LogicVec::from_u64(self.width, 1))
+        let mut out = self.clone();
+        out.neg_assign();
+        out
     }
 
-    /// Plain bit inversion ignoring x-propagation (internal two's-complement
-    /// helper; only used on fully-known values).
-    fn not_bits(&self) -> LogicVec {
-        let mut out = LogicVec::zeros(self.width);
-        for i in 0..self.val.len() {
-            out.val[i] = !self.val[i];
+    /// In-place two's-complement negation (all-`x` when any bit unknown).
+    pub fn neg_assign(&mut self) {
+        if !self.is_fully_known() {
+            self.set_all_x();
+            return;
         }
-        out.normalize();
-        out
+        let (val, _) = self.planes_mut();
+        let mut carry = 1u64;
+        for w in val.iter_mut() {
+            let (s, c) = (!*w).overflowing_add(carry);
+            *w = s;
+            carry = c as u64;
+        }
+        self.normalize();
     }
 
     /// Wrapping multiplication at `max(widths)` bits.
@@ -615,20 +953,27 @@ impl LogicVec {
         if let Some(x) = self.all_x_if_unknown(other, width) {
             return x;
         }
+        if width <= 64 {
+            let (av, _) = self.planes();
+            let (bv, _) = other.planes();
+            return LogicVec::from_u64(width, av[0].wrapping_mul(bv[0]));
+        }
         let a = self.zero_extend(width);
         let b = other.zero_extend(width);
-        let n = a.val.len();
+        let (av, _) = a.planes();
+        let (bv, _) = b.planes();
+        let n = av.len();
         let mut acc = vec![0u64; n];
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let cur = acc[i + j] as u128 + (a.val[i] as u128) * (b.val[j] as u128) + carry;
+                let cur = acc[i + j] as u128 + (av[i] as u128) * (bv[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
         }
         let mut out = LogicVec::zeros(width);
-        out.val.copy_from_slice(&acc);
+        out.planes_mut().0.copy_from_slice(&acc);
         out.normalize();
         out
     }
@@ -685,18 +1030,24 @@ impl LogicVec {
 
     fn shl_const(&self, n: usize) -> LogicVec {
         let mut out = LogicVec::zeros(self.width);
-        for i in (n..self.width).rev() {
-            out.set_bit(i, self.bit(i - n));
+        if n < self.width {
+            let (sv, su) = self.planes();
+            let (dv, du) = out.planes_mut();
+            copy_words_range(dv, n, sv, 0, self.width - n);
+            copy_words_range(du, n, su, 0, self.width - n);
         }
         out
     }
 
     fn cmp_unsigned(&self, other: &LogicVec) -> std::cmp::Ordering {
         let width = self.width.max(other.width);
-        let a = self.zero_extend(width);
-        let b = other.zero_extend(width);
-        for i in (0..a.val.len()).rev() {
-            match a.val[i].cmp(&b.val[i]) {
+        let last = words_for(width);
+        let (av, _) = self.planes();
+        let (bv, _) = other.planes();
+        for i in (0..last).rev() {
+            let a = av.get(i).copied().unwrap_or(0);
+            let b = bv.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
                 std::cmp::Ordering::Equal => continue,
                 o => return o,
             }
@@ -737,13 +1088,10 @@ impl LogicVec {
 
     /// Logical equality `==`: `x` if any compared bit is unknown.
     pub fn eq_logic(&self, other: &LogicVec) -> Bit {
-        let width = self.width.max(other.width);
-        let a = self.zero_extend(width);
-        let b = other.zero_extend(width);
-        if !a.is_fully_known() || !b.is_fully_known() {
+        if !self.is_fully_known() || !other.is_fully_known() {
             return Bit::X;
         }
-        if a.val == b.val {
+        if self.cmp_unsigned(other) == std::cmp::Ordering::Equal {
             Bit::One
         } else {
             Bit::Zero
@@ -752,13 +1100,46 @@ impl LogicVec {
 
     /// Case equality `===`: exact four-state comparison, always known.
     pub fn eq_case(&self, other: &LogicVec) -> Bit {
+        if self.width == other.width {
+            return if self == other { Bit::One } else { Bit::Zero };
+        }
         let width = self.width.max(other.width);
         let a = self.zero_extend(width);
         let b = other.zero_extend(width);
-        if a.val == b.val && a.unk == b.unk {
+        if a == b {
             Bit::One
         } else {
             Bit::Zero
+        }
+    }
+
+    /// `casex` match: `x` *and* `z` bits in `pattern` (or in `self`) are
+    /// wildcards.
+    pub fn casex_match(&self, pattern: &LogicVec) -> bool {
+        let width = self.width.max(pattern.width);
+        let a = self.zero_extend(width);
+        let p = pattern.zero_extend(width);
+        for i in 0..width {
+            let pb = p.bit(i);
+            let ab = a.bit(i);
+            if !pb.is_known() || !ab.is_known() {
+                continue;
+            }
+            if pb != ab {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Overwrites every bit with zero in place.
+    pub fn set_all_zero(&mut self) {
+        let (val, unk) = self.planes_mut();
+        for w in val.iter_mut() {
+            *w = 0;
+        }
+        for w in unk.iter_mut() {
+            *w = 0;
         }
     }
 
@@ -790,12 +1171,7 @@ impl LogicVec {
                 if n as usize >= self.width {
                     LogicVec::zeros(self.width)
                 } else {
-                    let n = n as usize;
-                    let mut out = LogicVec::zeros(self.width);
-                    for i in n..self.width {
-                        out.set_bit(i, self.bit(i - n));
-                    }
-                    out
+                    self.shl_const(n as usize)
                 }
             }
         }
@@ -806,14 +1182,15 @@ impl LogicVec {
         match amount.to_u64() {
             None => LogicVec::filled_x(self.width),
             Some(n) => {
-                if n as usize >= self.width {
+                let n = n as usize;
+                if n >= self.width {
                     LogicVec::zeros(self.width)
                 } else {
-                    let n = n as usize;
                     let mut out = LogicVec::zeros(self.width);
-                    for i in 0..self.width - n {
-                        out.set_bit(i, self.bit(i + n));
-                    }
+                    let (sv, su) = self.planes();
+                    let (dv, du) = out.planes_mut();
+                    copy_words_range(dv, 0, sv, n, self.width - n);
+                    copy_words_range(du, 0, su, n, self.width - n);
                     out
                 }
             }
@@ -828,14 +1205,16 @@ impl LogicVec {
                 let msb = self.bit(self.width - 1);
                 let n = (n as usize).min(self.width);
                 let mut out = LogicVec::zeros(self.width);
-                for i in 0..self.width {
-                    let b = if i + n < self.width {
-                        self.bit(i + n)
-                    } else {
-                        msb
-                    };
-                    out.set_bit(i, b);
+                {
+                    let (sv, su) = self.planes();
+                    let (dv, du) = out.planes_mut();
+                    copy_words_range(dv, 0, sv, n, self.width - n);
+                    copy_words_range(du, 0, su, n, self.width - n);
+                    let (fu, fv) = msb.planes();
+                    fill_words_range(dv, self.width - n, n, fv == 1);
+                    fill_words_range(du, self.width - n, n, fu == 1);
                 }
+                out.normalize();
                 out
             }
         }
@@ -917,7 +1296,7 @@ impl LogicVec {
             return v.to_string();
         }
         // Arbitrary width: repeated division by 10^19.
-        let mut words: Vec<u64> = self.val.clone();
+        let mut words: Vec<u64> = self.planes().0.to_vec();
         let mut digits = String::new();
         const CHUNK: u64 = 10_000_000_000_000_000_000;
         loop {
@@ -940,6 +1319,41 @@ impl LogicVec {
         }
         digits
     }
+}
+
+/// AND on one word of each plane: `(known-ones, unknowns)`.
+#[inline]
+fn and_words(av: u64, au: u64, bv: u64, bu: u64) -> (u64, u64) {
+    // treat z as x: a bit is "one" if val&!unk, "zero" if !val&!unk
+    let a_zero = !av & !au;
+    let b_zero = !bv & !bu;
+    let a_one = av & !au;
+    let b_one = bv & !bu;
+    let zero = a_zero | b_zero;
+    let one = a_one & b_one;
+    let unk = !(zero | one);
+    (one, unk)
+}
+
+/// OR on one word of each plane.
+#[inline]
+fn or_words(av: u64, au: u64, bv: u64, bu: u64) -> (u64, u64) {
+    let a_one = av & !au;
+    let b_one = bv & !bu;
+    let a_zero = !av & !au;
+    let b_zero = !bv & !bu;
+    let one = a_one | b_one;
+    let zero = a_zero & b_zero;
+    let unk = !(zero | one);
+    (one, unk)
+}
+
+/// XOR on one word of each plane.
+#[inline]
+fn xor_words(av: u64, au: u64, bv: u64, bu: u64) -> (u64, u64) {
+    let unk = au | bu;
+    let one = (av ^ bv) & !unk;
+    (one, unk)
 }
 
 impl fmt::Debug for LogicVec {
@@ -1048,6 +1462,13 @@ mod tests {
     }
 
     #[test]
+    fn mul_multiword() {
+        let a = LogicVec::from_u128(128, u128::MAX / 5);
+        let b = LogicVec::from_u64(128, 11);
+        assert_eq!(a.mul(&b).to_u128(), Some((u128::MAX / 5).wrapping_mul(11)));
+    }
+
+    #[test]
     fn div_rem() {
         let a = LogicVec::from_u64(8, 23);
         let b = LogicVec::from_u64(8, 5);
@@ -1099,6 +1520,12 @@ mod tests {
         withx.set_bit(2, Bit::X);
         assert_eq!(withx.reduce_or(), Bit::One); // known one dominates
         assert_eq!(withx.reduce_xor(), Bit::X);
+        // Wide reduction across the word boundary.
+        let wide_ones = LogicVec::ones(100);
+        assert_eq!(wide_ones.reduce_and(), Bit::One);
+        let mut wide = LogicVec::ones(100);
+        wide.set_bit(90, Bit::Zero);
+        assert_eq!(wide.reduce_and(), Bit::Zero);
     }
 
     #[test]
@@ -1139,6 +1566,23 @@ mod tests {
     }
 
     #[test]
+    fn shifts_straddle_word_boundary() {
+        let mut v = LogicVec::zeros(96);
+        v.set_bit(0, Bit::One);
+        v.set_bit(70, Bit::X);
+        let left = v.shl(&LogicVec::from_u64(8, 63));
+        assert_eq!(left.bit(63), Bit::One);
+        assert_eq!(left.bit(0), Bit::Zero);
+        // x at 70 shifted to 133, off the top of the 96-bit vector.
+        assert_eq!(left.bit(70), Bit::Zero);
+        let right = left.shr(&LogicVec::from_u64(8, 63));
+        assert_eq!(right.bit(0), Bit::One);
+        assert_eq!(right.bit(70), Bit::Zero);
+        // A shift that keeps the x in range moves the x plane with it.
+        assert_eq!(v.shl(&LogicVec::from_u64(8, 20)).bit(90), Bit::X);
+    }
+
+    #[test]
     fn arithmetic_shift_known_case_shift18() {
         // The paper's shift18 demo: 64-bit arithmetic shift right by 8.
         let q = LogicVec::from_u64(64, 0x8000_0000_0000_0000);
@@ -1162,6 +1606,20 @@ mod tests {
     }
 
     #[test]
+    fn concat_across_word_boundary() {
+        let hi = LogicVec::from_u64(40, 0xde_adbe_ad11);
+        let lo = LogicVec::from_u64(40, 0xbe_efca_fe22);
+        let c = hi.concat(&lo);
+        assert_eq!(c.width(), 80);
+        assert_eq!(
+            c.to_u128(),
+            Some(((0xde_adbe_ad11u128) << 40) | 0xbe_efca_fe22)
+        );
+        assert_eq!(c.slice(40, 40).to_u64(), Some(0xde_adbe_ad11));
+        assert_eq!(c.slice(0, 40).to_u64(), Some(0xbe_efca_fe22));
+    }
+
+    #[test]
     fn extends() {
         let v = LogicVec::from_u64(4, 0b1010);
         assert_eq!(v.zero_extend(8).to_u64(), Some(0b0000_1010));
@@ -1170,6 +1628,21 @@ mod tests {
         let mut x = v.clone();
         x.set_bit(3, Bit::X);
         assert_eq!(x.sign_extend(6).bit(5), Bit::X);
+    }
+
+    #[test]
+    fn extend_across_word_boundary() {
+        let v = LogicVec::from_u64(64, 0x8000_0000_0000_0001);
+        let s = v.sign_extend(100);
+        assert_eq!(s.bit(99), Bit::One);
+        assert_eq!(s.bit(64), Bit::One);
+        assert_eq!(s.bit(0), Bit::One);
+        assert_eq!(s.bit(1), Bit::Zero);
+        let z = v.zero_extend(100);
+        assert_eq!(z.bit(99), Bit::Zero);
+        assert_eq!(z.bit(63), Bit::One);
+        // Truncating back round-trips.
+        assert_eq!(s.zero_extend(64), v);
     }
 
     #[test]
@@ -1224,5 +1697,165 @@ mod tests {
         assert_eq!(v.bit(2), Bit::Zero);
         assert_eq!(v.bit(1), Bit::X);
         assert_eq!(v.bit(0), Bit::One);
+    }
+
+    // ---- representation invariant ----
+
+    #[test]
+    fn small_widths_stay_inline_through_ops() {
+        let a = LogicVec::from_u64(64, 0xdead_beef_dead_beef);
+        let b = LogicVec::from_u64(64, 0x1234_5678_9abc_def0);
+        assert!(a.is_inline());
+        assert!(a.add(&b).is_inline());
+        assert!(a.and(&b).is_inline());
+        assert!(a.not().is_inline());
+        assert!(a.slice(8, 32).is_inline());
+        assert!(a.mul(&b).is_inline());
+        assert!(a.shl(&LogicVec::from_u64(8, 9)).is_inline());
+        assert!(LogicVec::filled_x(64).is_inline());
+        assert!(a.zero_extend(32).is_inline());
+        assert!(!a.zero_extend(65).is_inline());
+        assert!(a.concat(&b).width() == 128 && !a.concat(&b).is_inline());
+    }
+
+    // ---- in-place ops agree with their value-returning counterparts ----
+
+    fn sample_vectors(width: usize) -> Vec<LogicVec> {
+        let mut out = vec![
+            LogicVec::zeros(width),
+            LogicVec::ones(width),
+            LogicVec::filled_x(width),
+            LogicVec::filled_z(width),
+        ];
+        let mut v = LogicVec::zeros(width);
+        for i in 0..width {
+            v.set_bit(
+                i,
+                match i % 4 {
+                    0 => Bit::One,
+                    1 => Bit::Zero,
+                    2 => Bit::X,
+                    _ => Bit::Z,
+                },
+            );
+        }
+        out.push(v);
+        let mut k = LogicVec::zeros(width);
+        for i in (0..width).step_by(3) {
+            k.set_bit(i, Bit::One);
+        }
+        out.push(k);
+        out
+    }
+
+    #[test]
+    fn assign_ops_match_value_ops() {
+        for width in [1, 7, 63, 64, 65, 100, 128, 130] {
+            for a in sample_vectors(width) {
+                for b in sample_vectors(width) {
+                    let mut m = a.clone();
+                    m.and_assign(&b);
+                    assert_eq!(m, a.and(&b), "and w={width}");
+                    let mut m = a.clone();
+                    m.or_assign(&b);
+                    assert_eq!(m, a.or(&b), "or w={width}");
+                    let mut m = a.clone();
+                    m.xor_assign(&b);
+                    assert_eq!(m, a.xor(&b), "xor w={width}");
+                    let mut m = a.clone();
+                    m.xnor_assign(&b);
+                    assert_eq!(m, a.xnor(&b), "xnor w={width}");
+                    let mut m = a.clone();
+                    m.add_assign(&b);
+                    assert_eq!(m, a.add(&b), "add w={width}");
+                    let mut m = a.clone();
+                    m.sub_assign(&b);
+                    assert_eq!(m, a.sub(&b), "sub w={width}");
+                }
+                let mut m = a.clone();
+                m.not_assign();
+                assert_eq!(m, a.not(), "not w={width}");
+                let mut m = a.clone();
+                m.neg_assign();
+                assert_eq!(m, a.neg(), "neg w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_resize_matches_resize() {
+        for src_w in [1, 5, 63, 64, 65, 90, 128] {
+            for dst_w in [1, 5, 63, 64, 65, 90, 128] {
+                for signed in [false, true] {
+                    for v in sample_vectors(src_w) {
+                        let mut dst = LogicVec::zeros(dst_w);
+                        dst.assign_resize(&v, signed);
+                        assert_eq!(
+                            dst,
+                            v.resize(dst_w, signed),
+                            "resize {src_w}->{dst_w} signed={signed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_slice_ext_matches_slice_zero_extend() {
+        for src_w in [4, 64, 65, 100] {
+            for v in sample_vectors(src_w) {
+                for lo in [0usize, 3, 63, 64, 99, 120] {
+                    for w in [1usize, 4, 64, 80] {
+                        for ctx in [1usize, 4, 64, 80, 96] {
+                            let mut dst = LogicVec::ones(ctx);
+                            dst.assign_slice_ext(&v, lo, w);
+                            assert_eq!(
+                                dst,
+                                v.slice(lo, w).zero_extend(ctx),
+                                "slice src_w={src_w} lo={lo} w={w} ctx={ctx}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_range_detects_change() {
+        let mut v = LogicVec::from_u64(8, 0x00);
+        let bits = LogicVec::from_u64(4, 0xf);
+        assert!(v.write_range(2, &bits, 4));
+        assert_eq!(v.to_u64(), Some(0b0011_1100));
+        // Re-writing the same bits is not a change.
+        assert!(!v.write_range(2, &bits, 4));
+        // Out-of-range low bit writes nothing.
+        assert!(!v.write_range(8, &bits, 4));
+        // Clipped at the top.
+        let mut w = LogicVec::zeros(8);
+        assert!(w.write_range(6, &LogicVec::ones(4), 4));
+        assert_eq!(w.to_u64(), Some(0b1100_0000));
+        // Wide, straddling the word boundary, with x planes.
+        let mut wide = LogicVec::zeros(100);
+        let patch = LogicVec::filled_x(10);
+        assert!(wide.write_range(60, &patch, 10));
+        assert_eq!(wide.bit(59), Bit::Zero);
+        assert_eq!(wide.bit(60), Bit::X);
+        assert_eq!(wide.bit(69), Bit::X);
+        assert_eq!(wide.bit(70), Bit::Zero);
+        assert!(!wide.write_range(60, &patch, 10));
+    }
+
+    #[test]
+    fn copy_from_both_representations() {
+        let a = LogicVec::from_u64(33, 0x1_2345_6789);
+        let mut b = LogicVec::zeros(33);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        let wa = LogicVec::from_u128(100, 0x1234_5678_9abc_def0_1122);
+        let mut wb = LogicVec::filled_x(100);
+        wb.copy_from(&wa);
+        assert_eq!(wa, wb);
     }
 }

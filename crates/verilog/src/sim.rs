@@ -7,7 +7,27 @@
 //! a delta cycle), and only when both are empty does time advance to the
 //! next scheduled delay. Combinational oscillation is caught by a
 //! delta-cycle limit; runaway testbenches by a global event budget.
+//!
+//! # Execution modes
+//!
+//! The simulator runs a [`CompiledDesign`] in one of two modes:
+//!
+//! * [`ExecMode::Bytecode`] (the default) executes the compile-once
+//!   register bytecode of [`crate::compile`]: no per-step instruction
+//!   cloning, no per-node allocation — the scratch register file is
+//!   preallocated once and every op mutates it in place.
+//! * [`ExecMode::TreeWalk`] interprets the elaborated `RExpr` trees
+//!   directly. It is the executable semantic reference the differential
+//!   tests compare the bytecode against, and the baseline the benchmarks
+//!   measure the speedup from.
+//!
+//! Both modes share the scheduler, the commit/wake machinery and the
+//! system-task handling; a run's [`SimOutput`] is identical by
+//! construction of the bytecode and verified by the differential
+//! proptests in [`crate::compile`] and the whole-design differential
+//! suite `crates/tbgen/tests/exec_diff.rs`.
 
+use crate::compile::{exec_unit, CInstr, CLValue, CSysArg, CompiledDesign, ExprId, ValueStore};
 use crate::design::*;
 use crate::error::SimError;
 use crate::logic::{Bit, LogicVec};
@@ -36,6 +56,16 @@ impl Default for SimLimits {
             max_time: 1_000_000,
         }
     }
+}
+
+/// How the simulator executes process bodies and expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Register bytecode over a preallocated scratch file (fast path).
+    #[default]
+    Bytecode,
+    /// Direct interpretation of the `RExpr` trees (semantic reference).
+    TreeWalk,
 }
 
 /// The result of a completed simulation.
@@ -77,9 +107,27 @@ enum Watcher {
     Process { idx: usize, edge: crate::ast::Edge },
 }
 
+/// Either a borrowed, pre-compiled design (the run-many hot path) or one
+/// compiled and owned by this simulator (the convenience constructors).
+enum DesignRef<'d> {
+    Borrowed(&'d CompiledDesign),
+    Owned(Box<CompiledDesign>),
+}
+
+impl DesignRef<'_> {
+    fn get(&self) -> &CompiledDesign {
+        match self {
+            DesignRef::Borrowed(cd) => cd,
+            DesignRef::Owned(cd) => cd,
+        }
+    }
+}
+
 /// An event-driven simulator over an elaborated design.
 ///
 /// # Examples
+///
+/// One-shot simulation from a [`Design`]:
 ///
 /// ```
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -102,15 +150,109 @@ enum Watcher {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// Compile once, run many (the harness hot path — repeated runs reuse
+/// the bytecode, the literal pool and the flattened design):
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use correctbench_verilog::{compile, parse, elaborate, Simulator};
+///
+/// let src = "module tb; initial begin $display(\"hi\"); $finish; end endmodule";
+/// let compiled = compile(&elaborate(&parse(src)?, "tb")?);
+/// for _ in 0..3 {
+///     assert_eq!(Simulator::from_compiled(&compiled).run()?.lines, vec!["hi"]);
+/// }
+/// # Ok(())
+/// # }
+/// ```
 pub struct Simulator<'d> {
-    design: &'d Design,
+    compiled: DesignRef<'d>,
+    state: SimState,
+    mode: ExecMode,
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator with default [`SimLimits`], compiling the
+    /// design. Prefer [`Simulator::from_compiled`] when the same design
+    /// is simulated more than once.
+    pub fn new(design: &'d Design) -> Self {
+        Self::with_limits(design, SimLimits::default())
+    }
+
+    /// Creates a simulator with explicit limits, compiling the design.
+    pub fn with_limits(design: &'d Design, limits: SimLimits) -> Self {
+        let compiled = Box::new(CompiledDesign::new(design.clone()));
+        let state = SimState::new(&compiled, limits);
+        Simulator {
+            compiled: DesignRef::Owned(compiled),
+            state,
+            mode: ExecMode::default(),
+        }
+    }
+
+    /// Creates a simulator over a pre-compiled design with default
+    /// limits. Construction allocates only the value and scratch tables.
+    pub fn from_compiled(compiled: &'d CompiledDesign) -> Self {
+        Self::from_compiled_with_limits(compiled, SimLimits::default())
+    }
+
+    /// [`Simulator::from_compiled`] with explicit limits.
+    pub fn from_compiled_with_limits(compiled: &'d CompiledDesign, limits: SimLimits) -> Self {
+        let state = SimState::new(compiled, limits);
+        Simulator {
+            compiled: DesignRef::Borrowed(compiled),
+            state,
+            mode: ExecMode::default(),
+        }
+    }
+
+    /// Selects the execution mode (default [`ExecMode::Bytecode`]).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Reads a signal's current value (test and harness access).
+    pub fn value(&self, sig: SignalId) -> &LogicVec {
+        &self.state.values[sig.0 as usize]
+    }
+
+    /// Runs to `$finish`, event exhaustion, or `max_time`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeltaOverflow`] on combinational loops,
+    /// [`SimError::EventBudgetExhausted`] when the instruction budget runs
+    /// out (runaway zero-delay loops).
+    pub fn run(self) -> Result<SimOutput, SimError> {
+        let Simulator {
+            compiled,
+            mut state,
+            mode,
+        } = self;
+        state.run(compiled.get(), mode)
+    }
+}
+
+/// All mutable simulation state, split from the (shared, immutable)
+/// compiled design so the executor borrows instead of cloning: an
+/// instruction reference from the design and mutable access to values,
+/// scratch registers and scheduler queues coexist without any per-step
+/// `Instr`/`RExpr` clone.
+struct SimState {
     values: Vec<LogicVec>,
+    /// Bytecode scratch registers, preallocated at their compiled widths.
+    scratch: Vec<LogicVec>,
     time: u64,
     procs: Vec<ProcState>,
     sig_watchers: Vec<Vec<Watcher>>,
     active: VecDeque<Activation>,
     /// Pending NBA commits: (signal, low bit, value).
     nba: Vec<(SignalId, usize, LogicVec)>,
+    /// Drain buffer the NBA queue swaps into each delta, so neither
+    /// vector ever gives its capacity back mid-run.
+    nba_scratch: Vec<(SignalId, usize, LogicVec)>,
     timed: BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>>,
     seq: u64,
     lines: Vec<String>,
@@ -119,28 +261,9 @@ pub struct Simulator<'d> {
     steps: u64,
 }
 
-struct Store<'a> {
-    values: &'a [LogicVec],
-    time: u64,
-}
-
-impl SigRead for Store<'_> {
-    fn read(&self, id: SignalId) -> &LogicVec {
-        &self.values[id.0 as usize]
-    }
-    fn now(&self) -> u64 {
-        self.time
-    }
-}
-
-impl<'d> Simulator<'d> {
-    /// Creates a simulator with default [`SimLimits`].
-    pub fn new(design: &'d Design) -> Self {
-        Self::with_limits(design, SimLimits::default())
-    }
-
-    /// Creates a simulator with explicit limits.
-    pub fn with_limits(design: &'d Design, limits: SimLimits) -> Self {
+impl SimState {
+    fn new(cd: &CompiledDesign, limits: SimLimits) -> SimState {
+        let design = cd.design();
         let values = design
             .signals
             .iter()
@@ -160,14 +283,15 @@ impl<'d> Simulator<'d> {
                 sig_watchers[s.0 as usize].push(Watcher::Assign(i));
             }
         }
-        Simulator {
-            design,
+        SimState {
             values,
+            scratch: cd.new_scratch(),
             time: 0,
             procs,
             sig_watchers,
             active: VecDeque::new(),
             nba: Vec::new(),
+            nba_scratch: Vec::new(),
             timed: BinaryHeap::new(),
             seq: 0,
             lines: Vec::new(),
@@ -177,23 +301,16 @@ impl<'d> Simulator<'d> {
         }
     }
 
-    /// Runs to `$finish`, event exhaustion, or `max_time`.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::DeltaOverflow`] on combinational loops,
-    /// [`SimError::EventBudgetExhausted`] when the instruction budget runs
-    /// out (runaway zero-delay loops).
-    pub fn run(mut self) -> Result<SimOutput, SimError> {
+    fn run(&mut self, cd: &CompiledDesign, mode: ExecMode) -> Result<SimOutput, SimError> {
         // Time zero: all continuous assignments evaluate once, every
         // process starts.
-        for i in 0..self.design.assigns.len() {
+        for i in 0..cd.design().assigns.len() {
             self.active.push_back(Activation::Assign(i));
         }
-        for i in 0..self.design.processes.len() {
+        for i in 0..cd.design().processes.len() {
             self.active.push_back(Activation::Process(i));
         }
-        self.settle()?;
+        self.settle(cd, mode)?;
         while !self.finished {
             let Some(std::cmp::Reverse((t, _, proc))) = self.timed.pop() else {
                 break;
@@ -215,17 +332,18 @@ impl<'d> Simulator<'d> {
                 self.procs[p2].status = ProcStatus::Ready;
                 self.active.push_back(Activation::Process(p2));
             }
-            self.settle()?;
+            self.settle(cd, mode)?;
         }
         Ok(SimOutput {
-            lines: self.lines,
+            lines: std::mem::take(&mut self.lines),
             end_time: self.time,
             finished: self.finished,
         })
     }
 
     /// Runs the active/NBA delta loop at the current time.
-    fn settle(&mut self) -> Result<(), SimError> {
+    fn settle(&mut self, cd: &CompiledDesign, mode: ExecMode) -> Result<(), SimError> {
+        let design = cd.design();
         let mut deltas = 0usize;
         // Oscillation through continuous assignments alone never touches
         // the NBA queue, so the activation count itself must be bounded.
@@ -233,7 +351,7 @@ impl<'d> Simulator<'d> {
         let activation_budget = self
             .limits
             .max_deltas
-            .saturating_mul(self.design.assigns.len() + self.design.processes.len() + 1);
+            .saturating_mul(design.assigns.len() + design.processes.len() + 1);
         loop {
             while let Some(act) = self.active.pop_front() {
                 if self.finished {
@@ -243,9 +361,11 @@ impl<'d> Simulator<'d> {
                 if activations > activation_budget {
                     return Err(SimError::DeltaOverflow { time: self.time });
                 }
-                match act {
-                    Activation::Assign(i) => self.eval_assign(i)?,
-                    Activation::Process(i) => self.run_process(i)?,
+                match (act, mode) {
+                    (Activation::Assign(i), ExecMode::Bytecode) => self.eval_assign(cd, i)?,
+                    (Activation::Assign(i), ExecMode::TreeWalk) => self.eval_assign_tree(cd, i)?,
+                    (Activation::Process(i), ExecMode::Bytecode) => self.run_process(cd, i)?,
+                    (Activation::Process(i), ExecMode::TreeWalk) => self.run_process_tree(cd, i)?,
                 }
             }
             if self.nba.is_empty() {
@@ -255,72 +375,332 @@ impl<'d> Simulator<'d> {
             if deltas > self.limits.max_deltas {
                 return Err(SimError::DeltaOverflow { time: self.time });
             }
-            let updates = std::mem::take(&mut self.nba);
-            for (sig, lo, value) in updates {
+            std::mem::swap(&mut self.nba, &mut self.nba_scratch);
+            for i in 0..self.nba_scratch.len() {
+                let (sig, lo, value) = std::mem::replace(
+                    &mut self.nba_scratch[i],
+                    (SignalId(0), 0, LogicVec::zeros(1)),
+                );
                 self.commit_bits(sig, lo, &value);
             }
+            self.nba_scratch.clear();
         }
     }
 
-    fn eval_assign(&mut self, i: usize) -> Result<(), SimError> {
-        let a = &self.design.assigns[i];
-        let lhs_width = a.lhs.width(self.design);
-        let store = Store {
-            values: &self.values,
-            time: self.time,
-        };
-        let value = eval(&a.rhs, lhs_width.max(a.rhs.width), &store);
-        let value = value.resize(lhs_width, a.rhs.signed);
-        let lhs = a.lhs.clone();
-        self.write_lvalue(&lhs, value)?;
+    // ---- bytecode execution ----
+
+    /// Runs expression unit `id` and returns its output register index.
+    /// The borrow-split here is the core of the zero-clone design: the
+    /// bytecode lives in `cd`, the registers and signal values in `self`,
+    /// so execution needs no cloning and no interior mutability.
+    fn exec(&mut self, cd: &CompiledDesign, id: ExprId) -> usize {
+        exec_unit(cd, id, &mut self.scratch, &self.values, self.time);
+        cd.out_reg(id)
+    }
+
+    /// Moves an evaluated value out of its scratch register (swapping in
+    /// a 1-bit placeholder) so the write walk can borrow `self` mutably;
+    /// [`SimState::untake`] restores it afterwards, keeping the register
+    /// file's preallocated widths intact.
+    fn take(&mut self, reg: usize) -> LogicVec {
+        std::mem::replace(&mut self.scratch[reg], LogicVec::zeros(1))
+    }
+
+    fn untake(&mut self, reg: usize, value: LogicVec) {
+        self.scratch[reg] = value;
+    }
+
+    fn eval_assign(&mut self, cd: &CompiledDesign, i: usize) -> Result<(), SimError> {
+        let a = &cd.assigns[i];
+        let out = self.exec(cd, a.rhs);
+        let value = self.take(out);
+        self.write_lvalue(cd, &a.lhs, &value)?;
+        self.untake(out, value);
         Ok(())
     }
 
-    fn run_process(&mut self, i: usize) -> Result<(), SimError> {
+    fn run_process(&mut self, cd: &CompiledDesign, i: usize) -> Result<(), SimError> {
         loop {
             self.steps += 1;
             if self.steps > self.limits.max_steps {
                 return Err(SimError::EventBudgetExhausted);
             }
-            let code = &self.design.processes[i].code;
+            let code = &cd.processes[i].code;
             let pc = self.procs[i].pc;
             let Some(instr) = code.get(pc) else {
                 self.procs[i].status = ProcStatus::Done;
                 return Ok(());
             };
-            match instr.clone() {
+            match instr {
+                CInstr::Assign { lhs, rhs } => {
+                    let out = self.exec(cd, *rhs);
+                    let value = self.take(out);
+                    self.write_lvalue(cd, lhs, &value)?;
+                    self.untake(out, value);
+                    self.procs[i].pc = pc + 1;
+                }
+                CInstr::NbAssign { lhs, rhs } => {
+                    let out = self.exec(cd, *rhs);
+                    let value = self.take(out);
+                    self.schedule_nba(cd, lhs, &value)?;
+                    self.untake(out, value);
+                    self.procs[i].pc = pc + 1;
+                }
+                CInstr::JumpIfFalse { cond, target } => {
+                    let out = self.exec(cd, *cond);
+                    let t = self.scratch[out].truthy();
+                    self.procs[i].pc = if t == Bit::One { pc + 1 } else { *target };
+                }
+                CInstr::Jump(target) => {
+                    self.procs[i].pc = *target;
+                }
+                CInstr::CaseJump {
+                    sel,
+                    kind,
+                    arms,
+                    default,
+                } => {
+                    let sel_reg = self.exec(cd, *sel);
+                    let mut target = *default;
+                    'arms: for (labels, t) in arms {
+                        for l in labels {
+                            let l_reg = self.exec(cd, *l);
+                            let selv = &self.scratch[sel_reg];
+                            let lv = &self.scratch[l_reg];
+                            let hit = match kind {
+                                crate::ast::CaseKind::Case => selv.eq_case(lv) == Bit::One,
+                                crate::ast::CaseKind::Casez => selv.casez_match(lv),
+                                crate::ast::CaseKind::Casex => selv.casex_match(lv),
+                            };
+                            if hit {
+                                target = *t;
+                                break 'arms;
+                            }
+                        }
+                    }
+                    self.procs[i].pc = target;
+                }
+                CInstr::Delay(d) => {
+                    self.procs[i].pc = pc + 1;
+                    self.procs[i].status = ProcStatus::Waiting;
+                    self.seq += 1;
+                    self.timed
+                        .push(std::cmp::Reverse((self.time + d, self.seq, i)));
+                    return Ok(());
+                }
+                CInstr::WaitEvent(edges) => {
+                    self.procs[i].pc = pc + 1;
+                    self.procs[i].status = ProcStatus::Waiting;
+                    for (edge, sig) in edges {
+                        self.sig_watchers[sig.0 as usize].push(Watcher::Process {
+                            idx: i,
+                            edge: *edge,
+                        });
+                    }
+                    return Ok(());
+                }
+                CInstr::SysCall { name, args } => {
+                    if is_display(name) {
+                        let line = self.render(cd, args, display_skip(name));
+                        self.lines.push(line);
+                    }
+                    self.syscall_effect(name);
+                    if self.finished {
+                        return Ok(());
+                    }
+                    self.procs[i].pc = pc + 1;
+                }
+                CInstr::Halt => {
+                    self.procs[i].status = ProcStatus::Done;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn render(&mut self, cd: &CompiledDesign, args: &[CSysArg], skip: usize) -> String {
+        let args = &args[skip.min(args.len())..];
+        let (fmt, rest): (&str, &[CSysArg]) = match args.first() {
+            Some(CSysArg::Str(s)) => (s, &args[1..]),
+            _ => {
+                // No format string: default-format every argument.
+                let mut parts = Vec::new();
+                for a in args {
+                    if let CSysArg::Expr(e) = a {
+                        let out = self.exec(cd, *e);
+                        parts.push(self.scratch[out].to_decimal_string());
+                    }
+                }
+                return parts.join(" ");
+            }
+        };
+        let mut values: Vec<LogicVec> = Vec::with_capacity(rest.len());
+        for a in rest {
+            if let CSysArg::Expr(e) = a {
+                let out = self.exec(cd, *e);
+                values.push(self.scratch[out].clone());
+            }
+        }
+        format_display(fmt, &values, self.time)
+    }
+
+    /// Immediately writes `value` through an lvalue (blocking semantics).
+    /// Dynamic indices are evaluated lazily, in target order, exactly as
+    /// the tree-walker does.
+    fn write_lvalue(
+        &mut self,
+        cd: &CompiledDesign,
+        lhs: &CLValue,
+        value: &LogicVec,
+    ) -> Result<(), SimError> {
+        match lhs {
+            CLValue::Sig(s) => {
+                self.commit_bits(*s, 0, value);
+                Ok(())
+            }
+            CLValue::Part(s, lo, w) => {
+                self.commit_bits(*s, *lo, &value.slice(0, *w));
+                Ok(())
+            }
+            CLValue::Bit(s, idx) => {
+                let out = self.exec(cd, *idx);
+                if let Some(i) = self.scratch[out].to_u64() {
+                    let width = cd.design().signal(*s).width;
+                    if (i as usize) < width {
+                        self.commit_bits(*s, i as usize, &value.slice(0, 1));
+                    }
+                }
+                Ok(())
+            }
+            CLValue::IndexedPart(s, base, w) => {
+                let out = self.exec(cd, *base);
+                if let Some(lo) = self.scratch[out].to_u64() {
+                    self.commit_bits(*s, lo as usize, &value.slice(0, *w));
+                }
+                Ok(())
+            }
+            CLValue::Concat(parts) => {
+                // MSB-first: the last part takes the low bits.
+                let mut lo = 0usize;
+                for part in parts.iter().rev() {
+                    let w = part.width(cd.design());
+                    let chunk = value.slice(lo, w);
+                    self.write_lvalue(cd, part, &chunk)?;
+                    lo += w;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Schedules an NBA update.
+    fn schedule_nba(
+        &mut self,
+        cd: &CompiledDesign,
+        lhs: &CLValue,
+        value: &LogicVec,
+    ) -> Result<(), SimError> {
+        match lhs {
+            CLValue::Sig(s) => {
+                self.nba.push((*s, 0, value.clone()));
+                Ok(())
+            }
+            CLValue::Part(s, lo, w) => {
+                self.nba.push((*s, *lo, value.slice(0, *w)));
+                Ok(())
+            }
+            CLValue::Bit(s, idx) => {
+                let out = self.exec(cd, *idx);
+                if let Some(i) = self.scratch[out].to_u64() {
+                    let width = cd.design().signal(*s).width;
+                    if (i as usize) < width {
+                        self.nba.push((*s, i as usize, value.slice(0, 1)));
+                    }
+                }
+                Ok(())
+            }
+            CLValue::IndexedPart(s, base, w) => {
+                let out = self.exec(cd, *base);
+                if let Some(lo) = self.scratch[out].to_u64() {
+                    self.nba.push((*s, lo as usize, value.slice(0, *w)));
+                }
+                Ok(())
+            }
+            CLValue::Concat(parts) => {
+                let mut lo = 0usize;
+                for part in parts.iter().rev() {
+                    let w = part.width(cd.design());
+                    let chunk = value.slice(lo, w);
+                    self.schedule_nba(cd, part, &chunk)?;
+                    lo += w;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---- tree-walk execution (semantic reference) ----
+
+    fn eval_assign_tree(&mut self, cd: &CompiledDesign, i: usize) -> Result<(), SimError> {
+        let a = &cd.design().assigns[i];
+        let lhs_width = a.lhs.width(cd.design());
+        let value = {
+            let store = ValueStore {
+                values: &self.values,
+                time: self.time,
+            };
+            eval(&a.rhs, lhs_width.max(a.rhs.width), &store).resize(lhs_width, a.rhs.signed)
+        };
+        self.write_lvalue_tree(cd, &a.lhs, value)
+    }
+
+    fn run_process_tree(&mut self, cd: &CompiledDesign, i: usize) -> Result<(), SimError> {
+        let design = cd.design();
+        loop {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(SimError::EventBudgetExhausted);
+            }
+            let pc = self.procs[i].pc;
+            let Some(instr) = design.processes[i].code.get(pc) else {
+                self.procs[i].status = ProcStatus::Done;
+                return Ok(());
+            };
+            match instr {
                 Instr::Assign(lhs, rhs) => {
-                    let lhs_width = lhs.width(self.design);
-                    let store = Store {
-                        values: &self.values,
-                        time: self.time,
+                    let lhs_width = lhs.width(design);
+                    let v = {
+                        let store = ValueStore {
+                            values: &self.values,
+                            time: self.time,
+                        };
+                        eval(rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed)
                     };
-                    let v =
-                        eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
-                    self.write_lvalue(&lhs, v)?;
+                    self.write_lvalue_tree(cd, lhs, v)?;
                     self.procs[i].pc = pc + 1;
                 }
                 Instr::NbAssign(lhs, rhs) => {
-                    let lhs_width = lhs.width(self.design);
-                    let store = Store {
-                        values: &self.values,
-                        time: self.time,
+                    let lhs_width = lhs.width(design);
+                    let v = {
+                        let store = ValueStore {
+                            values: &self.values,
+                            time: self.time,
+                        };
+                        eval(rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed)
                     };
-                    let v =
-                        eval(&rhs, lhs_width.max(rhs.width), &store).resize(lhs_width, rhs.signed);
-                    self.schedule_nba(&lhs, v)?;
+                    self.schedule_nba_tree(cd, lhs, v)?;
                     self.procs[i].pc = pc + 1;
                 }
                 Instr::JumpIfFalse(cond, target) => {
-                    let store = Store {
+                    let store = ValueStore {
                         values: &self.values,
                         time: self.time,
                     };
-                    let t = eval(&cond, cond.width, &store).truthy();
-                    self.procs[i].pc = if t == Bit::One { pc + 1 } else { target };
+                    let t = eval(cond, cond.width, &store).truthy();
+                    self.procs[i].pc = if t == Bit::One { pc + 1 } else { *target };
                 }
                 Instr::Jump(target) => {
-                    self.procs[i].pc = target;
+                    self.procs[i].pc = *target;
                 }
                 Instr::CaseJump {
                     expr,
@@ -328,7 +708,7 @@ impl<'d> Simulator<'d> {
                     arms,
                     default,
                 } => {
-                    let store = Store {
+                    let store = ValueStore {
                         values: &self.values,
                         time: self.time,
                     };
@@ -336,15 +716,15 @@ impl<'d> Simulator<'d> {
                         .iter()
                         .flat_map(|(ls, _)| ls.iter().map(|l| l.width))
                         .fold(expr.width, usize::max);
-                    let sel = eval(&expr, sel_w, &store);
-                    let mut target = default;
-                    'arms: for (labels, t) in &arms {
+                    let sel = eval(expr, sel_w, &store);
+                    let mut target = *default;
+                    'arms: for (labels, t) in arms {
                         for l in labels {
                             let lv = eval(l, sel_w, &store);
                             let hit = match kind {
                                 crate::ast::CaseKind::Case => sel.eq_case(&lv) == Bit::One,
                                 crate::ast::CaseKind::Casez => sel.casez_match(&lv),
-                                crate::ast::CaseKind::Casex => casex_match(&sel, &lv),
+                                crate::ast::CaseKind::Casex => sel.casex_match(&lv),
                             };
                             if hit {
                                 target = *t;
@@ -366,12 +746,19 @@ impl<'d> Simulator<'d> {
                     self.procs[i].pc = pc + 1;
                     self.procs[i].status = ProcStatus::Waiting;
                     for (edge, sig) in edges {
-                        self.sig_watchers[sig.0 as usize].push(Watcher::Process { idx: i, edge });
+                        self.sig_watchers[sig.0 as usize].push(Watcher::Process {
+                            idx: i,
+                            edge: *edge,
+                        });
                     }
                     return Ok(());
                 }
                 Instr::SysCall { name, args } => {
-                    self.syscall(&name, &args);
+                    if is_display(name) {
+                        let line = self.render_tree(args, display_skip(name));
+                        self.lines.push(line);
+                    }
+                    self.syscall_effect(name);
                     if self.finished {
                         return Ok(());
                     }
@@ -385,37 +772,14 @@ impl<'d> Simulator<'d> {
         }
     }
 
-    fn syscall(&mut self, name: &str, args: &[RSysArg]) {
-        match name {
-            "$finish" | "$stop" => {
-                self.finished = true;
-            }
-            "$display" | "$write" => {
-                let line = self.render(args, 0);
-                self.lines.push(line);
-            }
-            "$fdisplay" | "$fwrite" => {
-                // First argument is the file descriptor; we capture
-                // everything into one stream.
-                let line = self.render(args, 1);
-                self.lines.push(line);
-            }
-            "$monitor" | "$fopen" | "$fclose" | "$dumpfile" | "$dumpvars" => {
-                // Accepted but inert: generated testbenches sometimes emit
-                // these; Icarus would honour them, we do not need to.
-            }
-            _ => {}
-        }
-    }
-
-    fn render(&self, args: &[RSysArg], skip: usize) -> String {
-        let store = Store {
+    fn render_tree(&self, args: &[RSysArg], skip: usize) -> String {
+        let store = ValueStore {
             values: &self.values,
             time: self.time,
         };
         let args = &args[skip.min(args.len())..];
-        let (fmt, rest): (String, &[RSysArg]) = match args.first() {
-            Some(RSysArg::Str(s)) => (s.clone(), &args[1..]),
+        let (fmt, rest): (&str, &[RSysArg]) = match args.first() {
+            Some(RSysArg::Str(s)) => (s, &args[1..]),
             _ => {
                 // No format string: default-format every argument.
                 let mut parts = Vec::new();
@@ -434,11 +798,15 @@ impl<'d> Simulator<'d> {
                 RSysArg::Str(_) => None,
             })
             .collect();
-        format_display(&fmt, &values, self.time)
+        format_display(fmt, &values, self.time)
     }
 
-    /// Immediately writes `value` through an lvalue (blocking semantics).
-    fn write_lvalue(&mut self, lhs: &RLValue, value: LogicVec) -> Result<(), SimError> {
+    fn write_lvalue_tree(
+        &mut self,
+        cd: &CompiledDesign,
+        lhs: &RLValue,
+        value: LogicVec,
+    ) -> Result<(), SimError> {
         match lhs {
             RLValue::Sig(s) => {
                 self.commit_bits(*s, 0, &value);
@@ -449,13 +817,15 @@ impl<'d> Simulator<'d> {
                 Ok(())
             }
             RLValue::Bit(s, idx) => {
-                let store = Store {
-                    values: &self.values,
-                    time: self.time,
+                let i = {
+                    let store = ValueStore {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    eval(idx, idx.width, &store)
                 };
-                let i = eval(idx, idx.width, &store);
                 if let Some(i) = i.to_u64() {
-                    let width = self.design.signal(*s).width;
+                    let width = cd.design().signal(*s).width;
                     if (i as usize) < width {
                         self.commit_bits(*s, i as usize, &value.slice(0, 1));
                     }
@@ -463,11 +833,13 @@ impl<'d> Simulator<'d> {
                 Ok(())
             }
             RLValue::IndexedPart(s, base, w) => {
-                let store = Store {
-                    values: &self.values,
-                    time: self.time,
+                let b = {
+                    let store = ValueStore {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    eval(base, base.width, &store)
                 };
-                let b = eval(base, base.width, &store);
                 if let Some(lo) = b.to_u64() {
                     self.commit_bits(*s, lo as usize, &value.slice(0, *w));
                 }
@@ -477,9 +849,9 @@ impl<'d> Simulator<'d> {
                 // MSB-first: the last part takes the low bits.
                 let mut lo = 0usize;
                 for part in parts.iter().rev() {
-                    let w = part.width(self.design);
+                    let w = part.width(cd.design());
                     let chunk = value.slice(lo, w);
-                    self.write_lvalue(part, chunk)?;
+                    self.write_lvalue_tree(cd, part, chunk)?;
                     lo += w;
                 }
                 Ok(())
@@ -487,8 +859,12 @@ impl<'d> Simulator<'d> {
         }
     }
 
-    /// Schedules an NBA update.
-    fn schedule_nba(&mut self, lhs: &RLValue, value: LogicVec) -> Result<(), SimError> {
+    fn schedule_nba_tree(
+        &mut self,
+        cd: &CompiledDesign,
+        lhs: &RLValue,
+        value: LogicVec,
+    ) -> Result<(), SimError> {
         match lhs {
             RLValue::Sig(s) => {
                 self.nba.push((*s, 0, value));
@@ -499,12 +875,15 @@ impl<'d> Simulator<'d> {
                 Ok(())
             }
             RLValue::Bit(s, idx) => {
-                let store = Store {
-                    values: &self.values,
-                    time: self.time,
+                let i = {
+                    let store = ValueStore {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    eval(idx, idx.width, &store)
                 };
-                if let Some(i) = eval(idx, idx.width, &store).to_u64() {
-                    let width = self.design.signal(*s).width;
+                if let Some(i) = i.to_u64() {
+                    let width = cd.design().signal(*s).width;
                     if (i as usize) < width {
                         self.nba.push((*s, i as usize, value.slice(0, 1)));
                     }
@@ -512,11 +891,14 @@ impl<'d> Simulator<'d> {
                 Ok(())
             }
             RLValue::IndexedPart(s, base, w) => {
-                let store = Store {
-                    values: &self.values,
-                    time: self.time,
+                let b = {
+                    let store = ValueStore {
+                        values: &self.values,
+                        time: self.time,
+                    };
+                    eval(base, base.width, &store)
                 };
-                if let Some(lo) = eval(base, base.width, &store).to_u64() {
+                if let Some(lo) = b.to_u64() {
                     self.nba.push((*s, lo as usize, value.slice(0, *w)));
                 }
                 Ok(())
@@ -524,9 +906,9 @@ impl<'d> Simulator<'d> {
             RLValue::Concat(parts) => {
                 let mut lo = 0usize;
                 for part in parts.iter().rev() {
-                    let w = part.width(self.design);
+                    let w = part.width(cd.design());
                     let chunk = value.slice(lo, w);
-                    self.schedule_nba(part, chunk)?;
+                    self.schedule_nba_tree(cd, part, chunk)?;
                     lo += w;
                 }
                 Ok(())
@@ -534,34 +916,50 @@ impl<'d> Simulator<'d> {
         }
     }
 
+    // ---- shared machinery ----
+
+    /// Applies a system task's scheduler effect (display rendering is
+    /// handled by the callers, which own the mode-specific argument
+    /// evaluation).
+    fn syscall_effect(&mut self, name: &str) {
+        match name {
+            "$finish" | "$stop" => {
+                self.finished = true;
+            }
+            "$monitor" | "$fopen" | "$fclose" | "$dumpfile" | "$dumpvars" => {
+                // Accepted but inert: generated testbenches sometimes emit
+                // these; Icarus would honour them, we do not need to.
+            }
+            _ => {}
+        }
+    }
+
     /// Writes `bits` into `sig` starting at `lo`, firing watchers when the
-    /// stored value actually changes.
+    /// stored value actually changes. In place — no clone of the stored
+    /// value, no allocation.
     fn commit_bits(&mut self, sig: SignalId, lo: usize, bits: &LogicVec) {
         let slot = &mut self.values[sig.0 as usize];
-        let width = slot.width();
-        if lo >= width {
+        if lo >= slot.width() {
             return;
         }
         let old_lsb = slot.bit(0);
-        let mut new = slot.clone();
-        for i in 0..bits.width().min(width - lo) {
-            new.set_bit(lo + i, bits.bit(i));
-        }
-        if new == *slot {
+        if !slot.write_range(lo, bits, bits.width()) {
             return;
         }
-        *slot = new;
-        let new_lsb = self.values[sig.0 as usize].bit(0);
+        let new_lsb = slot.bit(0);
 
         // Wake watchers. Edge-qualified watchers look at bit 0 (clocks and
-        // resets are 1-bit in practice).
-        let watchers = std::mem::take(&mut self.sig_watchers[sig.0 as usize]);
-        let mut keep = Vec::with_capacity(watchers.len());
-        for w in watchers {
-            match w {
+        // resets are 1-bit in practice). The list is compacted in place —
+        // taken out for the duration of the walk (wakes mutate other
+        // state), then put back with its allocation intact.
+        let mut watchers = std::mem::take(&mut self.sig_watchers[sig.0 as usize]);
+        let mut kept = 0usize;
+        for i in 0..watchers.len() {
+            let w = watchers[i];
+            let keep = match w {
                 Watcher::Assign(i) => {
                     self.active.push_back(Activation::Assign(i));
-                    keep.push(w);
+                    true
                 }
                 Watcher::Process { idx, edge } => {
                     let fire = match edge {
@@ -573,16 +971,21 @@ impl<'d> Simulator<'d> {
                         self.procs[idx].status = ProcStatus::Ready;
                         self.active.push_back(Activation::Process(idx));
                         self.remove_process_watchers(idx, sig);
-                    } else if fire {
-                        // Already woken via another signal this delta;
-                        // watcher is stale either way.
+                        false
                     } else {
-                        keep.push(w);
+                        // A firing watcher whose process already woke via
+                        // another signal this delta is stale either way.
+                        !fire
                     }
                 }
+            };
+            if keep {
+                watchers[kept] = w;
+                kept += 1;
             }
         }
-        self.sig_watchers[sig.0 as usize] = keep;
+        watchers.truncate(kept);
+        self.sig_watchers[sig.0 as usize] = watchers;
     }
 
     /// Removes the remaining one-shot watchers of `proc` from every other
@@ -596,28 +999,20 @@ impl<'d> Simulator<'d> {
             ws.retain(|w| !matches!(w, Watcher::Process { idx, .. } if *idx == proc));
         }
     }
-
-    /// Reads a signal's current value (test and harness access).
-    pub fn value(&self, sig: SignalId) -> &LogicVec {
-        &self.values[sig.0 as usize]
-    }
 }
 
-fn casex_match(sel: &LogicVec, pat: &LogicVec) -> bool {
-    let width = sel.width().max(pat.width());
-    let a = sel.zero_extend(width);
-    let p = pat.zero_extend(width);
-    for i in 0..width {
-        let pb = p.bit(i);
-        let ab = a.bit(i);
-        if !pb.is_known() || !ab.is_known() {
-            continue;
-        }
-        if pb != ab {
-            return false;
-        }
+/// Display-family system tasks that render a line.
+fn is_display(name: &str) -> bool {
+    matches!(name, "$display" | "$write" | "$fdisplay" | "$fwrite")
+}
+
+/// `$fdisplay`/`$fwrite` take a file descriptor first; we capture
+/// everything into one stream.
+fn display_skip(name: &str) -> usize {
+    match name {
+        "$fdisplay" | "$fwrite" => 1,
+        _ => 0,
     }
-    true
 }
 
 /// Convenience: parse, elaborate and simulate `src` with `top` as the root.
@@ -639,9 +1034,27 @@ mod tests {
         run_source(src, top).expect("simulation ok")
     }
 
+    /// Runs `src` in both modes and checks they agree before returning
+    /// the bytecode output — every legacy simulator test doubles as a
+    /// tree-vs-bytecode differential check.
+    fn run_both(src: &str, top: &str) -> SimOutput {
+        let file = crate::parser::parse(src).expect("parse");
+        let design = crate::elaborate::elaborate(&file, top).expect("elab");
+        let compiled = CompiledDesign::new(design);
+        let byte = Simulator::from_compiled(&compiled).run().expect("bytecode");
+        let tree = Simulator::from_compiled(&compiled)
+            .with_mode(ExecMode::TreeWalk)
+            .run()
+            .expect("tree");
+        assert_eq!(byte.lines, tree.lines, "modes disagree on output");
+        assert_eq!(byte.end_time, tree.end_time, "modes disagree on time");
+        assert_eq!(byte.finished, tree.finished);
+        byte
+    }
+
     #[test]
     fn combinational_assign() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg [3:0] a, b;\nwire [3:0] y;\nassign y = a + b;\ninitial begin\na = 4'd3; b = 4'd4;\n#1 $display(\"y=%0d\", y);\na = 4'd9;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -651,7 +1064,7 @@ mod tests {
 
     #[test]
     fn clocked_register() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg clk, d;\nreg q;\nalways @(posedge clk) q <= d;\ninitial begin\nclk = 0; d = 1;\n#1 $display(\"q=%b\", q);\n#4 clk = 1;\n#1 $display(\"q=%b\", q);\nd = 0;\n#4 clk = 0;\n#5 clk = 1;\n#1 $display(\"q=%b\", q);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -660,7 +1073,7 @@ mod tests {
 
     #[test]
     fn nonblocking_swap() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg clk;\nreg [3:0] a, b;\nalways @(posedge clk) begin a <= b; b <= a; end\ninitial begin\nclk = 0; a = 4'd1; b = 4'd2;\n#5 clk = 1;\n#1 $display(\"a=%0d b=%0d\", a, b);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -669,7 +1082,7 @@ mod tests {
 
     #[test]
     fn clock_generator_and_counter() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg clk = 0;\nalways #5 clk = ~clk;\nreg [7:0] n = 0;\nalways @(posedge clk) n <= n + 8'd1;\ninitial begin\n#52 $display(\"n=%0d\", n);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -679,7 +1092,7 @@ mod tests {
 
     #[test]
     fn dut_instance() {
-        let out = run(
+        let out = run_both(
             "module add1(input [3:0] a, output [3:0] y);\nassign y = a + 4'd1;\nendmodule\nmodule tb;\nreg [3:0] a;\nwire [3:0] y;\nadd1 dut(.a(a), .y(y));\ninitial begin\na = 4'd7;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -688,7 +1101,7 @@ mod tests {
 
     #[test]
     fn always_star_mux() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg s;\nreg [3:0] a, b;\nreg [3:0] y;\nalways @(*) begin if (s) y = a; else y = b; end\ninitial begin\na = 4'd10; b = 4'd5; s = 0;\n#1 $display(\"y=%0d\", y);\ns = 1;\n#1 $display(\"y=%0d\", y);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -716,24 +1129,29 @@ mod tests {
     }
 
     #[test]
-    fn zero_delay_runaway_caught() {
+    fn zero_delay_runaway_caught_in_both_modes() {
         let src =
             "module tb;\nreg x;\ninitial begin x = 0; forever begin #0; x = ~x; end end\nendmodule";
         // #0 delays still advance the queue at the same time; the step
         // budget eventually trips.
         let file = crate::parser::parse(src).expect("parse");
         let design = crate::elaborate::elaborate(&file, "tb").expect("elab");
+        let compiled = CompiledDesign::new(design);
         let limits = SimLimits {
             max_steps: 10_000,
             ..SimLimits::default()
         };
-        let r = Simulator::with_limits(&design, limits).run();
-        assert!(matches!(r, Err(SimError::EventBudgetExhausted)));
+        for mode in [ExecMode::Bytecode, ExecMode::TreeWalk] {
+            let r = Simulator::from_compiled_with_limits(&compiled, limits)
+                .with_mode(mode)
+                .run();
+            assert!(matches!(r, Err(SimError::EventBudgetExhausted)), "{mode:?}");
+        }
     }
 
     #[test]
     fn for_loop_popcount() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg [7:0] v;\nreg [3:0] n;\ninteger i;\ninitial begin\nv = 8'b1011_0110;\nn = 0;\nfor (i = 0; i < 8; i = i + 1) if (v[i]) n = n + 1;\n$display(\"n=%0d\", n);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -742,7 +1160,7 @@ mod tests {
 
     #[test]
     fn case_statement() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg [1:0] s;\nreg [3:0] y;\nalways @(*) begin\ncase (s)\n2'd0: y = 4'd1;\n2'd1: y = 4'd2;\ndefault: y = 4'd15;\nendcase\nend\ninitial begin\ns = 2'd0; #1 $display(\"%0d\", y);\ns = 2'd1; #1 $display(\"%0d\", y);\ns = 2'd3; #1 $display(\"%0d\", y);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -751,7 +1169,7 @@ mod tests {
 
     #[test]
     fn event_wait_in_initial() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg clk = 0;\nalways #5 clk = ~clk;\ninitial begin\n@(posedge clk);\n$display(\"t=%0d\", $time);\n@(posedge clk);\n$display(\"t=%0d\", $time);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -760,7 +1178,7 @@ mod tests {
 
     #[test]
     fn part_select_write() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg [7:0] v;\ninitial begin\nv = 8'h00;\nv[3:0] = 4'hf;\nv[6] = 1'b1;\n$display(\"%h\", v);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -769,7 +1187,7 @@ mod tests {
 
     #[test]
     fn concat_lvalue() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg [3:0] hi, lo;\ninitial begin\n{hi, lo} = 8'hA5;\n$display(\"%h %h\", hi, lo);\n$finish;\nend\nendmodule",
             "tb",
         );
@@ -792,11 +1210,49 @@ mod tests {
 
     #[test]
     fn sequential_sr_with_sync_reset() {
-        let out = run(
+        let out = run_both(
             "module tb;\nreg clk = 0, rst;\nalways #5 clk = ~clk;\nreg [3:0] q;\nalways @(posedge clk) begin\nif (rst) q <= 4'd0; else q <= q + 4'd1;\nend\ninitial begin\nrst = 1;\n#12 rst = 0;\n#40 $display(\"q=%0d\", q);\n$finish;\nend\nendmodule",
             "tb",
         );
         // Posedges: 5 (rst), 15,25,35,45 counting -> q=4 at t=52.
         assert_eq!(out.lines, vec!["q=4"]);
+    }
+
+    #[test]
+    fn wide_arithmetic_and_selects() {
+        let out = run_both(
+            "module tb;\nreg [99:0] a, b;\nwire [99:0] s;\nassign s = a + b;\ninitial begin\na = 100'd1;\nb = 100'd0;\na = a << 64;\nb = 100'd5;\n#1 $display(\"%0d %0d\", s[99:60], s[7:0]);\n$display(\"%b\", s[64]);\n$finish;\nend\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["16 5", "1"]);
+    }
+
+    #[test]
+    fn hot_path_has_no_per_step_clones() {
+        // The pre-bytecode simulator deep-cloned every executed `Instr`
+        // and the continuous-assign target. Both borrow now; this source
+        // scan keeps the regression from sneaking back in either
+        // execution mode. (The needles are assembled at runtime so the
+        // scan does not match its own source.)
+        let src = include_str!("sim.rs");
+        for needle in [
+            format!("instr{}", ".clone"),
+            format!("lhs{}", ".clone"),
+            format!("code{}", ".clone"),
+        ] {
+            assert!(
+                src.matches(&needle).count() == 0,
+                "per-step clone `{needle}` reintroduced in the simulator hot path"
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_run_keeps_old_api_shape() {
+        let out = run(
+            "module tb;\ninitial begin $display(\"ok\"); $finish; end\nendmodule",
+            "tb",
+        );
+        assert_eq!(out.lines, vec!["ok"]);
     }
 }
