@@ -17,7 +17,7 @@ use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
 use correctbench_llm::CheckerArtifact;
 use correctbench_tbgen::{
-    generate_driver, generate_scenarios, run_testbench_parsed, ScenarioResult,
+    generate_driver, generate_scenarios, EvalSession, ScenarioResult, TbError, TbRun,
 };
 use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
@@ -75,17 +75,12 @@ pub const EVAL2_MUTANTS: usize = 10;
 /// Required report-agreement fraction (paper: 80%).
 pub const EVAL2_AGREEMENT: f64 = 0.8;
 
-/// The testbench's own pass/fail report on one DUT: "passed" means no
+/// The testbench's own pass/fail report from one run: "passed" means no
 /// scenario *failed* (missing scenarios cannot fail a report — the
 /// testbench does not know what it does not test, which is exactly why
 /// Eval1 is not exhaustive).
-fn tb_report(
-    problem: &Problem,
-    tb: &EvalTb,
-    driver: &correctbench_verilog::ast::SourceFile,
-    dut: &correctbench_verilog::ast::SourceFile,
-) -> Option<bool> {
-    match run_testbench_parsed(dut, driver, &tb.checker.program, problem, &tb.scenarios) {
+fn tb_report(run: Result<TbRun, TbError>) -> Option<bool> {
+    match run {
         Ok(run) => {
             let any_seen = run
                 .results
@@ -164,32 +159,51 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
         return EvalLevel::Failed;
     }
 
+    // One session per testbench: checker compiled and record bindings
+    // resolved once, then reused for the Eval1 report and every Eval2
+    // mutant run.
+    let Ok(mut session) = EvalSession::new(problem, &tb.checker.program) else {
+        return EvalLevel::Failed; // checker program the judge cannot run
+    };
+
     // Eval1: the golden DUT must elaborate with the driver and report pass.
     let golden_dut = correctbench_verilog::parse(&problem.golden_rtl)
         .expect("golden RTL parses by dataset invariant");
-    match tb_report(problem, tb, &driver, &golden_dut) {
+    match tb_report(session.run(&golden_dut, &driver, &tb.scenarios)) {
         Some(true) => {}
         Some(false) => return EvalLevel::Eval0,
         None => return EvalLevel::Failed, // driver does not even elaborate
     }
 
-    // Eval2: agreement with the golden testbench over mutant DUTs.
+    // Eval2: agreement with the golden testbench over mutant DUTs — the
+    // canonical mutant sweep: each session replays its own driver against
+    // the shared, once-parsed mutant set.
     let golden_tb = golden_testbench(problem, seed);
     let golden_driver =
         correctbench_verilog::parse(&golden_tb.driver).expect("generated golden driver parses");
-    let mutants = eval2_mutants(problem, seed);
+    let mutants: Vec<correctbench_verilog::ast::SourceFile> = eval2_mutants(problem, seed)
+        .iter()
+        .filter_map(|m| correctbench_verilog::parse(m).ok())
+        .collect();
     if mutants.is_empty() {
         return EvalLevel::Eval2; // no usable mutants: vacuous agreement
     }
+    let mine = session.sweep_mutants(mutants.iter(), &driver, &tb.scenarios);
+    let golden_reports: Vec<Option<bool>> =
+        match EvalSession::new(problem, &golden_tb.checker.program) {
+            Ok(mut golden_session) => golden_session
+                .sweep_mutants(mutants.iter(), &golden_driver, &golden_tb.scenarios)
+                .into_iter()
+                .map(tb_report)
+                .collect(),
+            // Unreachable for compiler-derived golden checkers; degrade
+            // to per-run "no report" like the interpreter would.
+            Err(_) => vec![None; mutants.len()],
+        };
     let mut agree = 0usize;
     let mut counted = 0usize;
-    for m in &mutants {
-        let Ok(mutant) = correctbench_verilog::parse(m) else {
-            continue;
-        };
-        let mine = tb_report(problem, tb, &driver, &mutant);
-        let golden = tb_report(problem, &golden_tb, &golden_driver, &mutant);
-        match (mine, golden) {
+    for (mine, golden) in mine.into_iter().zip(golden_reports) {
+        match (tb_report(mine), golden) {
             (Some(a), Some(b)) => {
                 counted += 1;
                 if a == b {

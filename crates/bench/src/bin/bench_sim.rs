@@ -16,6 +16,17 @@
 //!   design: the steady-state path `run_testbench_parsed` takes on an
 //!   elaboration-cache hit.
 //!
+//! Two further interleaved comparisons capture the session API:
+//!
+//! * `one_shot_sweep_ns` vs `session_sweep_ns` — a repeated-pair sweep
+//!   (the RS-matrix / Eval2 shape) through the legacy one-shot path
+//!   (per-run elaborate + compile, fresh simulator, interpreted judge)
+//!   and through one reusable `EvalSession` (simulator reset, compiled
+//!   judge, session design memo).
+//! * `judge_interp_ns` vs `judge_session_ns` — judging one pre-captured
+//!   record stream with the interpreter (`judge_records`) and with the
+//!   session's compiled checker.
+//!
 //! ```text
 //! bench_sim [--quick] [--samples N] [--out FILE]
 //!           [--baseline NAME=NS]... [--baseline-commit HASH]
@@ -36,7 +47,8 @@
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_tbgen::{
-    compile_pair, generate_driver, generate_scenarios, judge_records, limits_for, ScenarioSet,
+    compile_pair, force_one_shot, generate_driver, generate_scenarios, judge_records, limits_for,
+    run_testbench_parsed, EvalSession, ScenarioSet,
 };
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::{elaborate, parse, CompiledDesign, ExecMode, SimLimits, Simulator};
@@ -44,6 +56,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const PROBLEMS: &[&str] = &["alu_8", "mux4_8", "counter_8", "shift18"];
+
+/// Runs per sweep sample: enough repetition for the session's amortized
+/// costs to show as they do in a real RS-matrix / Eval2 batch.
+const SWEEP: usize = 4;
 
 struct Case {
     problem: Problem,
@@ -127,6 +143,10 @@ struct Row {
     tree_walk_ns: u64,
     bytecode_ns: u64,
     bytecode_cached_ns: u64,
+    one_shot_sweep_ns: u64,
+    session_sweep_ns: u64,
+    judge_interp_ns: u64,
+    judge_session_ns: u64,
     pre_pr_ns: Option<u64>,
 }
 
@@ -136,6 +156,16 @@ impl Row {
     /// removal).
     fn speedup_vs_tree_walk(&self) -> f64 {
         self.tree_walk_ns as f64 / self.bytecode_cached_ns.max(1) as f64
+    }
+
+    /// Session batch vs. legacy one-shot on the repeated-pair sweep.
+    fn speedup_session(&self) -> f64 {
+        self.one_shot_sweep_ns as f64 / self.session_sweep_ns.max(1) as f64
+    }
+
+    /// Compiled checker vs. interpreted judging of one record stream.
+    fn speedup_judge(&self) -> f64 {
+        self.judge_interp_ns as f64 / self.judge_session_ns.max(1) as f64
     }
 
     /// Speedup vs. the externally measured pre-PR baseline, when given.
@@ -193,22 +223,80 @@ fn main() {
     for name in PROBLEMS {
         let case = case_for(name);
         let compiled = compile_pair(&case.dut, &case.driver).expect("elaborate");
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns] = medians_interleaved(
-            samples,
-            &mut [
-                &mut || {
-                    elaborate_cost(&case.dut, &case.driver);
-                    simulate_and_judge(&case, &compiled, ExecMode::TreeWalk);
-                },
-                &mut || {
-                    let fresh = compile_pair(&case.dut, &case.driver).expect("elaborate");
-                    simulate_and_judge(&case, &fresh, ExecMode::Bytecode);
-                },
-                &mut || {
-                    simulate_and_judge(&case, &compiled, ExecMode::Bytecode);
-                },
-            ],
-        );
+        // One pre-captured record stream for the judge-only arms.
+        let records = {
+            let out = Simulator::from_compiled_with_limits(&compiled, case.limits)
+                .run()
+                .expect("simulation ok");
+            correctbench_tbgen::parse_records(&out.lines)
+        };
+        let mut sweep_session =
+            EvalSession::new(&case.problem, &case.checker).expect("checker compiles");
+        let mut judge_session =
+            EvalSession::new(&case.problem, &case.checker).expect("checker compiles");
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns] =
+            medians_interleaved(
+                samples,
+                &mut [
+                    &mut || {
+                        elaborate_cost(&case.dut, &case.driver);
+                        simulate_and_judge(&case, &compiled, ExecMode::TreeWalk);
+                    },
+                    &mut || {
+                        let fresh = compile_pair(&case.dut, &case.driver).expect("elaborate");
+                        simulate_and_judge(&case, &fresh, ExecMode::Bytecode);
+                    },
+                    &mut || {
+                        simulate_and_judge(&case, &compiled, ExecMode::Bytecode);
+                    },
+                    &mut || {
+                        // The legacy one-shot path, as a sweep caller pays it
+                        // without a session: per-run front end, fresh
+                        // simulator, interpreted judge. (No caches are
+                        // installed in this process.)
+                        let _guard = force_one_shot();
+                        for _ in 0..SWEEP {
+                            std::hint::black_box(
+                                run_testbench_parsed(
+                                    &case.dut,
+                                    &case.driver,
+                                    &case.checker,
+                                    &case.problem,
+                                    &case.scenarios,
+                                )
+                                .expect("run ok"),
+                            );
+                        }
+                    },
+                    &mut || {
+                        for _ in 0..SWEEP {
+                            std::hint::black_box(
+                                sweep_session
+                                    .run(&case.dut, &case.driver, &case.scenarios)
+                                    .expect("run ok"),
+                            );
+                        }
+                    },
+                    &mut || {
+                        std::hint::black_box(
+                            judge_records(
+                                &records,
+                                &case.checker,
+                                &case.problem,
+                                case.scenarios.len(),
+                            )
+                            .expect("judge ok"),
+                        );
+                    },
+                    &mut || {
+                        std::hint::black_box(
+                            judge_session
+                                .judge(&records, case.scenarios.len())
+                                .expect("judge ok"),
+                        );
+                    },
+                ],
+            );
         let row = Row {
             name: case.problem.name.clone(),
             kind: if case.problem.kind.is_combinational() {
@@ -219,6 +307,10 @@ fn main() {
             tree_walk_ns,
             bytecode_ns,
             bytecode_cached_ns,
+            one_shot_sweep_ns,
+            session_sweep_ns,
+            judge_interp_ns,
+            judge_session_ns,
             pre_pr_ns: baselines
                 .iter()
                 .find(|(n, _)| n == &case.problem.name)
@@ -229,15 +321,17 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
-            row.speedup_vs_tree_walk(),
+            row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
         );
         rows.push(row);
     }
 
     let median_vs_tree =
         median_f64(rows.iter().map(Row::speedup_vs_tree_walk).collect()).expect("rows");
+    let median_session = median_f64(rows.iter().map(Row::speedup_session).collect()).expect("rows");
+    let median_judge = median_f64(rows.iter().map(Row::speedup_judge).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
     let mut json = String::new();
@@ -247,6 +341,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"median_speedup_vs_tree_walk\": {median_vs_tree:.2},"
+    );
+    let _ = writeln!(json, "  \"sweep_runs_per_sample\": {SWEEP},");
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_session_vs_one_shot\": {median_session:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_judge_compiled_vs_interp\": {median_judge:.2},"
     );
     if let Some(m) = median_vs_pre_pr {
         let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
@@ -265,9 +368,10 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
-            r.speedup_vs_tree_walk(),
+            r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
+            r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -277,12 +381,13 @@ fn main() {
         eprintln!("error: failed to write {out_path}: {e}");
         std::process::exit(1);
     }
-    match median_vs_pre_pr {
-        Some(m) => eprintln!(
-            "median speedup {median_vs_tree:.2}x vs tree-walk, {m:.2}x vs pre-PR -> {out_path}"
-        ),
-        None => eprintln!("median speedup {median_vs_tree:.2}x vs tree-walk -> {out_path}"),
-    }
+    let tail = match median_vs_pre_pr {
+        Some(m) => format!(", {m:.2}x vs pre-PR"),
+        None => String::new(),
+    };
+    eprintln!(
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x{tail} -> {out_path}"
+    );
 }
 
 fn usage(msg: &str) -> ! {

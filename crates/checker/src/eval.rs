@@ -185,7 +185,10 @@ fn eval_all(
     Ok(vals)
 }
 
-fn eval_bin(op: IrBinOp, a: &LogicVec, b: &LogicVec, w: usize) -> LogicVec {
+/// One binary IR op at result width `w` — shared by the interpreter and
+/// the compiled executor ([`crate::exec`]) so the two stay semantically
+/// identical by construction wherever possible.
+pub(crate) fn eval_bin(op: IrBinOp, a: &LogicVec, b: &LogicVec, w: usize) -> LogicVec {
     match op {
         IrBinOp::Add => a.add(b).zero_extend(w),
         IrBinOp::Sub => a.sub(b).zero_extend(w),
@@ -205,7 +208,8 @@ fn eval_bin(op: IrBinOp, a: &LogicVec, b: &LogicVec, w: usize) -> LogicVec {
     }
 }
 
-fn eval_un(op: IrUnOp, a: &LogicVec, w: usize) -> LogicVec {
+/// One unary IR op at result width `w` (see [`eval_bin`]).
+pub(crate) fn eval_un(op: IrUnOp, a: &LogicVec, w: usize) -> LogicVec {
     match op {
         IrUnOp::Not => a.zero_extend(w).not(),
         IrUnOp::Neg => a.zero_extend(w).neg(),

@@ -7,7 +7,10 @@
 //!
 //! * [`ir`] — a word-level dataflow program ([`ir::CheckerProgram`]);
 //! * [`compile`] — Verilog AST → IR (how golden checkers are derived);
-//! * [`eval`] — the cycle-stepping interpreter producing reference outputs;
+//! * [`eval`] — the cycle-stepping interpreter producing reference outputs
+//!   (the semantic reference);
+//! * [`exec`] — the compiled executor ([`exec::JudgeSession`]): slot-file
+//!   bytecode with positional inputs, the judging hot path;
 //! * [`mutate`] — revertible IR mutation, the model of LLM checker bugs.
 //!
 //! # Examples
@@ -36,10 +39,12 @@
 
 pub mod compile;
 pub mod eval;
+pub mod exec;
 pub mod ir;
 pub mod mutate;
 
 pub use compile::{compile_module, CompileError};
 pub use eval::{step, CheckerRunError, CheckerState};
+pub use exec::{CompiledChecker, JudgeSession};
 pub use ir::{CheckerProgram, NodeId};
 pub use mutate::{mutate_ir, mutate_ir_once, IrMutation};

@@ -1,0 +1,148 @@
+//! Differential suite: the compiled checker executor must reproduce the
+//! interpreter [`correctbench_checker::step`] output-for-output — on
+//! golden checkers compiled from the dataset, on IR *mutants* (the
+//! defect model the whole reproduction revolves around), and on random
+//! input streams containing x/z values. Mirrors what
+//! `crates/tbgen/tests/exec_diff.rs` pins for the simulator's bytecode.
+
+use correctbench_checker::{
+    compile_module, mutate_ir, step, CheckerProgram, CheckerState, JudgeSession,
+};
+use correctbench_verilog::logic::{Bit, LogicVec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Runs `stream` through the interpreter and a [`JudgeSession`] and
+/// asserts every output of every step is identical.
+fn assert_agree(prog: &CheckerProgram, stream: &[Vec<LogicVec>], what: &str) {
+    let mut state = CheckerState::new(prog);
+    let mut session = match JudgeSession::new(prog) {
+        Ok(s) => s,
+        Err(e) => panic!("{what}: golden/mutant checker failed to compile: {e}"),
+    };
+    let names: Vec<String> = session
+        .compiled()
+        .output_names()
+        .map(str::to_string)
+        .collect();
+    for (k, inputs) in stream.iter().enumerate() {
+        let map: HashMap<String, LogicVec> = prog
+            .inputs
+            .iter()
+            .cloned()
+            .zip(inputs.iter().cloned())
+            .collect();
+        let expected = step(prog, &mut state, &map).expect("interpreter step");
+        session.step(inputs).expect("compiled step");
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(
+                session.output(i),
+                &expected[name.as_str()],
+                "{what}: step {k}, output `{name}`"
+            );
+        }
+    }
+}
+
+/// A random input vector for `prog`: port-width values where roughly one
+/// in four carries x or z bits — records really do (uninitialised
+/// registers print `x`), so the judge must agree on unknowns too.
+fn random_stream(widths: &[usize], rng: &mut StdRng, len: usize) -> Vec<Vec<LogicVec>> {
+    (0..len)
+        .map(|_| {
+            widths
+                .iter()
+                .map(|w| {
+                    let w = (*w).max(1);
+                    match rng.gen_range(0..4u8) {
+                        0 => LogicVec::filled_x(w),
+                        1 => {
+                            let mut v = LogicVec::from_u64(w, rng.gen::<u64>() & mask(w));
+                            v.set_bit(rng.gen_range(0..w), Bit::Z);
+                            v
+                        }
+                        _ => LogicVec::from_u64(w, rng.gen::<u64>() & mask(w)),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Input port widths as the runner binds them: from the problem's port
+/// list, defaulting to 1 — not from the IR node widths.
+fn port_widths(p: &correctbench_dataset::Problem, prog: &CheckerProgram) -> Vec<usize> {
+    prog.inputs
+        .iter()
+        .map(|n| {
+            p.ports
+                .iter()
+                .find(|port| &port.name == n)
+                .map_or(1, |port| port.width)
+        })
+        .collect()
+}
+
+#[test]
+fn golden_checkers_agree_across_dataset() {
+    for (i, p) in correctbench_dataset::all_problems()
+        .iter()
+        .step_by(7)
+        .enumerate()
+    {
+        let prog = compile_module(&p.golden_module()).expect("golden checker compiles");
+        let widths = port_widths(p, &prog);
+        let mut rng = StdRng::seed_from_u64(0xd1ff ^ i as u64);
+        let stream = random_stream(&widths, &mut rng, 24);
+        assert_agree(&prog, &stream, &p.name);
+    }
+}
+
+#[test]
+fn mutated_checkers_agree() {
+    // The judge's whole job is scoring *buggy* checkers; equivalence must
+    // hold on the mutation surface, not just golden programs.
+    for (i, p) in correctbench_dataset::all_problems()
+        .iter()
+        .step_by(11)
+        .enumerate()
+    {
+        let golden = compile_module(&p.golden_module()).expect("golden checker compiles");
+        let widths = port_widths(p, &golden);
+        for seed in 0..4u64 {
+            let mut prog = golden.clone();
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) ^ i as u64);
+            let muts = mutate_ir(&mut prog, &mut rng, 2);
+            if muts.is_empty() {
+                continue;
+            }
+            let stream = random_stream(&widths, &mut rng, 16);
+            assert_agree(&prog, &stream, &format!("{} mutant {seed}", p.name));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn random_streams_agree_on_seq_problem(seed in any::<u64>(), len in 1usize..20) {
+        // One fixed sequential program (state carries across the whole
+        // stream) under fully random stimulus, x/z included.
+        let p = correctbench_dataset::problem("counter_8").expect("problem");
+        let prog = compile_module(&p.golden_module()).expect("checker");
+        let widths = port_widths(&p, &prog);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = random_stream(&widths, &mut rng, len);
+        assert_agree(&prog, &stream, "counter_8 proptest");
+    }
+}

@@ -229,28 +229,28 @@ pub fn generate_rtl_group(problem: &Problem, llm: &mut dyn LlmClient, cfg: &Conf
 }
 
 /// Simulates every RTL under the testbench and assembles the RS matrix.
-/// The driver is parsed once and reused across all rows.
+/// The driver is parsed once and the whole group runs through one
+/// [`correctbench_tbgen::EvalSession`]: the checker is compiled and its
+/// record bindings resolved once per matrix, not once per row, and
+/// repeated designs reuse the session's simulator via state reset.
 pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsMatrix {
     let ns = tb.scenarios.len();
+    let unknown_matrix = || RsMatrix {
+        rows: vec![vec![RsCell::Unknown; ns]; rtls.len()],
+    };
     let Ok(driver) = correctbench_verilog::parse(&tb.driver) else {
-        return RsMatrix {
-            rows: vec![vec![RsCell::Unknown; ns]; rtls.len()],
-        };
+        return unknown_matrix();
+    };
+    let Ok(mut session) = correctbench_tbgen::EvalSession::new(problem, &tb.checker.program) else {
+        // A checker the judge cannot even compile fails every row, the
+        // same verdict the per-row interpreter produced.
+        return unknown_matrix();
     };
     let mut rows = Vec::with_capacity(rtls.len());
     for rtl in rtls {
         let row = correctbench_verilog::parse(rtl)
             .ok()
-            .and_then(|dut| {
-                correctbench_tbgen::run_testbench_parsed(
-                    &dut,
-                    &driver,
-                    &tb.checker.program,
-                    problem,
-                    &tb.scenarios,
-                )
-                .ok()
-            })
+            .and_then(|dut| session.run(&dut, &driver, &tb.scenarios).ok())
             .map(|run| {
                 run.results
                     .iter()

@@ -24,6 +24,7 @@ pub struct Engine {
     cache: Option<Arc<SimCache>>,
     elab_cache: Option<Arc<ElabCache>>,
     progress: bool,
+    one_shot: bool,
 }
 
 impl Engine {
@@ -35,6 +36,7 @@ impl Engine {
             cache: Some(SimCache::new()),
             elab_cache: Some(ElabCache::new()),
             progress: false,
+            one_shot: false,
         }
     }
 
@@ -65,6 +67,15 @@ impl Engine {
         self
     }
 
+    /// Forces the legacy one-shot evaluation path (fresh simulator per
+    /// run, interpreted judging) instead of session-batched execution.
+    /// The determinism suite runs plans both ways and pins artifact
+    /// equality; there is no reason to use this in production runs.
+    pub fn one_shot(mut self) -> Self {
+        self.one_shot = true;
+        self
+    }
+
     /// Runs every job of `plan`, returning outcomes in canonical job
     /// order plus run-level measurements.
     pub fn execute(&self, plan: &RunPlan, factory: &dyn ClientFactory) -> RunResult {
@@ -74,6 +85,7 @@ impl Engine {
         let done = AtomicUsize::new(0);
         let outcomes = parallel_map(self.threads, self.cache.as_ref(), &jobs, |_, job| {
             let _elab_guard = self.elab_cache.as_ref().map(|c| c.install());
+            let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
             let outcome = run_job(job, &plan.config, factory);
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;

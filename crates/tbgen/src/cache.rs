@@ -69,7 +69,7 @@ impl CacheKey {
             driver: driver.structural_hash(),
             checker: checker.structural_hash(),
             scenarios: scenarios.structural_hash(),
-            problem: correctbench_verilog::hash::debug_hash(&(&problem.name, &problem.ports)),
+            problem: problem_sig_hash(&problem.name, &problem.ports),
         }
     }
 
@@ -87,6 +87,15 @@ impl CacheKey {
             .wrapping_add(self.problem)) as usize
             & (SHARDS - 1)
     }
+}
+
+/// The problem component of a [`CacheKey`]: name plus port list (names,
+/// widths, directions) — what record judging consults beyond the
+/// artifacts. Takes the bare fields so sessions need not hold a whole
+/// [`Problem`]. (`&str`/slice and `&String`/`&Vec` Debug-render
+/// identically, so the hash is stable across both call shapes.)
+pub(crate) fn problem_sig_hash(name: &str, ports: &[correctbench_dataset::PortSpec]) -> u64 {
+    correctbench_verilog::hash::debug_hash(&(name, ports))
 }
 
 /// Point-in-time cache counters.

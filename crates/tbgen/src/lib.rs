@@ -33,14 +33,16 @@ pub mod elab;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
+pub mod session;
 
 pub use cache::{CacheKey, CacheStats, SimCache};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
 pub use elab::{ElabCache, ElabKey};
-pub use record::{parse_record, parse_records, FieldValue, Record};
+pub use record::{parse_record, parse_records, FieldValue, Record, RecordBinding};
 pub use runner::{
     compile_pair, judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,
     simulate_records_limited, simulate_records_parsed, ScenarioResult, TbError, TbRun,
 };
 pub use scenarios::{generate_scenarios, Scenario, ScenarioSet, Stimulus};
+pub use session::{force_one_shot, EvalSession, OneShotGuard};

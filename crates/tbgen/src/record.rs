@@ -49,6 +49,60 @@ impl Record {
     }
 }
 
+/// Resolves a fixed set of signal names against a stream of records.
+///
+/// Judging reads the same few signals out of every record. A binding
+/// assigns each distinct name a slot once; then, per record, a single
+/// pass over the printed fields ([`RecordBinding::bind`]) fills the slot
+/// table with the **first occurrence** of each bound name — exactly
+/// [`Record::field`]'s resolution, amortized to one hash lookup per
+/// printed field instead of one linear scan per `(signal, record)`
+/// pair. The table is rebuilt from scratch for every record, so a
+/// long-lived session and a fresh one-shot judge resolve any stream
+/// identically (including malformed streams with duplicated or
+/// reordered fields).
+#[derive(Clone, Debug, Default)]
+pub struct RecordBinding {
+    slots: std::collections::HashMap<String, usize>,
+    /// Per slot: index of the field in the currently bound record.
+    found: Vec<Option<u32>>,
+}
+
+impl RecordBinding {
+    /// Registers `name`, returning its slot (repeats share one slot).
+    pub fn slot(&mut self, name: &str) -> usize {
+        let next = self.slots.len();
+        let id = *self.slots.entry(name.to_string()).or_insert(next);
+        self.found.resize(self.slots.len(), None);
+        id
+    }
+
+    /// Indexes `rec`'s fields; afterwards [`RecordBinding::field`]
+    /// answers for this record.
+    pub fn bind(&mut self, rec: &Record) {
+        self.found.clear();
+        self.found.resize(self.slots.len(), None);
+        for (fi, (name, _)) in rec.fields.iter().enumerate() {
+            if let Some(&slot) = self.slots.get(name) {
+                let entry = &mut self.found[slot];
+                if entry.is_none() {
+                    *entry = Some(fi as u32);
+                }
+            }
+        }
+    }
+
+    /// The value bound to `slot`, read out of `rec` — which must be the
+    /// record last passed to [`RecordBinding::bind`].
+    pub fn field<'r>(&self, slot: usize, rec: &'r Record) -> Option<&'r FieldValue> {
+        self.found
+            .get(slot)
+            .copied()
+            .flatten()
+            .map(|fi| &rec.fields[fi as usize].1)
+    }
+}
+
 /// Parses every record line in `lines`; non-record lines are skipped
 /// (generated testbenches sometimes emit extra debug output).
 pub fn parse_records(lines: &[String]) -> Vec<Record> {
@@ -106,6 +160,24 @@ mod tests {
         let rs = parse_records(&lines);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[1].scenario, 2);
+    }
+
+    #[test]
+    fn binding_matches_field_resolution() {
+        let a = parse_record("scenario: 1, a = 1, b = 2, y = 3").expect("record");
+        let shifted = parse_record("scenario: 2, b = 5, a = 4, y = 6").expect("record");
+        // Duplicated field: Record::field resolves to the first
+        // occurrence; the binding must agree even mid-stream.
+        let dup = parse_record("scenario: 3, b = 9, b = 8").expect("record");
+        let mut binding = RecordBinding::default();
+        let b = binding.slot("b");
+        let missing = binding.slot("nope");
+        assert_eq!(binding.slot("b"), b, "repeated names share a slot");
+        for rec in [&a, &shifted, &dup, &a] {
+            binding.bind(rec);
+            assert_eq!(binding.field(b, rec), rec.field("b"));
+            assert_eq!(binding.field(missing, rec), None);
+        }
     }
 
     #[test]

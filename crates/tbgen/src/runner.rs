@@ -138,7 +138,7 @@ pub fn simulate_records_limited(
 
 /// The compiled form of the combined DUT + driver design, through the
 /// thread's elaboration cache when one is installed.
-fn compiled_for(
+pub(crate) fn compiled_for(
     dut: &correctbench_verilog::ast::SourceFile,
     driver: &correctbench_verilog::ast::SourceFile,
 ) -> Result<Arc<CompiledDesign>, TbError> {
@@ -243,7 +243,11 @@ pub fn run_testbench_parsed(
     run_testbench_uncached(dut, driver, checker, problem, scenarios)
 }
 
-fn run_testbench_uncached(
+/// The legacy fresh-everything run: new simulator, interpreted judging.
+/// Still the semantic reference — [`crate::session::force_one_shot`]
+/// routes whole plans through it so the determinism suite can pin
+/// session/one-shot artifact equality.
+pub(crate) fn run_testbench_one_shot(
     dut: &correctbench_verilog::ast::SourceFile,
     driver: &correctbench_verilog::ast::SourceFile,
     checker: &CheckerProgram,
@@ -259,21 +263,95 @@ fn run_testbench_uncached(
     })
 }
 
-/// Judges already-captured records against the checker.
+fn run_testbench_uncached(
+    dut: &correctbench_verilog::ast::SourceFile,
+    driver: &correctbench_verilog::ast::SourceFile,
+    checker: &CheckerProgram,
+    problem: &Problem,
+    scenarios: &ScenarioSet,
+) -> Result<TbRun, TbError> {
+    if crate::session::one_shot_active() {
+        return run_testbench_one_shot(dut, driver, checker, problem, scenarios);
+    }
+    // A throwaway session: same execution engine as the batch paths, so
+    // one-shot callers and sweeps produce identical artifacts by
+    // construction (and the session's compiled judge carries the win on
+    // judging-heavy sequential problems even for single runs).
+    crate::session::EvalSession::new(problem, checker)?.run_once(dut, driver, scenarios)
+}
+
+/// The width a record prints `name` at: its port width, defaulting to 1
+/// — the single definition shared by the interpreted and compiled
+/// judges.
+pub(crate) fn port_width(ports: &[correctbench_dataset::PortSpec], name: &str) -> usize {
+    ports.iter().find(|p| p.name == name).map_or(1, |p| p.width)
+}
+
+/// Registers every checker input in `binding`, returning its `(slot,
+/// printed width)` pairs — the binding-table construction shared by both
+/// judges so their record resolution cannot drift.
+pub(crate) fn bind_inputs(
+    binding: &mut crate::record::RecordBinding,
+    checker: &CheckerProgram,
+    ports: &[correctbench_dataset::PortSpec],
+) -> Vec<(usize, usize)> {
+    checker
+        .inputs
+        .iter()
+        .map(|name| (binding.slot(name), port_width(ports, name)))
+        .collect()
+}
+
+/// The verdict rule for one printed output against its reference value —
+/// shared by both judges: a missing field fails, a known value must
+/// match exactly, and a printed `x`/`z` is right iff the reference is
+/// not fully known.
+pub(crate) fn output_ok(
+    reference: &correctbench_verilog::LogicVec,
+    printed: Option<&FieldValue>,
+) -> bool {
+    match printed {
+        None => false,
+        Some(FieldValue::Known(v)) => reference.to_u128() == Some(*v),
+        Some(FieldValue::Unknown) => !reference.is_fully_known(),
+    }
+}
+
+/// Judges already-captured records against the checker, interpreting the
+/// IR with [`step`] — the semantic reference the compiled session judge
+/// ([`crate::EvalSession`]) is differentially tested against.
 pub fn judge_records(
     records: &[Record],
     checker: &CheckerProgram,
     problem: &Problem,
     num_scenarios: usize,
 ) -> Result<Vec<ScenarioResult>, TbError> {
+    judge_records_with_ports(records, checker, &problem.ports, num_scenarios)
+}
+
+/// [`judge_records`] against a bare port list (all it reads from the
+/// problem).
+pub(crate) fn judge_records_with_ports(
+    records: &[Record],
+    checker: &CheckerProgram,
+    ports: &[correctbench_dataset::PortSpec],
+    num_scenarios: usize,
+) -> Result<Vec<ScenarioResult>, TbError> {
     let mut state = CheckerState::new(checker);
     let mut seen = vec![false; num_scenarios];
     let mut failed = vec![false; num_scenarios];
 
-    let width_of: HashMap<&str, usize> = problem
-        .ports
+    // Binding table, resolved once for the whole stream: each checker
+    // input and output gets a slot keyed by name plus its port width;
+    // per record one pass over the printed fields fills the slots
+    // (first occurrence, exactly like `Record::field`) instead of one
+    // linear name search per signal per record.
+    let mut binding = crate::record::RecordBinding::default();
+    let in_binds = bind_inputs(&mut binding, checker, ports);
+    let out_slots: Vec<usize> = checker
+        .outputs
         .iter()
-        .map(|p| (p.name.as_str(), p.width))
+        .map(|o| binding.slot(&o.name))
         .collect();
 
     // One reusable input table: the key set is fixed (the checker's
@@ -281,15 +359,15 @@ pub fn judge_records(
     // per-record map or key-string allocation.
     let mut inputs: HashMap<String, correctbench_verilog::LogicVec> = HashMap::new();
     for rec in records {
+        binding.bind(rec);
         // Build checker inputs from the record's input fields.
-        for name in &checker.inputs {
-            let width = width_of.get(name.as_str()).copied().unwrap_or(1);
-            let v = match rec.field(name) {
-                Some(fv) => fv.to_logic(width),
-                None => correctbench_verilog::LogicVec::filled_x(width),
+        for (name, (slot, width)) in checker.inputs.iter().zip(in_binds.iter()) {
+            let v = match binding.field(*slot, rec) {
+                Some(fv) => fv.to_logic(*width),
+                None => correctbench_verilog::LogicVec::filled_x(*width),
             };
             match inputs.get_mut(name) {
-                Some(slot) => *slot = v,
+                Some(entry) => *entry = v,
                 None => {
                     inputs.insert(name.clone(), v);
                 }
@@ -302,15 +380,8 @@ pub fn judge_records(
             continue;
         }
         seen[idx - 1] = true;
-        for out in &checker.outputs {
-            let reference = &expected[&out.name];
-            let printed = rec.field(&out.name);
-            let ok = match printed {
-                None => false,
-                Some(FieldValue::Known(v)) => reference.to_u128() == Some(*v),
-                Some(FieldValue::Unknown) => !reference.is_fully_known(),
-            };
-            if !ok {
+        for (out, slot) in checker.outputs.iter().zip(out_slots.iter()) {
+            if !output_ok(&expected[&out.name], binding.field(*slot, rec)) {
                 failed[idx - 1] = true;
             }
         }

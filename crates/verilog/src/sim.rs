@@ -34,6 +34,7 @@ use crate::logic::{Bit, LogicVec};
 use crate::sysfmt::format_display;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Limits protecting the simulator from pathological generated code.
 #[derive(Clone, Copy, Debug)]
@@ -107,11 +108,15 @@ enum Watcher {
     Process { idx: usize, edge: crate::ast::Edge },
 }
 
-/// Either a borrowed, pre-compiled design (the run-many hot path) or one
-/// compiled and owned by this simulator (the convenience constructors).
+/// Either a borrowed, pre-compiled design (the run-many hot path), one
+/// compiled and owned by this simulator (the convenience constructors),
+/// or a shared handle (the session hot path: the simulator owns an `Arc`
+/// so it is `'static` and can live inside a long-lived session next to
+/// the cache entry it executes).
 enum DesignRef<'d> {
     Borrowed(&'d CompiledDesign),
     Owned(Box<CompiledDesign>),
+    Shared(Arc<CompiledDesign>),
 }
 
 impl DesignRef<'_> {
@@ -119,6 +124,7 @@ impl DesignRef<'_> {
         match self {
             DesignRef::Borrowed(cd) => cd,
             DesignRef::Owned(cd) => cd,
+            DesignRef::Shared(cd) => cd,
         }
     }
 }
@@ -207,10 +213,46 @@ impl<'d> Simulator<'d> {
         }
     }
 
+    /// Creates a `'static` simulator that co-owns a shared compiled
+    /// design: the session constructor. Pair with [`Simulator::reset`] to
+    /// sweep many runs over one design without reconstructing the value
+    /// table, the scratch file, or the scheduler queues.
+    pub fn from_shared(compiled: Arc<CompiledDesign>) -> Simulator<'static> {
+        Self::from_shared_with_limits(compiled, SimLimits::default())
+    }
+
+    /// [`Simulator::from_shared`] with explicit limits.
+    pub fn from_shared_with_limits(
+        compiled: Arc<CompiledDesign>,
+        limits: SimLimits,
+    ) -> Simulator<'static> {
+        let state = SimState::new(&compiled, limits);
+        Simulator {
+            compiled: DesignRef::Shared(compiled),
+            state,
+            mode: ExecMode::default(),
+        }
+    }
+
     /// Selects the execution mode (default [`ExecMode::Bytecode`]).
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Replaces the simulation limits for the next run (sessions bound
+    /// `max_time` per scenario schedule).
+    pub fn set_limits(&mut self, limits: SimLimits) {
+        self.state.limits = limits;
+    }
+
+    /// `true` when this simulator executes `compiled` (sessions use this
+    /// to decide between [`Simulator::reset`] and reconstruction).
+    pub fn shares(&self, compiled: &Arc<CompiledDesign>) -> bool {
+        match &self.compiled {
+            DesignRef::Shared(cd) => Arc::ptr_eq(cd, compiled),
+            _ => false,
+        }
     }
 
     /// Reads a signal's current value (test and harness access).
@@ -220,18 +262,38 @@ impl<'d> Simulator<'d> {
 
     /// Runs to `$finish`, event exhaustion, or `max_time`.
     ///
+    /// Runs continue from the current state: a freshly constructed (or
+    /// [`reset`](Simulator::reset)) simulator performs a whole
+    /// simulation; calling `run` again after completion without a reset
+    /// observes the final state and returns immediately-empty output.
+    ///
     /// # Errors
     ///
     /// [`SimError::DeltaOverflow`] on combinational loops,
     /// [`SimError::EventBudgetExhausted`] when the instruction budget runs
     /// out (runaway zero-delay loops).
-    pub fn run(self) -> Result<SimOutput, SimError> {
+    pub fn run(&mut self) -> Result<SimOutput, SimError> {
         let Simulator {
             compiled,
-            mut state,
+            state,
             mode,
         } = self;
-        state.run(compiled.get(), mode)
+        state.run(compiled.get(), *mode)
+    }
+
+    /// Rewinds every piece of mutable simulation state to power-on —
+    /// value table back to all-x, scratch registers to their compiled
+    /// widths, scheduler queues, watcher lists, captured lines, time and
+    /// budgets all cleared — **without releasing any allocation** that
+    /// still fits. A reset simulator is observationally identical to a
+    /// newly constructed one (pinned by `reset_replays_identically`); the
+    /// point is that a session sweeping N runs pays the table setup once,
+    /// not N times.
+    pub fn reset(&mut self) {
+        let Simulator {
+            compiled, state, ..
+        } = self;
+        state.reset(compiled.get());
     }
 }
 
@@ -299,6 +361,45 @@ impl SimState {
             limits,
             steps: 0,
         }
+    }
+
+    /// Rewinds to power-on state in place, preserving allocations: value
+    /// and scratch vectors keep their buffers (widths are re-pinned —
+    /// an errored run can abandon a placeholder in a scratch slot),
+    /// watcher lists are rebuilt with their capacity, queues are cleared.
+    fn reset(&mut self, cd: &CompiledDesign) {
+        let design = cd.design();
+        for (slot, sig) in self.values.iter_mut().zip(design.signals.iter()) {
+            debug_assert_eq!(slot.width(), sig.width.max(1));
+            slot.set_all_x();
+        }
+        for (slot, w) in self.scratch.iter_mut().zip(cd.reg_widths.iter()) {
+            let w = (*w as usize).max(1);
+            if slot.width() != w {
+                *slot = LogicVec::zeros(w);
+            }
+        }
+        self.time = 0;
+        for p in &mut self.procs {
+            p.pc = 0;
+            p.status = ProcStatus::Ready;
+        }
+        for ws in &mut self.sig_watchers {
+            ws.clear();
+        }
+        for (i, a) in design.assigns.iter().enumerate() {
+            for s in &a.reads {
+                self.sig_watchers[s.0 as usize].push(Watcher::Assign(i));
+            }
+        }
+        self.active.clear();
+        self.nba.clear();
+        self.nba_scratch.clear();
+        self.timed.clear();
+        self.seq = 0;
+        self.lines.clear();
+        self.finished = false;
+        self.steps = 0;
     }
 
     fn run(&mut self, cd: &CompiledDesign, mode: ExecMode) -> Result<SimOutput, SimError> {
@@ -1245,6 +1346,56 @@ mod tests {
                 "per-step clone `{needle}` reintroduced in the simulator hot path"
             );
         }
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        // A reset simulator must be observationally identical to a fresh
+        // one — including after runs that *errored* (scratch placeholders
+        // abandoned mid-write) or hit limits. Sequential design with NBA
+        // traffic, event waits and timed activity exercises every queue.
+        let src = "module tb;\nreg clk = 0, rst;\nalways #5 clk = ~clk;\nreg [7:0] q;\nwire [7:0] y;\nassign y = q ^ 8'h0f;\nalways @(posedge clk) begin\nif (rst) q <= 8'd0; else q <= q + 8'd3;\nend\ninitial begin\nrst = 1;\n#12 rst = 0;\n#40 $display(\"q=%0d y=%0d t=%0d\", q, y, $time);\n$finish;\nend\nendmodule";
+        let file = crate::parser::parse(src).expect("parse");
+        let design = crate::elaborate::elaborate(&file, "tb").expect("elab");
+        let compiled = std::sync::Arc::new(CompiledDesign::new(design));
+
+        let reference = Simulator::from_compiled(&compiled).run().expect("fresh");
+        let mut sim = Simulator::from_shared(Arc::clone(&compiled));
+        assert!(sim.shares(&compiled));
+        for round in 0..3 {
+            let out = sim.run().expect("session run");
+            assert_eq!(out.lines, reference.lines, "round {round}");
+            assert_eq!(out.end_time, reference.end_time, "round {round}");
+            assert_eq!(out.finished, reference.finished, "round {round}");
+            sim.reset();
+        }
+
+        // Interleave an errored run (step budget) and confirm reset still
+        // restores a clean replay afterwards.
+        sim.set_limits(SimLimits {
+            max_steps: 10,
+            ..SimLimits::default()
+        });
+        assert!(sim.run().is_err(), "tiny budget must trip");
+        sim.set_limits(SimLimits::default());
+        sim.reset();
+        let after_err = sim.run().expect("post-error run");
+        assert_eq!(after_err.lines, reference.lines);
+        assert_eq!(after_err.end_time, reference.end_time);
+    }
+
+    #[test]
+    fn run_after_completion_without_reset_is_inert() {
+        let src = "module tb;\ninitial begin $display(\"once\"); $finish; end\nendmodule";
+        let file = crate::parser::parse(src).expect("parse");
+        let design = crate::elaborate::elaborate(&file, "tb").expect("elab");
+        let compiled = std::sync::Arc::new(CompiledDesign::new(design));
+        let mut sim = Simulator::from_shared(Arc::clone(&compiled));
+        assert_eq!(sim.run().expect("first").lines, vec!["once"]);
+        // No reset: the finished flag stands, nothing re-executes.
+        assert!(sim.run().expect("second").lines.is_empty());
+        sim.reset();
+        assert_eq!(sim.run().expect("third").lines, vec!["once"]);
     }
 
     #[test]
