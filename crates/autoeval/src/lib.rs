@@ -17,7 +17,7 @@ use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
 use correctbench_llm::CheckerArtifact;
 use correctbench_tbgen::{
-    generate_driver, generate_scenarios, EvalSession, ScenarioResult, TbError, TbRun,
+    acquire_session, generate_driver, generate_scenarios, ScenarioResult, TbError, TbRun,
 };
 use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
@@ -159,10 +159,12 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
         return EvalLevel::Failed;
     }
 
-    // One session per testbench: checker compiled and record bindings
-    // resolved once, then reused for the Eval1 report and every Eval2
-    // mutant run.
-    let Ok(mut session) = EvalSession::new(problem, &tb.checker.program) else {
+    // One session per testbench, leased through the worker's session
+    // pool when the harness installed one: checker compiled and record
+    // bindings resolved once per (problem, checker) fingerprint pair —
+    // across jobs, not merely across the Eval1 report and the Eval2
+    // mutant runs of this call.
+    let Ok(mut session) = acquire_session(problem, &tb.checker.program) else {
         return EvalLevel::Failed; // checker program the judge cannot run
     };
 
@@ -190,7 +192,10 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
     }
     let mine = session.sweep_mutants(mutants.iter(), &driver, &tb.scenarios);
     let golden_reports: Vec<Option<bool>> =
-        match EvalSession::new(problem, &golden_tb.checker.program) {
+        match acquire_session(problem, &golden_tb.checker.program) {
+            // The golden checker is identical for every (method, rep)
+            // job of a problem, so under a harness context this lease is
+            // the pool's steadiest customer.
             Ok(mut golden_session) => golden_session
                 .sweep_mutants(mutants.iter(), &golden_driver, &golden_tb.scenarios)
                 .into_iter()

@@ -26,6 +26,15 @@
 //! * `judge_interp_ns` vs `judge_session_ns` — judging one pre-captured
 //!   record stream with the interpreter (`judge_records`) and with the
 //!   session's compiled checker.
+//! * `key_debug_hash_ns` vs `key_fingerprint_ns` — building one full
+//!   simulation-cache key with the retired rendering hashes
+//!   (pretty-print / `Debug` FNV) and with the `StructuralHash` visitor
+//!   fingerprints (computed fresh, i.e. the `OnceLock` miss cost; a
+//!   steady-state probe on a cached `SourceFile` is two u64 reads).
+//! * `session_fresh_ns` vs `session_pooled_ns` — acquiring an
+//!   evaluation session by constructing it (checker compile + binding
+//!   resolution, the per-job cost the validator and AutoEval used to
+//!   pay) and by leasing it from an installed `EvalContext` pool.
 //!
 //! ```text
 //! bench_sim [--quick] [--samples N] [--out FILE]
@@ -47,10 +56,12 @@
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_tbgen::{
-    compile_pair, force_one_shot, generate_driver, generate_scenarios, judge_records, limits_for,
-    run_testbench_parsed, EvalSession, ScenarioSet,
+    acquire_session, compile_pair, force_one_shot, generate_driver, generate_scenarios,
+    judge_records, limits_for, module_interface_fingerprint, run_testbench_parsed, EvalContext,
+    EvalSession, ScenarioSet,
 };
 use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::hash::{debug_hash, structural_hash, StructuralHash};
 use correctbench_verilog::{elaborate, parse, CompiledDesign, ExecMode, SimLimits, Simulator};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -147,6 +158,10 @@ struct Row {
     session_sweep_ns: u64,
     judge_interp_ns: u64,
     judge_session_ns: u64,
+    key_debug_hash_ns: u64,
+    key_fingerprint_ns: u64,
+    session_fresh_ns: u64,
+    session_pooled_ns: u64,
     pre_pr_ns: Option<u64>,
 }
 
@@ -166,6 +181,16 @@ impl Row {
     /// Compiled checker vs. interpreted judging of one record stream.
     fn speedup_judge(&self) -> f64 {
         self.judge_interp_ns as f64 / self.judge_session_ns.max(1) as f64
+    }
+
+    /// Visitor-fingerprint key construction vs. the rendering hashes.
+    fn speedup_fingerprint(&self) -> f64 {
+        self.key_debug_hash_ns as f64 / self.key_fingerprint_ns.max(1) as f64
+    }
+
+    /// Pooled session lease vs. constructing the session per acquisition.
+    fn speedup_pool(&self) -> f64 {
+        self.session_fresh_ns as f64 / self.session_pooled_ns.max(1) as f64
     }
 
     /// Speedup vs. the externally measured pre-PR baseline, when given.
@@ -234,7 +259,9 @@ fn main() {
             EvalSession::new(&case.problem, &case.checker).expect("checker compiles");
         let mut judge_session =
             EvalSession::new(&case.problem, &case.checker).expect("checker compiles");
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns] =
+        let pool = EvalContext::new();
+        let _pool_guard = pool.install();
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns] =
             medians_interleaved(
                 samples,
                 &mut [
@@ -252,8 +279,9 @@ fn main() {
                     &mut || {
                         // The legacy one-shot path, as a sweep caller pays it
                         // without a session: per-run front end, fresh
-                        // simulator, interpreted judge. (No caches are
-                        // installed in this process.)
+                        // simulator, interpreted judge. (No sim/elab cache
+                        // is installed in this process, and the one-shot
+                        // guard bypasses the session pool.)
                         let _guard = force_one_shot();
                         for _ in 0..SWEEP {
                             std::hint::black_box(
@@ -295,6 +323,43 @@ fn main() {
                                 .expect("judge ok"),
                         );
                     },
+                    &mut || {
+                        // One full cache key the retired way: render the
+                        // artifacts and FNV the streams.
+                        std::hint::black_box((
+                            structural_hash(&case.dut),
+                            structural_hash(&case.driver),
+                            debug_hash(&case.checker),
+                            debug_hash(&case.scenarios),
+                            debug_hash(&(case.problem.name.as_str(), &case.problem.ports)),
+                        ));
+                    },
+                    &mut || {
+                        // The same key via visitor fingerprints, computed
+                        // fresh (trait call bypasses the SourceFile cache).
+                        std::hint::black_box((
+                            StructuralHash::fingerprint(&case.dut),
+                            StructuralHash::fingerprint(&case.driver),
+                            case.checker.fingerprint(),
+                            case.scenarios.fingerprint(),
+                            module_interface_fingerprint(&case.problem.name, &case.problem.ports),
+                        ));
+                    },
+                    &mut || {
+                        // The per-call session construction the validator
+                        // and AutoEval paid before the pool existed.
+                        std::hint::black_box(
+                            EvalSession::new(&case.problem, &case.checker)
+                                .expect("checker compiles"),
+                        );
+                    },
+                    &mut || {
+                        // Lease from the installed pool (steady state: a
+                        // hit after the first acquisition).
+                        std::hint::black_box(
+                            acquire_session(&case.problem, &case.checker).expect("lease"),
+                        );
+                    },
                 ],
             );
         let row = Row {
@@ -311,6 +376,10 @@ fn main() {
             session_sweep_ns,
             judge_interp_ns,
             judge_session_ns,
+            key_debug_hash_ns,
+            key_fingerprint_ns,
+            session_fresh_ns,
+            session_pooled_ns,
             pre_pr_ns: baselines
                 .iter()
                 .find(|(n, _)| n == &case.problem.name)
@@ -321,9 +390,10 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
             row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
+            row.speedup_fingerprint(), row.speedup_pool(),
         );
         rows.push(row);
     }
@@ -332,6 +402,9 @@ fn main() {
         median_f64(rows.iter().map(Row::speedup_vs_tree_walk).collect()).expect("rows");
     let median_session = median_f64(rows.iter().map(Row::speedup_session).collect()).expect("rows");
     let median_judge = median_f64(rows.iter().map(Row::speedup_judge).collect()).expect("rows");
+    let median_fingerprint =
+        median_f64(rows.iter().map(Row::speedup_fingerprint).collect()).expect("rows");
+    let median_pool = median_f64(rows.iter().map(Row::speedup_pool).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
     let mut json = String::new();
@@ -351,6 +424,14 @@ fn main() {
         json,
         "  \"median_speedup_judge_compiled_vs_interp\": {median_judge:.2},"
     );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_key_fingerprint_vs_debug_hash\": {median_fingerprint:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_session_pooled_vs_fresh\": {median_pool:.2},"
+    );
     if let Some(m) = median_vs_pre_pr {
         let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
         let _ = writeln!(
@@ -368,10 +449,12 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
             r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
             r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
+            r.key_debug_hash_ns, r.key_fingerprint_ns, r.speedup_fingerprint(),
+            r.session_fresh_ns, r.session_pooled_ns, r.speedup_pool(),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -386,7 +469,7 @@ fn main() {
         None => String::new(),
     };
     eprintln!(
-        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x{tail} -> {out_path}"
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x{tail} -> {out_path}"
     );
 }
 

@@ -45,6 +45,9 @@ fn main() {
     if let Some(stats) = &result.elab_cache {
         eprintln!("elaboration cache: {stats}");
     }
+    if let Some(stats) = &result.session_pool {
+        eprintln!("session pool: {stats}");
+    }
     if let Some(dir) = &args.out {
         let summary = render_summary(&plan, &result);
         let paths = write_artifacts_or_exit(dir, &result, &summary);

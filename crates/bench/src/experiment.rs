@@ -149,8 +149,12 @@ pub fn run_sweep(
             .elab_cache
             .map(|e| format!("; elaboration cache: {e}"))
             .unwrap_or_default();
+        let pool = result
+            .session_pool
+            .map(|p| format!("; session pool: {p}"))
+            .unwrap_or_default();
         eprintln!(
-            "sweep: {} jobs in {:?}; simulation cache: {stats}{elab}",
+            "sweep: {} jobs in {:?}; simulation cache: {stats}{elab}{pool}",
             records.len(),
             result.wall
         );

@@ -51,8 +51,10 @@ pub fn collect_corpus(
     let factory = SimulatedClientFactory::for_model(model);
     let cache = SimCache::new();
     let elab_cache = correctbench_harness::ElabCache::new();
+    let session_pool = correctbench_harness::EvalContext::new();
     let mut corpora = parallel_map(threads, Some(&cache), problems, |i, problem| {
         let _elab_guard = elab_cache.install();
+        let _pool_guard = session_pool.install();
         let seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9);
         let mut llm = factory.client(seed);
         // One shared RTL group per task, as in the paper.
@@ -86,9 +88,10 @@ pub fn collect_corpus(
         }
     });
     eprintln!(
-        "corpus: simulation cache: {} | elaboration cache: {}",
+        "corpus: simulation cache: {} | elaboration cache: {} | session pool: {}",
         cache.stats(),
-        elab_cache.stats()
+        elab_cache.stats(),
+        session_pool.stats()
     );
     corpora.sort_by(|a, b| a.problem.name.cmp(&b.problem.name));
     corpora

@@ -10,6 +10,7 @@
 //! Checker *bugs* (the thing CorrectBench exists to find) are modelled by
 //! mutating nodes — see [`crate::mutate_ir`].
 
+use correctbench_verilog::hash::{Fingerprint, FingerprintHasher, StructuralHash};
 use correctbench_verilog::logic::LogicVec;
 use std::fmt;
 
@@ -255,11 +256,12 @@ impl CheckerProgram {
         self.nodes.is_empty()
     }
 
-    /// Stable structural hash (FNV-1a over the canonical `Debug`
-    /// rendering): equal programs hash equal, independent of the process.
-    /// Used as the checker component of simulation-cache keys.
-    pub fn structural_hash(&self) -> u64 {
-        correctbench_verilog::hash::debug_hash(self)
+    /// Stable structural fingerprint via a direct visitor over the IR —
+    /// equal programs fingerprint equal, independent of the process, at
+    /// a fraction of the old `Debug`-rendering hash's cost. Used as the
+    /// checker component of simulation-cache keys and session-pool keys.
+    pub fn fingerprint(&self) -> Fingerprint {
+        StructuralHash::fingerprint(self)
     }
 
     /// Ids of all mutable (operation) nodes — the mutation surface.
@@ -275,6 +277,126 @@ impl CheckerProgram {
             })
             .map(|(i, _)| NodeId(i as u32))
             .collect()
+    }
+}
+
+impl StructuralHash for NodeId {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
+impl StructuralHash for IrBinOp {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl StructuralHash for IrUnOp {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl StructuralHash for Node {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        match self {
+            Node::Input { name } => {
+                h.write_u8(0);
+                h.write_str(name);
+            }
+            Node::Reg { name, init } => {
+                h.write_u8(1);
+                h.write_str(name);
+                init.hash_structure(h);
+            }
+            Node::Const(v) => {
+                h.write_u8(2);
+                v.hash_structure(h);
+            }
+            Node::Bin { op, a, b, signed } => {
+                h.write_u8(3);
+                op.hash_structure(h);
+                a.hash_structure(h);
+                b.hash_structure(h);
+                h.write_bool(*signed);
+            }
+            Node::Un { op, a } => {
+                h.write_u8(4);
+                op.hash_structure(h);
+                a.hash_structure(h);
+            }
+            Node::Mux { sel, t, f } => {
+                h.write_u8(5);
+                sel.hash_structure(h);
+                t.hash_structure(h);
+                f.hash_structure(h);
+            }
+            Node::Slice { a, lo, width } => {
+                h.write_u8(6);
+                a.hash_structure(h);
+                h.write_usize(*lo);
+                h.write_usize(*width);
+            }
+            Node::DynSlice { a, lo, width } => {
+                h.write_u8(7);
+                a.hash_structure(h);
+                lo.hash_structure(h);
+                h.write_usize(*width);
+            }
+            Node::DynInsert { a, lo, b, width } => {
+                h.write_u8(8);
+                a.hash_structure(h);
+                lo.hash_structure(h);
+                b.hash_structure(h);
+                h.write_usize(*width);
+            }
+            Node::Concat(ids) => {
+                h.write_u8(9);
+                ids.hash_structure(h);
+            }
+            Node::Repl { a, n } => {
+                h.write_u8(10);
+                a.hash_structure(h);
+                h.write_usize(*n);
+            }
+            Node::Ext { a, signed } => {
+                h.write_u8(11);
+                a.hash_structure(h);
+                h.write_bool(*signed);
+            }
+        }
+    }
+}
+
+impl StructuralHash for NodeDef {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        self.node.hash_structure(h);
+        h.write_usize(self.width);
+    }
+}
+
+impl StructuralHash for RegUpdate {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        self.reg.hash_structure(h);
+        self.next.hash_structure(h);
+    }
+}
+
+impl StructuralHash for OutputDef {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        h.write_str(&self.name);
+        self.node.hash_structure(h);
+    }
+}
+
+impl StructuralHash for CheckerProgram {
+    fn hash_structure(&self, h: &mut FingerprintHasher) {
+        self.nodes.hash_structure(h);
+        self.reg_updates.hash_structure(h);
+        self.outputs.hash_structure(h);
+        self.inputs.hash_structure(h);
+        h.write_bool(self.sequential);
     }
 }
 
@@ -304,5 +426,48 @@ mod tests {
         assert_eq!(p.width(s), 4);
         assert_eq!(p.len(), 3);
         assert_eq!(p.op_nodes(), vec![c, s]);
+    }
+
+    /// The visitor fingerprint must distinguish every checker pair the
+    /// `Debug`-rendering oracle distinguishes (the retired cache-key
+    /// scheme), across compiled golden checkers and IR mutants.
+    #[test]
+    fn fingerprint_tracks_the_debug_hash_oracle() {
+        use correctbench_verilog::hash::debug_hash;
+        use rand::SeedableRng;
+
+        let srcs = [
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y);\nassign y = a + b;\nendmodule\n",
+            "module m(input clk, input rst, output reg [3:0] q);\nalways @(posedge clk) begin if (rst) q <= 0; else q <= q + 1; end\nendmodule\n",
+        ];
+        let mut seen: std::collections::HashMap<Fingerprint, u64> =
+            std::collections::HashMap::new();
+        for src in srcs {
+            let f = correctbench_verilog::parse(src).expect("parses");
+            let golden = crate::compile_module(&f.modules[0]).expect("compiles");
+            let mut variants = vec![golden.clone()];
+            for seed in 0..6u64 {
+                let mut prog = golden.clone();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                crate::mutate_ir(&mut prog, &mut rng, 1 + (seed as usize % 3));
+                variants.push(prog);
+            }
+            for prog in variants {
+                // Clones fingerprint identically; distinct programs must
+                // not alias fingerprints the oracle separates.
+                assert_eq!(prog.fingerprint(), prog.clone().fingerprint());
+                let oracle = debug_hash(&prog);
+                match seen.get(&prog.fingerprint()) {
+                    None => {
+                        seen.insert(prog.fingerprint(), oracle);
+                    }
+                    Some(prev) => assert_eq!(
+                        *prev, oracle,
+                        "fingerprint aliases checkers the oracle separates"
+                    ),
+                }
+            }
+        }
+        assert!(seen.len() > 4, "mutation corpus unexpectedly degenerate");
     }
 }

@@ -230,9 +230,11 @@ pub fn generate_rtl_group(problem: &Problem, llm: &mut dyn LlmClient, cfg: &Conf
 
 /// Simulates every RTL under the testbench and assembles the RS matrix.
 /// The driver is parsed once and the whole group runs through one
-/// [`correctbench_tbgen::EvalSession`]: the checker is compiled and its
-/// record bindings resolved once per matrix, not once per row, and
-/// repeated designs reuse the session's simulator via state reset.
+/// [`correctbench_tbgen::EvalSession`], acquired via
+/// [`correctbench_tbgen::acquire_session`]: under a harness-installed
+/// [`correctbench_tbgen::EvalContext`] the checker compile and record
+/// bindings are paid once per `(problem, checker)` fingerprint pair
+/// *across jobs*, not once per matrix — and never once per row.
 pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsMatrix {
     let ns = tb.scenarios.len();
     let unknown_matrix = || RsMatrix {
@@ -241,7 +243,7 @@ pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsM
     let Ok(driver) = correctbench_verilog::parse(&tb.driver) else {
         return unknown_matrix();
     };
-    let Ok(mut session) = correctbench_tbgen::EvalSession::new(problem, &tb.checker.program) else {
+    let Ok(mut session) = correctbench_tbgen::acquire_session(problem, &tb.checker.program) else {
         // A checker the judge cannot even compile fails every row, the
         // same verdict the per-row interpreter produced.
         return unknown_matrix();

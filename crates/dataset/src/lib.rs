@@ -86,6 +86,20 @@ pub struct PortSpec {
     pub dir: PortDir,
 }
 
+impl correctbench_verilog::StructuralHash for PortDir {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl correctbench_verilog::StructuralHash for PortSpec {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.width);
+        self.dir.hash_structure(h);
+    }
+}
+
 impl PortSpec {
     /// An input port.
     pub fn input(name: &str, width: usize) -> Self {

@@ -115,12 +115,13 @@ pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{}}}",
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{}}}",
         result.wall.as_millis(),
         result.threads,
         result.outcomes.len(),
         cache_json(&result.cache),
         cache_json(&result.elab_cache),
+        cache_json(&result.session_pool),
     );
     for o in &result.outcomes {
         let _ = writeln!(

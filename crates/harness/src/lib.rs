@@ -48,11 +48,12 @@ pub mod worker;
 /// harness is what installs, shares and reports it.
 pub mod cache {
     pub use correctbench_tbgen::cache::{with_active, CacheKey, CacheStats, SimCache};
+    pub use correctbench_tbgen::context::{with_active as with_active_pool, EvalContext, PoolKey};
     pub use correctbench_tbgen::elab::{with_active as with_active_elab, ElabCache, ElabKey};
 }
 
 pub use artifact::{outcomes_jsonl, write_artifacts, ArtifactPaths};
-pub use cache::{CacheStats, ElabCache, SimCache};
+pub use cache::{CacheStats, ElabCache, EvalContext, SimCache};
 pub use cli::RunArgs;
 pub use plan::{mix_seed, problem_subset, Job, RunPlan};
 pub use report::{render_summary, summarize, MethodSummary};

@@ -120,5 +120,13 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
             let _ = writeln!(s, "elaboration cache: disabled");
         }
     }
+    match &result.session_pool {
+        Some(stats) => {
+            let _ = writeln!(s, "session pool: {stats}");
+        }
+        None => {
+            let _ = writeln!(s, "session pool: disabled");
+        }
+    }
     s
 }

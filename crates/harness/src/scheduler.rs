@@ -11,30 +11,34 @@ use crate::plan::RunPlan;
 use crate::worker::{run_job, TaskOutcome};
 use correctbench_llm::ClientFactory;
 use correctbench_tbgen::cache::CacheStats;
-use correctbench_tbgen::{ElabCache, SimCache};
+use correctbench_tbgen::{ElabCache, EvalContext, SimCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Executes [`RunPlan`]s over a worker pool with two optional shared
-/// memoization layers: the simulation cache (whole testbench runs) and
-/// the elaboration cache (compiled DUT + driver designs).
+/// Executes [`RunPlan`]s over a worker pool with three optional shared
+/// reuse layers: the simulation cache (whole testbench runs), the
+/// elaboration cache (compiled DUT + driver designs) and the session
+/// pool (compiled checkers + reset-reusable evaluation sessions, leased
+/// across jobs).
 pub struct Engine {
     threads: usize,
     cache: Option<Arc<SimCache>>,
     elab_cache: Option<Arc<ElabCache>>,
+    session_pool: Option<Arc<EvalContext>>,
     progress: bool,
     one_shot: bool,
 }
 
 impl Engine {
-    /// An engine with `threads` workers and fresh shared simulation and
-    /// elaboration caches.
+    /// An engine with `threads` workers, fresh shared simulation and
+    /// elaboration caches, and a fresh shared session pool.
     pub fn new(threads: usize) -> Self {
         Engine {
             threads: threads.max(1),
             cache: Some(SimCache::new()),
             elab_cache: Some(ElabCache::new()),
+            session_pool: Some(EvalContext::new()),
             progress: false,
             one_shot: false,
         }
@@ -47,10 +51,19 @@ impl Engine {
         self
     }
 
-    /// Disables both caches (simulation and elaboration).
+    /// Disables every reuse layer (simulation cache, elaboration cache,
+    /// session pool) — the harness `--no-cache` behavior.
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
         self.elab_cache = None;
+        self.session_pool = None;
+        self
+    }
+
+    /// Disables only the session pool (the determinism tests use this
+    /// to pin cache transparency layer by layer).
+    pub fn without_session_pool(mut self) -> Self {
+        self.session_pool = None;
         self
     }
 
@@ -85,6 +98,15 @@ impl Engine {
         let done = AtomicUsize::new(0);
         let outcomes = parallel_map(self.threads, self.cache.as_ref(), &jobs, |_, job| {
             let _elab_guard = self.elab_cache.as_ref().map(|c| c.install());
+            // The one-shot baseline is documented as fresh-everything:
+            // leasing (and retaining) compiled sessions it would never
+            // execute through would skew both memory and the reported
+            // pool counters, so the pool stays uninstalled in that mode.
+            let _pool_guard = self
+                .session_pool
+                .as_ref()
+                .filter(|_| !self.one_shot)
+                .map(|c| c.install());
             let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
             let outcome = run_job(job, &plan.config, factory);
             if self.progress {
@@ -98,6 +120,13 @@ impl Engine {
             threads: self.threads,
             cache: self.cache.as_ref().map(|c| c.stats()),
             elab_cache: self.elab_cache.as_ref().map(|c| c.stats()),
+            // Mirror the install-time filter: a one-shot run never used
+            // the pool, so it reports "disabled", not "on with zeros".
+            session_pool: self
+                .session_pool
+                .as_ref()
+                .filter(|_| !self.one_shot)
+                .map(|c| c.stats()),
             wall: t0.elapsed(),
         }
     }
@@ -110,6 +139,11 @@ impl Engine {
     /// The engine's shared elaboration cache, if enabled.
     pub fn elab_cache(&self) -> Option<&Arc<ElabCache>> {
         self.elab_cache.as_ref()
+    }
+
+    /// The engine's shared session pool, if enabled.
+    pub fn session_pool(&self) -> Option<&Arc<EvalContext>> {
+        self.session_pool.as_ref()
     }
 }
 
@@ -127,6 +161,9 @@ pub struct RunResult {
     /// Elaboration-cache counters at the end of the run, when caching
     /// was enabled.
     pub elab_cache: Option<CacheStats>,
+    /// Session-pool counters at the end of the run, when the pool was
+    /// enabled.
+    pub session_pool: Option<CacheStats>,
     /// Total wall time of the run.
     pub wall: Duration,
 }
@@ -193,12 +230,13 @@ mod tests {
     fn workers_share_the_cache() {
         use correctbench_tbgen::cache::CacheKey;
         let cache = SimCache::new();
+        use correctbench_verilog::Fingerprint;
         let key = CacheKey {
-            dut: 1,
-            driver: 2,
-            checker: 3,
-            scenarios: 4,
-            problem: 5,
+            dut: Fingerprint(1),
+            driver: Fingerprint(2),
+            checker: Fingerprint(3),
+            scenarios: Fingerprint(4),
+            problem: Fingerprint(5),
         };
         // Prime the table once, then have every worker probe the same
         // key: all 64 lookups must hit, which only holds when workers

@@ -80,6 +80,42 @@ fn session_and_one_shot_paths_produce_byte_identical_jsonl() {
 }
 
 #[test]
+fn session_pool_is_semantically_transparent() {
+    // Isolate the pool layer: both caches stay on, only the session
+    // pool is toggled. A pooled (warm) session — primed design memo,
+    // already-compiled checker — must evaluate byte-identically to a
+    // fresh one, whichever worker and job it lands on. Also pin the
+    // fully-stripped engine (`--no-cache` disables the pool too)
+    // against the pooled one, so no other layer papers over a
+    // divergence.
+    let pooled = artifact_with(Engine::new(4));
+    let unpooled = artifact_with(Engine::new(4).without_session_pool());
+    assert!(
+        pooled == unpooled,
+        "session pool changed outcomes:\n--- pooled ---\n{pooled}\n--- unpooled ---\n{unpooled}"
+    );
+    let stripped = artifact_with(Engine::new(4).without_cache());
+    assert!(
+        pooled == stripped,
+        "pooled engine diverged from the cache-free engine:\n--- pooled ---\n{pooled}\n--- stripped ---\n{stripped}"
+    );
+}
+
+#[test]
+fn sweep_plan_shows_session_pool_hits() {
+    // Every (method, rep) job of a problem leases the golden checker's
+    // session for its Eval2 agreement pass; with 3 methods x 2 reps the
+    // pool must convert most of those acquisitions into hits.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let result = Engine::new(4).execute(&plan(), &factory);
+    let stats = result.session_pool.expect("pool enabled by default");
+    assert!(
+        stats.hits > 0,
+        "no session-pool hits in a multi-rep sweep: {stats}"
+    );
+}
+
+#[test]
 fn sweep_plan_shows_elab_cache_hits() {
     // The RS matrix runs one driver against many RTLs and each pair
     // simulates under several scenario replays; repeated (DUT, driver)

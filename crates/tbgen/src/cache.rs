@@ -28,31 +28,35 @@ use crate::scenarios::ScenarioSet;
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::hash::{Fingerprint, FingerprintHasher, StructuralHash};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::install;
+
 /// Number of independently-locked shards (power of two).
 const SHARDS: usize = 16;
 
-/// The content address of one simulation: stable structural hashes of
-/// the five inputs that determine a testbench run. Record judging reads
-/// port widths from the problem, so the problem's port signature is part
-/// of the content address alongside the four artifact hashes.
+/// The content address of one simulation: typed structural fingerprints
+/// of the five inputs that determine a testbench run. Record judging
+/// reads port widths from the problem, so the problem's port signature
+/// is part of the content address alongside the four artifact
+/// fingerprints.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
-    /// [`SourceFile::structural_hash`] of the DUT.
-    pub dut: u64,
-    /// [`SourceFile::structural_hash`] of the driver.
-    pub driver: u64,
-    /// [`CheckerProgram::structural_hash`] of the checker.
-    pub checker: u64,
-    /// [`ScenarioSet::structural_hash`] of the scenario list.
-    pub scenarios: u64,
-    /// Hash of the problem's name and port list (names, widths,
-    /// directions) — what `judge_records` consults beyond the artifacts.
-    pub problem: u64,
+    /// [`SourceFile::fingerprint`] of the DUT.
+    pub dut: Fingerprint,
+    /// [`SourceFile::fingerprint`] of the driver.
+    pub driver: Fingerprint,
+    /// [`CheckerProgram::fingerprint`] of the checker.
+    pub checker: Fingerprint,
+    /// [`ScenarioSet::fingerprint`] of the scenario list.
+    pub scenarios: Fingerprint,
+    /// [`module_interface_fingerprint`] of the problem — what
+    /// `judge_records` consults beyond the artifacts.
+    pub problem: Fingerprint,
 }
 
 impl CacheKey {
@@ -65,11 +69,11 @@ impl CacheKey {
         scenarios: &ScenarioSet,
     ) -> Self {
         CacheKey {
-            dut: dut.structural_hash(),
-            driver: driver.structural_hash(),
-            checker: checker.structural_hash(),
-            scenarios: scenarios.structural_hash(),
-            problem: problem_sig_hash(&problem.name, &problem.ports),
+            dut: dut.fingerprint(),
+            driver: driver.fingerprint(),
+            checker: checker.fingerprint(),
+            scenarios: scenarios.fingerprint(),
+            problem: module_interface_fingerprint(&problem.name, &problem.ports),
         }
     }
 
@@ -77,25 +81,32 @@ impl CacheKey {
         // The components are already well-mixed FNV states.
         (self
             .dut
+            .0
             .wrapping_mul(31)
-            .wrapping_add(self.driver)
+            .wrapping_add(self.driver.0)
             .wrapping_mul(31)
-            .wrapping_add(self.checker)
+            .wrapping_add(self.checker.0)
             .wrapping_mul(31)
-            .wrapping_add(self.scenarios)
+            .wrapping_add(self.scenarios.0)
             .wrapping_mul(31)
-            .wrapping_add(self.problem)) as usize
+            .wrapping_add(self.problem.0)) as usize
             & (SHARDS - 1)
     }
 }
 
-/// The problem component of a [`CacheKey`]: name plus port list (names,
-/// widths, directions) — what record judging consults beyond the
-/// artifacts. Takes the bare fields so sessions need not hold a whole
-/// [`Problem`]. (`&str`/slice and `&String`/`&Vec` Debug-render
-/// identically, so the hash is stable across both call shapes.)
-pub(crate) fn problem_sig_hash(name: &str, ports: &[correctbench_dataset::PortSpec]) -> u64 {
-    correctbench_verilog::hash::debug_hash(&(name, ports))
+/// The module-interface component of a [`CacheKey`] and the session
+/// pool's problem key: a visitor fingerprint of the problem name plus
+/// its port list (names, widths, directions) — everything record
+/// judging consults beyond the artifacts. Takes the bare fields so
+/// sessions need not hold a whole [`Problem`].
+pub fn module_interface_fingerprint(
+    name: &str,
+    ports: &[correctbench_dataset::PortSpec],
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str(name);
+    ports.hash_structure(&mut h);
+    h.finish()
 }
 
 /// Point-in-time cache counters.
@@ -218,8 +229,7 @@ impl SimCache {
     /// returned guard drops. [`crate::run_testbench_parsed`] consults the
     /// active cache transparently; nesting restores the previous cache.
     pub fn install(self: &Arc<Self>) -> CacheGuard {
-        let prev = ACTIVE.with(|a| a.borrow_mut().replace(Arc::clone(self)));
-        CacheGuard { prev }
+        install::install(&ACTIVE, self)
     }
 }
 
@@ -231,20 +241,11 @@ thread_local! {
 /// internal — the runner consults it on every testbench run — but public
 /// so harnesses can probe or prime the active cache directly.
 pub fn with_active<R>(f: impl FnOnce(&SimCache) -> R) -> Option<R> {
-    ACTIVE.with(|a| a.borrow().as_ref().map(|c| f(c)))
+    install::with_active(&ACTIVE, f)
 }
 
 /// Re-activates the previous cache (usually none) when dropped.
-pub struct CacheGuard {
-    prev: Option<Arc<SimCache>>,
-}
-
-impl Drop for CacheGuard {
-    fn drop(&mut self) {
-        let prev = self.prev.take();
-        ACTIVE.with(|a| *a.borrow_mut() = prev);
-    }
-}
+pub type CacheGuard = install::InstallGuard<SimCache>;
 
 #[cfg(test)]
 mod tests {
@@ -261,11 +262,11 @@ mod tests {
 
     fn key(n: u64) -> CacheKey {
         CacheKey {
-            dut: n,
-            driver: n ^ 1,
-            checker: n ^ 2,
-            scenarios: n ^ 3,
-            problem: n ^ 4,
+            dut: Fingerprint(n),
+            driver: Fingerprint(n ^ 1),
+            checker: Fingerprint(n ^ 2),
+            scenarios: Fingerprint(n ^ 3),
+            problem: Fingerprint(n ^ 4),
         }
     }
 

@@ -23,11 +23,14 @@
 //! first.
 
 use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::hash::Fingerprint;
 use correctbench_verilog::CompiledDesign;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::install;
 
 pub use crate::cache::CacheStats;
 
@@ -41,27 +44,27 @@ const SHARDS: usize = 16;
 /// survive eviction.
 pub const MAX_ENTRIES_PER_SHARD: usize = 512;
 
-/// The content address of one elaboration: structural hashes of the two
-/// sources that are combined and flattened.
+/// The content address of one elaboration: structural fingerprints of
+/// the two sources that are combined and flattened.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ElabKey {
-    /// [`SourceFile::structural_hash`] of the DUT.
-    pub dut: u64,
-    /// [`SourceFile::structural_hash`] of the driver.
-    pub driver: u64,
+    /// [`SourceFile::fingerprint`] of the DUT.
+    pub dut: Fingerprint,
+    /// [`SourceFile::fingerprint`] of the driver.
+    pub driver: Fingerprint,
 }
 
 impl ElabKey {
     /// Builds the key for one (DUT, driver) pair.
     pub fn for_pair(dut: &SourceFile, driver: &SourceFile) -> Self {
         ElabKey {
-            dut: dut.structural_hash(),
-            driver: driver.structural_hash(),
+            dut: dut.fingerprint(),
+            driver: driver.fingerprint(),
         }
     }
 
     fn shard(&self) -> usize {
-        (self.dut.wrapping_mul(31).wrapping_add(self.driver)) as usize & (SHARDS - 1)
+        (self.dut.0.wrapping_mul(31).wrapping_add(self.driver.0)) as usize & (SHARDS - 1)
     }
 }
 
@@ -141,8 +144,7 @@ impl ElabCache {
     /// until the returned guard drops. The runner consults the active
     /// cache transparently; nesting restores the previous cache.
     pub fn install(self: &Arc<Self>) -> ElabCacheGuard {
-        let prev = ACTIVE.with(|a| a.borrow_mut().replace(Arc::clone(self)));
-        ElabCacheGuard { prev }
+        install::install(&ACTIVE, self)
     }
 }
 
@@ -153,20 +155,11 @@ thread_local! {
 /// Runs `f` with the thread's active elaboration cache, if one is
 /// installed.
 pub fn with_active<R>(f: impl FnOnce(&ElabCache) -> R) -> Option<R> {
-    ACTIVE.with(|a| a.borrow().as_ref().map(|c| f(c)))
+    install::with_active(&ACTIVE, f)
 }
 
 /// Re-activates the previous cache (usually none) when dropped.
-pub struct ElabCacheGuard {
-    prev: Option<Arc<ElabCache>>,
-}
-
-impl Drop for ElabCacheGuard {
-    fn drop(&mut self) {
-        let prev = self.prev.take();
-        ACTIVE.with(|a| *a.borrow_mut() = prev);
-    }
-}
+pub type ElabCacheGuard = install::InstallGuard<ElabCache>;
 
 #[cfg(test)]
 mod tests {
@@ -184,8 +177,8 @@ mod tests {
 
     fn key(n: u64) -> ElabKey {
         ElabKey {
-            dut: n,
-            driver: n ^ 1,
+            dut: Fingerprint(n),
+            driver: Fingerprint(n ^ 1),
         }
     }
 

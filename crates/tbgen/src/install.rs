@@ -1,0 +1,48 @@
+//! Thread-local installation, shared by every per-worker reuse layer.
+//!
+//! The simulation cache, the elaboration cache and the session pool all
+//! follow one pattern: a shared `Arc` is *installed* on the current
+//! thread so the layers between the harness and the runner stay
+//! oblivious, lookups consult the active instance transparently, and a
+//! guard restores the previous instance (usually none) on drop — so
+//! installs nest. Each layer keeps its own `thread_local!` slot (they
+//! are independent and individually toggleable); the save/restore and
+//! consult machinery lives here once.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::thread::LocalKey;
+
+/// One layer's thread-local slot: the active shared instance, if any.
+pub(crate) type Slot<T> = LocalKey<RefCell<Option<Arc<T>>>>;
+
+/// Makes `value` the active instance of `slot` on the current thread
+/// until the returned guard drops.
+pub(crate) fn install<T>(slot: &'static Slot<T>, value: &Arc<T>) -> InstallGuard<T> {
+    let prev = slot.with(|a| a.borrow_mut().replace(Arc::clone(value)));
+    InstallGuard { slot, prev }
+}
+
+/// Runs `f` with the slot's active instance, if one is installed.
+pub(crate) fn with_active<T, R>(slot: &'static Slot<T>, f: impl FnOnce(&T) -> R) -> Option<R> {
+    slot.with(|a| a.borrow().as_ref().map(|c| f(c)))
+}
+
+/// The slot's active instance itself, if one is installed.
+pub(crate) fn active<T>(slot: &'static Slot<T>) -> Option<Arc<T>> {
+    slot.with(|a| a.borrow().clone())
+}
+
+/// Re-activates the previously installed instance (usually none) when
+/// dropped.
+pub struct InstallGuard<T: 'static> {
+    slot: &'static Slot<T>,
+    prev: Option<Arc<T>>,
+}
+
+impl<T> Drop for InstallGuard<T> {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        self.slot.with(|a| *a.borrow_mut() = prev);
+    }
+}

@@ -27,15 +27,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod context;
 pub mod coverage;
 pub mod driver;
 pub mod elab;
+mod install;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
 pub mod session;
 
-pub use cache::{CacheKey, CacheStats, SimCache};
+pub use cache::{module_interface_fingerprint, CacheKey, CacheStats, SimCache};
+pub use context::{acquire_session, EvalContext, PoolKey, SessionLease};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
 pub use elab::{ElabCache, ElabKey};

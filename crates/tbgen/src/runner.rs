@@ -236,11 +236,14 @@ pub fn run_testbench_parsed(
         if let Some(cached) = crate::cache::with_active(|c| c.get(&key)).flatten() {
             return cached;
         }
-        let result = run_testbench_uncached(dut, driver, checker, problem, scenarios);
+        // The cache key already paid the checker/interface visitor
+        // walks; hand them to the session acquisition below.
+        let fps = Some((key.problem, key.checker));
+        let result = run_testbench_uncached(dut, driver, checker, problem, scenarios, fps);
         crate::cache::with_active(|c| c.put(key, result.clone()));
         return result;
     }
-    run_testbench_uncached(dut, driver, checker, problem, scenarios)
+    run_testbench_uncached(dut, driver, checker, problem, scenarios, None)
 }
 
 /// The legacy fresh-everything run: new simulator, interpreted judging.
@@ -269,15 +272,21 @@ fn run_testbench_uncached(
     checker: &CheckerProgram,
     problem: &Problem,
     scenarios: &ScenarioSet,
+    fingerprints: Option<(
+        correctbench_verilog::Fingerprint,
+        correctbench_verilog::Fingerprint,
+    )>,
 ) -> Result<TbRun, TbError> {
     if crate::session::one_shot_active() {
         return run_testbench_one_shot(dut, driver, checker, problem, scenarios);
     }
-    // A throwaway session: same execution engine as the batch paths, so
+    // A leased session: same execution engine as the batch paths, so
     // one-shot callers and sweeps produce identical artifacts by
-    // construction (and the session's compiled judge carries the win on
-    // judging-heavy sequential problems even for single runs).
-    crate::session::EvalSession::new(problem, checker)?.run_once(dut, driver, scenarios)
+    // construction. Under an installed `EvalContext` even these
+    // wrapper calls reuse a pooled compiled checker; without one the
+    // lease owns a throwaway session, exactly the old behavior.
+    crate::context::acquire_session_keyed(problem, checker, fingerprints)?
+        .run_once(dut, driver, scenarios)
 }
 
 /// The width a record prints `name` at: its port width, defaulting to 1

@@ -29,13 +29,14 @@
 //! artifact equality), so the free functions are now thin wrappers over
 //! a throwaway session.
 
-use crate::cache::{problem_sig_hash, CacheKey};
+use crate::cache::{module_interface_fingerprint, CacheKey};
 use crate::record::{parse_records, Record, RecordBinding};
 use crate::runner::{compiled_for, limits_for, ScenarioResult, TbError, TbRun};
 use crate::scenarios::ScenarioSet;
 use correctbench_checker::{CheckerProgram, JudgeSession};
 use correctbench_dataset::Problem;
 use correctbench_verilog::ast::SourceFile;
+use correctbench_verilog::hash::Fingerprint;
 use correctbench_verilog::{CompiledDesign, LogicVec, Simulator, VerilogError};
 use std::cell::Cell;
 use std::sync::Arc;
@@ -66,15 +67,14 @@ use std::sync::Arc;
 pub struct EvalSession {
     /// The checker IR (the one-shot fallback interprets it directly).
     checker: CheckerProgram,
-    /// [`CacheKey`] components fixed for the session, hashed lazily on
-    /// the first simulation-cache probe — a session that never sees an
-    /// installed cache (throwaway wrappers, benches) never pays the
-    /// Debug-render hash of the whole checker IR.
-    checker_hash: Option<u64>,
-    problem_hash: Option<u64>,
-    /// The two pieces of the problem that judging and cache keys
-    /// actually read — a session does not hold the spec or golden RTL.
-    problem_name: String,
+    /// [`CacheKey`] components fixed for the session, computed once in
+    /// [`EvalSession::new`] — visitor fingerprints are cheap enough to
+    /// take eagerly, and the session pool needs them as its key anyway.
+    checker_fp: Fingerprint,
+    problem_fp: Fingerprint,
+    /// The one piece of the problem judging still reads per record —
+    /// a session does not hold the spec, name or golden RTL (the
+    /// problem's identity lives in `problem_fp`).
     ports: Vec<correctbench_dataset::PortSpec>,
     judge: JudgeSession,
     /// Record-field resolution for the checker's inputs and outputs,
@@ -92,17 +92,16 @@ pub struct EvalSession {
     failed: Vec<bool>,
     /// Kept while consecutive runs share a compiled design.
     sim: Option<Simulator<'static>>,
-    /// The session's own level-0 design memo: the last DUT, driver and
-    /// compiled form. Repeated pairs — the defining shape of a sweep —
-    /// reuse the simulator even when no thread-wide
-    /// [`ElabCache`](crate::ElabCache) is installed. Keyed on AST
-    /// equality, *not* structural hashes: an equality walk over
-    /// identical trees is an order of magnitude cheaper than
-    /// Debug-rendering both sources into an FNV state every run. DUT
-    /// and driver are memoized separately so a mutant sweep re-clones
-    /// only the design that actually changed, not the fixed driver.
-    last_dut: Option<SourceFile>,
-    last_driver: Option<SourceFile>,
+    /// The session's own level-0 design memo: fingerprints of the last
+    /// (DUT, driver) pair and its compiled form. Repeated pairs — the
+    /// defining shape of a sweep — reuse the simulator even when no
+    /// thread-wide [`ElabCache`](crate::ElabCache) is installed. Keyed
+    /// on [`SourceFile::fingerprint`]: the caller's files cache their
+    /// own fingerprint, so a repeated probe is two u64 compares — the
+    /// AST-equality walk (and the source clones it required) existed
+    /// only to dodge the old Debug-render hashing cost.
+    last_dut: Option<Fingerprint>,
+    last_driver: Option<Fingerprint>,
     last_compiled: Option<Arc<CompiledDesign>>,
 }
 
@@ -115,6 +114,23 @@ impl EvalSession {
     /// [`TbError::Checker`] when the checker program is malformed (the
     /// same class the interpreter rejects at judge time).
     pub fn new(problem: &Problem, checker: &CheckerProgram) -> Result<EvalSession, TbError> {
+        Self::with_fingerprints(
+            problem,
+            checker,
+            module_interface_fingerprint(&problem.name, &problem.ports),
+            checker.fingerprint(),
+        )
+    }
+
+    /// [`EvalSession::new`] with the `(problem, checker)` fingerprints
+    /// already in hand — the pool computes them for its key and must not
+    /// pay the visitor walk twice on a miss.
+    pub(crate) fn with_fingerprints(
+        problem: &Problem,
+        checker: &CheckerProgram,
+        problem_fp: Fingerprint,
+        checker_fp: Fingerprint,
+    ) -> Result<EvalSession, TbError> {
         let judge = JudgeSession::new(checker)?;
         let mut binding = RecordBinding::default();
         let input_slots = crate::runner::bind_inputs(&mut binding, checker, &problem.ports);
@@ -129,9 +145,8 @@ impl EvalSession {
             .collect();
         Ok(EvalSession {
             checker: checker.clone(),
-            checker_hash: None,
-            problem_hash: None,
-            problem_name: problem.name.clone(),
+            checker_fp,
+            problem_fp,
             ports: problem.ports.clone(),
             judge,
             binding,
@@ -157,20 +172,16 @@ impl EvalSession {
         dut: &SourceFile,
         driver: &SourceFile,
     ) -> Result<Arc<CompiledDesign>, TbError> {
-        let dut_same = self.last_dut.as_ref() == Some(dut);
-        let driver_same = self.last_driver.as_ref() == Some(driver);
-        if dut_same && driver_same {
+        let dut_fp = dut.fingerprint();
+        let driver_fp = driver.fingerprint();
+        if self.last_dut == Some(dut_fp) && self.last_driver == Some(driver_fp) {
             if let Some(cd) = &self.last_compiled {
                 return Ok(Arc::clone(cd));
             }
         }
         let cd = compiled_for(dut, driver)?;
-        if !dut_same {
-            self.last_dut = Some(dut.clone());
-        }
-        if !driver_same {
-            self.last_driver = Some(driver.clone());
-        }
+        self.last_dut = Some(dut_fp);
+        self.last_driver = Some(driver_fp);
         self.last_compiled = Some(Arc::clone(&cd));
         Ok(cd)
     }
@@ -190,27 +201,13 @@ impl EvalSession {
         driver: &SourceFile,
         scenarios: &ScenarioSet,
     ) -> Result<TbRun, TbError> {
-        let key = if crate::cache::with_active(|_| ()).is_some() {
-            let checker = *self
-                .checker_hash
-                .get_or_insert_with(|| self.checker.structural_hash());
-            let problem = if let Some(h) = self.problem_hash {
-                h
-            } else {
-                let h = problem_sig_hash(&self.problem_name, &self.ports);
-                self.problem_hash = Some(h);
-                h
-            };
-            Some(CacheKey {
-                dut: dut.structural_hash(),
-                driver: driver.structural_hash(),
-                checker,
-                scenarios: scenarios.structural_hash(),
-                problem,
-            })
-        } else {
-            None
-        };
+        let key = crate::cache::with_active(|_| CacheKey {
+            dut: dut.fingerprint(),
+            driver: driver.fingerprint(),
+            checker: self.checker_fp,
+            scenarios: scenarios.fingerprint(),
+            problem: self.problem_fp,
+        });
         if let Some(key) = key {
             if let Some(cached) = crate::cache::with_active(|c| c.get(&key)).flatten() {
                 return cached;

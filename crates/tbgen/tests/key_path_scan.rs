@@ -1,0 +1,38 @@
+//! Source-scan guard: no rendering hash on any cache-key path.
+//!
+//! The fingerprint migration's acceptance criterion is that cache
+//! probes never render an AST again — neither through `debug_hash`
+//! (FNV over the `Debug` stream) nor through `print_file` /
+//! `structural_hash` (FNV over the pretty-print). Those functions
+//! survive as test-only oracles, so the type system cannot enforce the
+//! boundary; this scan does: the runtime halves of every file that
+//! builds cache, elaboration or pool keys must not mention them.
+
+const KEY_PATH_SOURCES: &[(&str, &str)] = &[
+    ("cache.rs", include_str!("../src/cache.rs")),
+    ("elab.rs", include_str!("../src/elab.rs")),
+    ("session.rs", include_str!("../src/session.rs")),
+    ("runner.rs", include_str!("../src/runner.rs")),
+    ("context.rs", include_str!("../src/context.rs")),
+];
+
+/// The non-test half of a source file (everything before its
+/// `#[cfg(test)]` module).
+fn runtime_half(src: &str) -> &str {
+    src.split("#[cfg(test)]").next().unwrap_or(src)
+}
+
+#[test]
+fn no_rendering_hash_on_key_paths() {
+    for (name, src) in KEY_PATH_SOURCES {
+        let runtime = runtime_half(src);
+        for oracle in ["debug_hash", "print_file", "structural_hash"] {
+            assert!(
+                !runtime.contains(oracle),
+                "{name}: `{oracle}` reappeared on a cache-key path; \
+                 rendering hashes are test-only oracles — key paths use \
+                 the StructuralHash visitor fingerprints"
+            );
+        }
+    }
+}

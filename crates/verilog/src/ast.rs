@@ -1,23 +1,98 @@
 //! Abstract syntax tree for the supported Verilog subset.
 
+use crate::hash::{Fingerprint, StructuralHash};
 use crate::logic::LogicVec;
+use std::fmt;
+use std::sync::OnceLock;
 
 /// A parsed source file: one or more module definitions.
-#[derive(Clone, PartialEq, Debug, Default)]
+///
+/// Carries a lazily computed structural [`Fingerprint`] so repeated
+/// cache probes against the same parsed value hash once. The cache is
+/// **per value**: cloning yields a fresh, empty cache (clones are
+/// routinely mutated into mutants — inheriting the original's
+/// fingerprint would silently alias distinct designs), and
+/// [`SourceFile::module_mut`] invalidates it. Code that mutates
+/// `modules` directly must do so before the first
+/// [`SourceFile::fingerprint`] call on that value (every in-tree
+/// mutation site operates on a fresh parse or clone).
+#[derive(Default)]
 pub struct SourceFile {
     /// Modules in source order.
     pub modules: Vec<Module>,
+    /// Lazily computed structural fingerprint of `modules`.
+    fp: OnceLock<Fingerprint>,
 }
 
 impl SourceFile {
+    /// A file over the given modules.
+    pub fn new(modules: Vec<Module>) -> SourceFile {
+        SourceFile {
+            modules,
+            fp: OnceLock::new(),
+        }
+    }
+
     /// Finds a module by name.
     pub fn module(&self, name: &str) -> Option<&Module> {
         self.modules.iter().find(|m| m.name == name)
     }
 
-    /// Mutable lookup by name.
+    /// Mutable lookup by name. Invalidates the cached fingerprint — the
+    /// caller is presumed to mutate the module.
     pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.fp.take();
         self.modules.iter_mut().find(|m| m.name == name)
+    }
+
+    /// The structural fingerprint of this file, computed on first use
+    /// and cached for the value's lifetime (see [`StructuralHash`]).
+    /// This inherent method shadows the trait's; call
+    /// `StructuralHash::fingerprint` explicitly to force a fresh
+    /// computation.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let fp = *self.fp.get_or_init(|| StructuralHash::fingerprint(self));
+        // The cache's soundness rests on a convention the compiler
+        // cannot check (the pub `modules` field must not be mutated
+        // after the first fingerprint). Debug builds — including the
+        // whole test suite — recompute and compare, so any violation
+        // fails loudly at the probe instead of silently aliasing
+        // distinct designs in a content-addressed cache.
+        debug_assert_eq!(
+            fp,
+            StructuralHash::fingerprint(self),
+            "stale cached fingerprint: this SourceFile was mutated through \
+             the pub `modules` field after being fingerprinted; mutate via \
+             `module_mut` (which invalidates) or before the first \
+             `fingerprint()` call"
+        );
+        fp
+    }
+}
+
+impl Clone for SourceFile {
+    /// Clones the modules with a *fresh* fingerprint cache: clones are
+    /// the raw material of mutants, and a copied fingerprint would
+    /// outlive the first mutation.
+    fn clone(&self) -> Self {
+        SourceFile {
+            modules: self.modules.clone(),
+            fp: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for SourceFile {
+    fn eq(&self, other: &Self) -> bool {
+        self.modules == other.modules
+    }
+}
+
+impl fmt::Debug for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceFile")
+            .field("modules", &self.modules)
+            .finish()
     }
 }
 

@@ -62,7 +62,7 @@ pub use compile::{compile, CompiledDesign};
 pub use design::{Design, SignalId};
 pub use elaborate::elaborate;
 pub use error::{ElabError, ParseError, SimError, VerilogError};
-pub use hash::{fnv1a64, structural_hash};
+pub use hash::{fnv1a64, structural_hash, Fingerprint, FingerprintHasher, StructuralHash};
 pub use logic::{Bit, LogicVec};
 pub use parser::parse;
 pub use sim::{run_source, ExecMode, SimLimits, SimOutput, Simulator};

@@ -39,7 +39,7 @@ pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
     while !p.at_end() {
         modules.push(p.module()?);
     }
-    Ok(SourceFile { modules })
+    Ok(SourceFile::new(modules))
 }
 
 struct Parser {
