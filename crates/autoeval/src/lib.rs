@@ -17,12 +17,14 @@ use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
 use correctbench_llm::CheckerArtifact;
 use correctbench_tbgen::{
-    acquire_session, generate_driver, generate_scenarios, ScenarioResult, TbError, TbRun,
+    acquire_session, generate_driver, generate_scenarios, GoldenArtifacts, GoldenKey,
+    ScenarioResult, TbError, TbRun,
 };
 use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A testbench as AutoEval sees it (mirrors `correctbench::HybridTb`
 /// without depending on the core crate, so evaluation stays a leaf).
@@ -143,6 +145,53 @@ pub fn golden_testbench(problem: &Problem, seed: u64) -> EvalTb {
     }
 }
 
+/// Derives the full golden fixture bundle for one `(problem, eval
+/// seed)` pair from scratch: parses the golden RTL, generates and
+/// parses the golden testbench ([`golden_testbench`]), and generates
+/// and parses the Eval2 mutant set ([`eval2_mutants`]). Pure in its
+/// inputs — the cached and uncached evaluation paths produce identical
+/// fixtures by construction.
+pub fn derive_golden_artifacts(problem: &Problem, seed: u64) -> GoldenArtifacts {
+    let tb = golden_testbench(problem, seed);
+    let dut = correctbench_verilog::parse(&problem.golden_rtl)
+        .expect("golden RTL parses by dataset invariant");
+    let driver = correctbench_verilog::parse(&tb.driver).expect("generated golden driver parses");
+    let mutants = eval2_mutants(problem, seed)
+        .iter()
+        .filter_map(|m| correctbench_verilog::parse(m).ok())
+        .collect();
+    GoldenArtifacts {
+        dut,
+        scenarios: tb.scenarios,
+        driver_src: tb.driver,
+        driver,
+        checker: tb.checker.program,
+        mutants,
+    }
+}
+
+/// The golden fixture bundle, through the thread's golden-artifact
+/// cache when one is installed (see
+/// [`CacheStack`](correctbench_tbgen::CacheStack)): every `(method,
+/// rep)` cell of a problem shares one eval seed, so only the first call
+/// pays [`derive_golden_artifacts`]. With no cache installed this *is*
+/// a fresh derivation.
+pub fn golden_artifacts(problem: &Problem, seed: u64) -> Arc<GoldenArtifacts> {
+    let Some(cache) = correctbench_tbgen::golden::active() else {
+        return Arc::new(derive_golden_artifacts(problem, seed));
+    };
+    let key = GoldenKey::for_eval(problem, seed);
+    if let Some(hit) = cache.get(&key) {
+        return hit;
+    }
+    // Derivation happens outside the shard lock, so two workers racing
+    // the first cell of a problem may both derive; the bundle is a pure
+    // function of the key, so either insertion is correct.
+    let derived = Arc::new(derive_golden_artifacts(problem, seed));
+    cache.put(key, Arc::clone(&derived));
+    derived
+}
+
 /// Evaluates `tb` for `problem`, returning the highest level reached.
 /// `seed` fixes the Eval2 mutant set (use the same seed when comparing
 /// methods).
@@ -168,10 +217,24 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
         return EvalLevel::Failed; // checker program the judge cannot run
     };
 
+    // Under a worker's golden cache the whole fixture bundle is fetched
+    // (or derived once) up front. Without one, stay lazy: an Eval0/Eval1
+    // exit must not pay for mutants it will never sweep.
+    let cached = correctbench_tbgen::golden::active()
+        .is_some()
+        .then(|| golden_artifacts(problem, seed));
+
     // Eval1: the golden DUT must elaborate with the driver and report pass.
-    let golden_dut = correctbench_verilog::parse(&problem.golden_rtl)
-        .expect("golden RTL parses by dataset invariant");
-    match tb_report(session.run(&golden_dut, &driver, &tb.scenarios)) {
+    let local_dut;
+    let golden_dut = match &cached {
+        Some(golden) => &golden.dut,
+        None => {
+            local_dut = correctbench_verilog::parse(&problem.golden_rtl)
+                .expect("golden RTL parses by dataset invariant");
+            &local_dut
+        }
+    };
+    match tb_report(session.run(golden_dut, &driver, &tb.scenarios)) {
         Some(true) => {}
         Some(false) => return EvalLevel::Eval0,
         None => return EvalLevel::Failed, // driver does not even elaborate
@@ -180,31 +243,27 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
     // Eval2: agreement with the golden testbench over mutant DUTs — the
     // canonical mutant sweep: each session replays its own driver against
     // the shared, once-parsed mutant set.
-    let golden_tb = golden_testbench(problem, seed);
-    let golden_driver =
-        correctbench_verilog::parse(&golden_tb.driver).expect("generated golden driver parses");
-    let mutants: Vec<correctbench_verilog::ast::SourceFile> = eval2_mutants(problem, seed)
-        .iter()
-        .filter_map(|m| correctbench_verilog::parse(m).ok())
-        .collect();
-    if mutants.is_empty() {
+    let golden = match cached {
+        Some(golden) => golden,
+        None => Arc::new(derive_golden_artifacts(problem, seed)),
+    };
+    if golden.mutants.is_empty() {
         return EvalLevel::Eval2; // no usable mutants: vacuous agreement
     }
-    let mine = session.sweep_mutants(mutants.iter(), &driver, &tb.scenarios);
-    let golden_reports: Vec<Option<bool>> =
-        match acquire_session(problem, &golden_tb.checker.program) {
-            // The golden checker is identical for every (method, rep)
-            // job of a problem, so under a harness context this lease is
-            // the pool's steadiest customer.
-            Ok(mut golden_session) => golden_session
-                .sweep_mutants(mutants.iter(), &golden_driver, &golden_tb.scenarios)
-                .into_iter()
-                .map(tb_report)
-                .collect(),
-            // Unreachable for compiler-derived golden checkers; degrade
-            // to per-run "no report" like the interpreter would.
-            Err(_) => vec![None; mutants.len()],
-        };
+    let mine = session.sweep_mutants(golden.mutants.iter(), &driver, &tb.scenarios);
+    let golden_reports: Vec<Option<bool>> = match acquire_session(problem, &golden.checker) {
+        // The golden checker is identical for every (method, rep)
+        // job of a problem, so under a harness context this lease is
+        // the pool's steadiest customer.
+        Ok(mut golden_session) => golden_session
+            .sweep_mutants(golden.mutants.iter(), &golden.driver, &golden.scenarios)
+            .into_iter()
+            .map(tb_report)
+            .collect(),
+        // Unreachable for compiler-derived golden checkers; degrade
+        // to per-run "no report" like the interpreter would.
+        Err(_) => vec![None; golden.mutants.len()],
+    };
     let mut agree = 0usize;
     let mut counted = 0usize;
     for (mine, golden) in mine.into_iter().zip(golden_reports) {
@@ -309,6 +368,50 @@ mod tests {
         for m in &a {
             correctbench_verilog::parse(m).expect("mutant parses");
         }
+    }
+
+    #[test]
+    fn golden_cache_is_transparent_and_hits_on_reuse() {
+        let p = problem("alu_8").expect("problem");
+        let tb = golden_testbench(&p, 5);
+        let uncached = evaluate(&p, &tb, 5);
+        let stack = correctbench_tbgen::CacheStack::full();
+        let _guard = stack.install();
+        assert_eq!(
+            evaluate(&p, &tb, 5),
+            uncached,
+            "cache must not change levels"
+        );
+        let s = stack.golden_cache().expect("layer").stats();
+        assert_eq!(
+            (s.hits, s.misses, s.entries),
+            (0, 1, 1),
+            "first cell derives"
+        );
+        assert_eq!(evaluate(&p, &tb, 5), uncached);
+        let s = stack.golden_cache().expect("layer").stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1), "second cell hits");
+        // A different eval seed is a different derivation.
+        let tb7 = golden_testbench(&p, 7);
+        evaluate(&p, &tb7, 7);
+        assert_eq!(stack.golden_cache().expect("layer").stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_and_derived_bundles_are_identical() {
+        let p = problem("counter_8").expect("problem");
+        let derived = derive_golden_artifacts(&p, 9);
+        let cache = correctbench_tbgen::GoldenCache::new();
+        let _guard = cache.install();
+        let first = golden_artifacts(&p, 9);
+        let second = golden_artifacts(&p, 9);
+        assert!(Arc::ptr_eq(&first, &second), "second call shares the entry");
+        assert_eq!(first.driver_src, derived.driver_src);
+        assert_eq!(first.scenarios, derived.scenarios);
+        assert_eq!(first.dut, derived.dut);
+        assert_eq!(first.driver, derived.driver);
+        assert_eq!(first.mutants, derived.mutants);
+        assert_eq!(first.mutants.len(), EVAL2_MUTANTS);
     }
 
     #[test]

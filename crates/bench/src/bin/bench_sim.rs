@@ -35,6 +35,12 @@
 //!   evaluation session by constructing it (checker compile + binding
 //!   resolution, the per-job cost the validator and AutoEval used to
 //!   pay) and by leasing it from an installed `EvalContext` pool.
+//! * `golden_derive_ns` vs `golden_cached_ns` — acquiring the
+//!   per-problem golden evaluation bundle (golden testbench generation,
+//!   golden DUT/driver parses, Eval2 mutant set) by deriving it from
+//!   scratch (the per-cell cost AutoEval paid before the golden cache)
+//!   and by fetching it from an installed `GoldenCache` (steady state:
+//!   every cell of a problem after the first).
 //!
 //! ```text
 //! bench_sim [--quick] [--samples N] [--out FILE]
@@ -53,12 +59,13 @@
 //! the report then includes `speedup_vs_pre_pr` per problem. The
 //! committed `BENCH_sim.json` documents the exact command used.
 
+use correctbench_autoeval::{derive_golden_artifacts, golden_artifacts};
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_tbgen::{
     acquire_session, compile_pair, force_one_shot, generate_driver, generate_scenarios,
     judge_records, limits_for, module_interface_fingerprint, run_testbench_parsed, EvalContext,
-    EvalSession, ScenarioSet,
+    EvalSession, GoldenCache, ScenarioSet,
 };
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::{debug_hash, structural_hash, StructuralHash};
@@ -71,6 +78,10 @@ const PROBLEMS: &[&str] = &["alu_8", "mux4_8", "counter_8", "shift18"];
 /// Runs per sweep sample: enough repetition for the session's amortized
 /// costs to show as they do in a real RS-matrix / Eval2 batch.
 const SWEEP: usize = 4;
+
+/// Eval seed of the golden-artifact arms (any fixed value: the bundle's
+/// cost, not its content, is what the arms measure).
+const GOLDEN_SEED: u64 = 2025;
 
 struct Case {
     problem: Problem,
@@ -162,6 +173,8 @@ struct Row {
     key_fingerprint_ns: u64,
     session_fresh_ns: u64,
     session_pooled_ns: u64,
+    golden_derive_ns: u64,
+    golden_cached_ns: u64,
     pre_pr_ns: Option<u64>,
 }
 
@@ -191,6 +204,11 @@ impl Row {
     /// Pooled session lease vs. constructing the session per acquisition.
     fn speedup_pool(&self) -> f64 {
         self.session_fresh_ns as f64 / self.session_pooled_ns.max(1) as f64
+    }
+
+    /// Cached golden-bundle fetch vs. deriving the bundle from scratch.
+    fn speedup_golden(&self) -> f64 {
+        self.golden_derive_ns as f64 / self.golden_cached_ns.max(1) as f64
     }
 
     /// Speedup vs. the externally measured pre-PR baseline, when given.
@@ -261,7 +279,12 @@ fn main() {
             EvalSession::new(&case.problem, &case.checker).expect("checker compiles");
         let pool = EvalContext::new();
         let _pool_guard = pool.install();
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns] =
+        let golden_cache = GoldenCache::new();
+        let _golden_guard = golden_cache.install();
+        // Prime the golden shard so the cached arm measures steady-state
+        // hits, not the first derivation.
+        std::hint::black_box(golden_artifacts(&case.problem, GOLDEN_SEED));
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns] =
             medians_interleaved(
                 samples,
                 &mut [
@@ -360,6 +383,17 @@ fn main() {
                             acquire_session(&case.problem, &case.checker).expect("lease"),
                         );
                     },
+                    &mut || {
+                        // The per-cell golden cost AutoEval paid before
+                        // the cache: full bundle derivation.
+                        std::hint::black_box(derive_golden_artifacts(&case.problem, GOLDEN_SEED));
+                    },
+                    &mut || {
+                        // Fetch the primed bundle from the installed
+                        // golden cache (steady state: every cell after
+                        // the first).
+                        std::hint::black_box(golden_artifacts(&case.problem, GOLDEN_SEED));
+                    },
                 ],
             );
         let row = Row {
@@ -380,6 +414,8 @@ fn main() {
             key_fingerprint_ns,
             session_fresh_ns,
             session_pooled_ns,
+            golden_derive_ns,
+            golden_cached_ns,
             pre_pr_ns: baselines
                 .iter()
                 .find(|(n, _)| n == &case.problem.name)
@@ -390,10 +426,10 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
             row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
-            row.speedup_fingerprint(), row.speedup_pool(),
+            row.speedup_fingerprint(), row.speedup_pool(), row.speedup_golden(),
         );
         rows.push(row);
     }
@@ -405,6 +441,7 @@ fn main() {
     let median_fingerprint =
         median_f64(rows.iter().map(Row::speedup_fingerprint).collect()).expect("rows");
     let median_pool = median_f64(rows.iter().map(Row::speedup_pool).collect()).expect("rows");
+    let median_golden = median_f64(rows.iter().map(Row::speedup_golden).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
     let mut json = String::new();
@@ -432,6 +469,10 @@ fn main() {
         json,
         "  \"median_speedup_session_pooled_vs_fresh\": {median_pool:.2},"
     );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_golden_cached_vs_derived\": {median_golden:.2},"
+    );
     if let Some(m) = median_vs_pre_pr {
         let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
         let _ = writeln!(
@@ -449,12 +490,13 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
             r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
             r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
             r.key_debug_hash_ns, r.key_fingerprint_ns, r.speedup_fingerprint(),
             r.session_fresh_ns, r.session_pooled_ns, r.speedup_pool(),
+            r.golden_derive_ns, r.golden_cached_ns, r.speedup_golden(),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -469,7 +511,7 @@ fn main() {
         None => String::new(),
     };
     eprintln!(
-        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x{tail} -> {out_path}"
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x{tail} -> {out_path}"
     );
 }
 

@@ -39,14 +39,10 @@ fn main() {
     let (records, result) = run_plan(&plan, args.threads);
     println!("{}", render_table1(&records));
     eprintln!("elapsed: {:?}", result.wall);
-    if let Some(stats) = &result.cache {
-        eprintln!("simulation cache: {stats}");
-    }
-    if let Some(stats) = &result.elab_cache {
-        eprintln!("elaboration cache: {stats}");
-    }
-    if let Some(stats) = &result.session_pool {
-        eprintln!("session pool: {stats}");
+    for (label, stats) in result.caches.layers() {
+        if let Some(stats) = stats {
+            eprintln!("{label}: {stats}");
+        }
     }
     if let Some(dir) = &args.out {
         let summary = render_summary(&plan, &result);

@@ -144,19 +144,18 @@ pub fn run_sweep(
         base_seed,
     );
     let (records, result) = run_plan(&plan, threads);
-    if let Some(stats) = &result.cache {
-        let elab = result
-            .elab_cache
-            .map(|e| format!("; elaboration cache: {e}"))
-            .unwrap_or_default();
-        let pool = result
-            .session_pool
-            .map(|p| format!("; session pool: {p}"))
-            .unwrap_or_default();
+    let layers: Vec<String> = result
+        .caches
+        .layers()
+        .iter()
+        .filter_map(|(label, stats)| stats.map(|s| format!("{label}: {s}")))
+        .collect();
+    if !layers.is_empty() {
         eprintln!(
-            "sweep: {} jobs in {:?}; simulation cache: {stats}{elab}{pool}",
+            "sweep: {} jobs in {:?}; {}",
             records.len(),
-            result.wall
+            result.wall,
+            layers.join("; ")
         );
     }
     records

@@ -11,7 +11,7 @@ use correctbench::{
 };
 use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
 use correctbench_dataset::Problem;
-use correctbench_harness::{parallel_map, SimCache};
+use correctbench_harness::{parallel_map, CacheStack};
 use correctbench_llm::{ClientFactory, ModelKind, SimulatedClientFactory};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,12 +49,8 @@ pub fn collect_corpus(
     threads: usize,
 ) -> Vec<TaskCorpus> {
     let factory = SimulatedClientFactory::for_model(model);
-    let cache = SimCache::new();
-    let elab_cache = correctbench_harness::ElabCache::new();
-    let session_pool = correctbench_harness::EvalContext::new();
-    let mut corpora = parallel_map(threads, Some(&cache), problems, |i, problem| {
-        let _elab_guard = elab_cache.install();
-        let _pool_guard = session_pool.install();
+    let stack = CacheStack::full();
+    let mut corpora = parallel_map(threads, Some(&stack), problems, |i, problem| {
         let seed = base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9);
         let mut llm = factory.client(seed);
         // One shared RTL group per task, as in the paper.
@@ -87,12 +83,7 @@ pub fn collect_corpus(
             tbs,
         }
     });
-    eprintln!(
-        "corpus: simulation cache: {} | elaboration cache: {} | session pool: {}",
-        cache.stats(),
-        elab_cache.stats(),
-        session_pool.stats()
-    );
+    eprintln!("corpus: {}", stack.stats());
     corpora.sort_by(|a, b| a.problem.name.cmp(&b.problem.name));
     corpora
 }

@@ -46,7 +46,10 @@ pub use pipeline::{
     run_autobench, run_baseline, run_correctbench, run_method, Action, Method, Outcome,
 };
 pub use testbench::HybridTb;
-pub use validator::{build_rs_matrix, judge, validate, RsCell, RsMatrix, Validation, Verdict};
+pub use validator::{
+    build_rs_matrix, build_rs_matrix_parsed, generate_rtl_group, generate_rtl_group_parsed, judge,
+    validate, RsCell, RsMatrix, Validation, Verdict,
+};
 
 // Compile-time contract for the parallel harness: everything a worker
 // moves across threads on the pipeline path is Send + Sync, so

@@ -179,8 +179,8 @@ pub fn validate(
         };
     }
 
-    let rtls = generate_rtl_group(problem, llm, cfg);
-    let matrix = build_rs_matrix(problem, tb, &rtls);
+    let rtls = generate_rtl_group_parsed(problem, llm, cfg);
+    let matrix = build_rs_matrix_parsed(problem, tb, &rtls);
     let mut verdict = judge(&matrix, cfg);
 
     // Experimental coverage gate (paper future work): a clean RS matrix
@@ -207,6 +207,21 @@ pub fn validate(
 /// the paper's "regenerate until at least half are free from syntax
 /// errors".
 pub fn generate_rtl_group(problem: &Problem, llm: &mut dyn LlmClient, cfg: &Config) -> Vec<String> {
+    generate_rtl_group_parsed(problem, llm, cfg)
+        .into_iter()
+        .map(|(src, _)| src)
+        .collect()
+}
+
+/// [`generate_rtl_group`], keeping the parse each candidate already paid
+/// at the syntax gate: every kept design carries its `(source, parsed
+/// file)` pair, so the RS-matrix sweep ([`build_rs_matrix_parsed`])
+/// never parses a freshly-generated RTL a second time.
+pub fn generate_rtl_group_parsed(
+    problem: &Problem,
+    llm: &mut dyn LlmClient,
+    cfg: &Config,
+) -> Vec<(String, correctbench_verilog::ast::SourceFile)> {
     let target = cfg.num_validation_rtls;
     let mut clean = Vec::with_capacity(target);
     let mut attempts = 0;
@@ -216,26 +231,62 @@ pub fn generate_rtl_group(problem: &Problem, llm: &mut dyn LlmClient, cfg: &Conf
             LlmResponse::Source(s) => s,
             other => unreachable!("rtl request returned {other:?}"),
         };
-        let parses = correctbench_verilog::parse(&src)
+        let parsed = correctbench_verilog::parse(&src)
             .ok()
             .filter(|f| f.module(&problem.name).is_some())
-            .and_then(|f| correctbench_verilog::elaborate(&f, &problem.name).ok())
-            .is_some();
-        if parses {
-            clean.push(src);
+            .filter(|f| correctbench_verilog::elaborate(f, &problem.name).is_ok());
+        if let Some(file) = parsed {
+            clean.push((src, file));
         }
     }
     clean
 }
 
 /// Simulates every RTL under the testbench and assembles the RS matrix.
-/// The driver is parsed once and the whole group runs through one
+/// The source-level entry point: each RTL is parsed here (an unparseable
+/// one yields an all-`Unknown` row, like any other failed run). The
+/// validator itself goes through [`build_rs_matrix_parsed`] with the
+/// parses its syntax gate already produced.
+pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsMatrix {
+    let ns = tb.scenarios.len();
+    let parsed: Vec<Option<correctbench_verilog::ast::SourceFile>> = rtls
+        .iter()
+        .map(|rtl| correctbench_verilog::parse(rtl).ok())
+        .collect();
+    let group: Vec<(String, correctbench_verilog::ast::SourceFile)> = parsed
+        .iter()
+        .zip(rtls)
+        .filter_map(|(file, src)| file.clone().map(|f| (src.clone(), f)))
+        .collect();
+    let swept = build_rs_matrix_parsed(problem, tb, &group);
+    // Re-interleave unparseable sources as Unknown rows so row indices
+    // still line up with the caller's list.
+    let mut swept_rows = swept.rows.into_iter();
+    let rows = parsed
+        .iter()
+        .map(|file| match file {
+            Some(_) => swept_rows
+                .next()
+                .unwrap_or_else(|| vec![RsCell::Unknown; ns]),
+            None => vec![RsCell::Unknown; ns],
+        })
+        .collect();
+    RsMatrix { rows }
+}
+
+/// [`build_rs_matrix`] over the already-parsed group the validator's
+/// syntax gate produced ([`generate_rtl_group_parsed`]). The driver is
+/// parsed once and the whole group runs through one
 /// [`correctbench_tbgen::EvalSession`], acquired via
 /// [`correctbench_tbgen::acquire_session`]: under a harness-installed
-/// [`correctbench_tbgen::EvalContext`] the checker compile and record
+/// [`correctbench_tbgen::CacheStack`] the checker compile and record
 /// bindings are paid once per `(problem, checker)` fingerprint pair
 /// *across jobs*, not once per matrix — and never once per row.
-pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsMatrix {
+pub fn build_rs_matrix_parsed(
+    problem: &Problem,
+    tb: &HybridTb,
+    rtls: &[(String, correctbench_verilog::ast::SourceFile)],
+) -> RsMatrix {
     let ns = tb.scenarios.len();
     let unknown_matrix = || RsMatrix {
         rows: vec![vec![RsCell::Unknown; ns]; rtls.len()],
@@ -249,10 +300,10 @@ pub fn build_rs_matrix(problem: &Problem, tb: &HybridTb, rtls: &[String]) -> RsM
         return unknown_matrix();
     };
     let mut rows = Vec::with_capacity(rtls.len());
-    for rtl in rtls {
-        let row = correctbench_verilog::parse(rtl)
+    for (_, dut) in rtls {
+        let row = session
+            .run(dut, &driver, &tb.scenarios)
             .ok()
-            .and_then(|dut| session.run(&dut, &driver, &tb.scenarios).ok())
             .map(|run| {
                 run.results
                     .iter()

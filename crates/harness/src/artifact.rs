@@ -95,9 +95,9 @@ pub fn outcomes_jsonl(outcomes: &[TaskOutcome]) -> String {
     s
 }
 
-/// Renders one cache's counters as a JSON object (`null` when the cache
-/// was disabled) for the timing sidecar's run line.
-fn cache_json(stats: &Option<correctbench_tbgen::CacheStats>) -> String {
+/// Renders one cache layer's counters as a JSON object (`null` when the
+/// layer was disabled) for the timing sidecar's run line.
+fn cache_json(stats: Option<correctbench_tbgen::CacheStats>) -> String {
     match stats {
         Some(s) => format!(
             "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
@@ -110,18 +110,19 @@ fn cache_json(stats: &Option<correctbench_tbgen::CacheStats>) -> String {
 /// Renders the measured timing sidecar for one run. Cache counters live
 /// here, not in `outcomes.jsonl`: totals depend on worker interleaving,
 /// so they are measurements, like wall times — the sidecar is where
-/// sweeps attribute their wall-time wins to the two cache layers.
+/// sweeps attribute their wall-time wins to the cache-stack layers.
 pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{}}}",
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{}}}",
         result.wall.as_millis(),
         result.threads,
         result.outcomes.len(),
-        cache_json(&result.cache),
-        cache_json(&result.elab_cache),
-        cache_json(&result.session_pool),
+        cache_json(result.caches.sim),
+        cache_json(result.caches.elab),
+        cache_json(result.caches.sessions),
+        cache_json(result.caches.golden),
     );
     for o in &result.outcomes {
         let _ = writeln!(

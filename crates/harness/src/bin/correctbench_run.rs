@@ -3,14 +3,18 @@
 //! ```text
 //! correctbench-run [--full] [--problems N] [--reps N] [--seed N]
 //!                  [--threads N] [--methods cb,ab,base] [--model NAME]
-//!                  [--out DIR] [--no-cache] [--quiet]
+//!                  [--out DIR] [--no-cache] [--no-sim-cache]
+//!                  [--no-elab-cache] [--no-session-pool]
+//!                  [--no-golden-cache] [--quiet]
 //! ```
 //!
-//! Expands (problems × methods × reps) into a job graph, runs it on a
-//! worker pool with shared content-addressed simulation and elaboration
-//! caches (`--no-cache` disables both), prints the aggregate summary,
-//! and (with `--out`) writes `outcomes.jsonl` (deterministic,
-//! thread-count independent), `timings.jsonl` (measured) and
+//! Expands (problems × methods × reps) into a job graph and runs it on a
+//! worker pool with one shared `CacheStack` (simulation cache,
+//! elaboration cache, session pool, golden-artifact cache). Each layer
+//! has its own `--no-*-cache` switch; `--no-cache` is the alias that
+//! disables all four. Prints the aggregate summary, and (with `--out`)
+//! writes `outcomes.jsonl` (deterministic, thread-count and cache
+//! independent), `timings.jsonl` (measured, with per-layer counters) and
 //! `summary.txt`.
 
 use correctbench::Method;
@@ -18,8 +22,9 @@ use correctbench_harness::cli::{usage, write_artifacts_or_exit, RunArgs};
 use correctbench_harness::{render_summary, Engine, RunPlan};
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 
-const EXTRA_USAGE: &str =
-    "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] [--no-cache] [--quiet]";
+const EXTRA_USAGE: &str = "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] \
+     [--no-cache] [--no-sim-cache] [--no-elab-cache] [--no-session-pool] [--no-golden-cache] \
+     [--quiet]";
 
 fn parse_methods(spec: &str) -> Vec<Method> {
     let methods: Vec<Method> = spec
@@ -46,10 +51,34 @@ fn parse_model(spec: &str) -> ModelKind {
     }
 }
 
+/// Which cache-stack layers the run enables (all on by default).
+#[derive(Clone, Copy)]
+struct LayerFlags {
+    sim: bool,
+    elab: bool,
+    sessions: bool,
+    golden: bool,
+}
+
+impl LayerFlags {
+    fn all_on() -> Self {
+        LayerFlags {
+            sim: true,
+            elab: true,
+            sessions: true,
+            golden: true,
+        }
+    }
+
+    fn any_on(self) -> bool {
+        self.sim || self.elab || self.sessions || self.golden
+    }
+}
+
 fn main() {
     let mut methods = Method::ALL.to_vec();
     let mut model = ModelKind::Gpt4o;
-    let mut cache = true;
+    let mut layers = LayerFlags::all_on();
     let mut quiet = false;
     let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
         "--methods" => {
@@ -66,8 +95,30 @@ fn main() {
             );
             true
         }
+        // The alias: disable every layer of the stack at once.
         "--no-cache" => {
-            cache = false;
+            layers = LayerFlags {
+                sim: false,
+                elab: false,
+                sessions: false,
+                golden: false,
+            };
+            true
+        }
+        "--no-sim-cache" => {
+            layers.sim = false;
+            true
+        }
+        "--no-elab-cache" => {
+            layers.elab = false;
+            true
+        }
+        "--no-session-pool" => {
+            layers.sessions = false;
+            true
+        }
+        "--no-golden-cache" => {
+            layers.golden = false;
             true
         }
         "--quiet" => {
@@ -85,20 +136,39 @@ fn main() {
 
     if !quiet {
         eprintln!(
-            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, cache {})",
+            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, caches {})",
             plan.problems.len(),
             plan.methods.len(),
             plan.reps,
             plan.num_jobs(),
             args.threads,
             plan.model,
-            if cache { "on" } else { "off" },
+            if layers.any_on() {
+                format!(
+                    "sim:{} elab:{} pool:{} golden:{}",
+                    if layers.sim { "on" } else { "off" },
+                    if layers.elab { "on" } else { "off" },
+                    if layers.sessions { "on" } else { "off" },
+                    if layers.golden { "on" } else { "off" },
+                )
+            } else {
+                "off".to_string()
+            },
         );
     }
 
     let mut engine = Engine::new(args.threads).with_progress(!quiet);
-    if !cache {
-        engine = engine.without_cache();
+    if !layers.sim {
+        engine = engine.without_sim_cache();
+    }
+    if !layers.elab {
+        engine = engine.without_elab_cache();
+    }
+    if !layers.sessions {
+        engine = engine.without_session_pool();
+    }
+    if !layers.golden {
+        engine = engine.without_golden_cache();
     }
     let factory = SimulatedClientFactory::for_model(plan.model);
     let result = engine.execute(&plan, &factory);

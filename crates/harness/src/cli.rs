@@ -28,15 +28,20 @@ pub struct RunArgs {
 pub const CORE_USAGE: &str =
     "[--full] [--problems N] [--reps N] [--seed N] [--threads N] [--out DIR]";
 
+/// The full usage line: core flags plus a binary's extra flags.
+pub fn usage_line(extra_usage: &str) -> String {
+    if extra_usage.is_empty() {
+        format!("usage: {CORE_USAGE}")
+    } else {
+        format!("usage: {CORE_USAGE} {extra_usage}")
+    }
+}
+
 /// Aborts with a usage message. `extra_usage` is appended to the core
 /// flag list (empty for binaries with no extra flags).
 pub fn usage(msg: &str, extra_usage: &str) -> ! {
     eprintln!("error: {msg}");
-    if extra_usage.is_empty() {
-        eprintln!("usage: {CORE_USAGE}");
-    } else {
-        eprintln!("usage: {CORE_USAGE} {extra_usage}");
-    }
+    eprintln!("{}", usage_line(extra_usage));
     std::process::exit(2)
 }
 
@@ -74,6 +79,12 @@ impl RunArgs {
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
+                "--help" | "-h" => {
+                    // Help goes to stdout with a success exit so `--help`
+                    // output can be piped and asserted on in tests.
+                    println!("{}", usage_line(extra_usage));
+                    std::process::exit(0)
+                }
                 "--full" => {
                     args.problems = None;
                     args.reps = 5;

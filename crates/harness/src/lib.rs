@@ -10,9 +10,9 @@
 //!   order is restored by job id, so results are byte-identical
 //!   regardless of thread count;
 //! * [`worker`] — single-job execution with per-job clients and RNGs;
-//! * [`cache`] — the shared content-addressed simulation cache
-//!   (memoizes repeated `(DUT, driver, checker, scenarios)` runs across
-//!   jobs);
+//! * [`cache`] — re-exports of the [`CacheStack`] reuse layers the
+//!   engine installs on every worker (simulation cache, elaboration
+//!   cache, session pool, golden-artifact cache);
 //! * [`artifact`] — deterministic `outcomes.jsonl` plus the measured
 //!   `timings.jsonl` sidecar;
 //! * [`report`] — aggregate summaries.
@@ -41,19 +41,26 @@ pub mod report;
 pub mod scheduler;
 pub mod worker;
 
-/// The content-addressed simulation cache shared by worker threads.
+/// The cache-stack layers shared by worker threads.
 ///
-/// The cache lives in `correctbench_tbgen` — the crate that owns the
-/// testbench runner it hooks — and is re-exported here because the
-/// harness is what installs, shares and reports it.
+/// The layers live in `correctbench_tbgen` — the crate that owns the
+/// testbench runner they hook — and are re-exported here because the
+/// harness is what installs, shares and reports them (as one
+/// [`CacheStack`]).
 pub mod cache {
     pub use correctbench_tbgen::cache::{with_active, CacheKey, CacheStats, SimCache};
     pub use correctbench_tbgen::context::{with_active as with_active_pool, EvalContext, PoolKey};
     pub use correctbench_tbgen::elab::{with_active as with_active_elab, ElabCache, ElabKey};
+    pub use correctbench_tbgen::golden::{
+        with_active as with_active_golden, GoldenArtifacts, GoldenCache, GoldenKey,
+    };
+    pub use correctbench_tbgen::{CacheStack, StackGuard, StackStats};
 }
 
 pub use artifact::{outcomes_jsonl, write_artifacts, ArtifactPaths};
-pub use cache::{CacheStats, ElabCache, EvalContext, SimCache};
+pub use cache::{
+    CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, SimCache, StackStats,
+};
 pub use cli::RunArgs;
 pub use plan::{mix_seed, problem_subset, Job, RunPlan};
 pub use report::{render_summary, summarize, MethodSummary};

@@ -104,28 +104,16 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
         );
     }
     let _ = writeln!(s, "wall: {:?} on {} threads", result.wall, result.threads);
-    match &result.cache {
-        Some(stats) => {
-            let _ = writeln!(s, "simulation cache: {stats}");
-        }
-        None => {
-            let _ = writeln!(s, "simulation cache: disabled");
-        }
-    }
-    match &result.elab_cache {
-        Some(stats) => {
-            let _ = writeln!(s, "elaboration cache: {stats}");
-        }
-        None => {
-            let _ = writeln!(s, "elaboration cache: disabled");
-        }
-    }
-    match &result.session_pool {
-        Some(stats) => {
-            let _ = writeln!(s, "session pool: {stats}");
-        }
-        None => {
-            let _ = writeln!(s, "session pool: disabled");
+    // One line per stack layer, in the canonical StackStats order —
+    // summary.txt and timings.jsonl share the same layer enumeration.
+    for (label, stats) in result.caches.layers() {
+        match stats {
+            Some(stats) => {
+                let _ = writeln!(s, "{label}: {stats}");
+            }
+            None => {
+                let _ = writeln!(s, "{label}: disabled");
+            }
         }
     }
     s

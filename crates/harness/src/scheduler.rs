@@ -10,67 +10,81 @@
 use crate::plan::RunPlan;
 use crate::worker::{run_job, TaskOutcome};
 use correctbench_llm::ClientFactory;
-use correctbench_tbgen::cache::CacheStats;
-use correctbench_tbgen::{ElabCache, EvalContext, SimCache};
+use correctbench_tbgen::{CacheStack, ElabCache, EvalContext, GoldenCache, SimCache, StackStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Executes [`RunPlan`]s over a worker pool with three optional shared
-/// reuse layers: the simulation cache (whole testbench runs), the
-/// elaboration cache (compiled DUT + driver designs) and the session
-/// pool (compiled checkers + reset-reusable evaluation sessions, leased
-/// across jobs).
+/// Executes [`RunPlan`]s over a worker pool with one shared
+/// [`CacheStack`]: the simulation cache (whole testbench runs), the
+/// elaboration cache (compiled DUT + driver designs), the session pool
+/// (compiled checkers + reset-reusable evaluation sessions, leased
+/// across jobs) and the golden-artifact cache (per-problem evaluation
+/// fixtures, derived once per eval seed). Each worker thread installs
+/// the stack once, under a single guard; layers can be disabled
+/// individually.
 pub struct Engine {
     threads: usize,
-    cache: Option<Arc<SimCache>>,
-    elab_cache: Option<Arc<ElabCache>>,
-    session_pool: Option<Arc<EvalContext>>,
+    stack: CacheStack,
     progress: bool,
     one_shot: bool,
 }
 
 impl Engine {
-    /// An engine with `threads` workers, fresh shared simulation and
-    /// elaboration caches, and a fresh shared session pool.
+    /// An engine with `threads` workers and a fresh, fully-enabled
+    /// shared [`CacheStack`].
     pub fn new(threads: usize) -> Self {
         Engine {
             threads: threads.max(1),
-            cache: Some(SimCache::new()),
-            elab_cache: Some(ElabCache::new()),
-            session_pool: Some(EvalContext::new()),
+            stack: CacheStack::full(),
             progress: false,
             one_shot: false,
         }
     }
 
-    /// Replaces the simulation cache (pass an externally-shared cache to
-    /// memoize across several plans, e.g. an ablation's criterion sweep).
+    /// Replaces the whole cache stack (pass an externally-shared stack
+    /// to memoize across several plans, e.g. an ablation's criterion
+    /// sweep).
+    pub fn with_stack(mut self, stack: CacheStack) -> Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Replaces the simulation cache, keeping the other layers — a
+    /// shim over [`Engine::with_stack`] kept for older callers.
     pub fn with_cache(mut self, cache: Arc<SimCache>) -> Self {
-        self.cache = Some(cache);
+        self.stack = self.stack.with_sim_cache(cache);
         self
     }
 
     /// Disables every reuse layer (simulation cache, elaboration cache,
-    /// session pool) — the harness `--no-cache` behavior.
+    /// session pool, golden cache) — the harness `--no-cache` behavior.
     pub fn without_cache(mut self) -> Self {
-        self.cache = None;
-        self.elab_cache = None;
-        self.session_pool = None;
+        self.stack = CacheStack::empty();
         self
     }
 
-    /// Disables only the session pool (the determinism tests use this
-    /// to pin cache transparency layer by layer).
-    pub fn without_session_pool(mut self) -> Self {
-        self.session_pool = None;
+    /// Disables only the simulation cache.
+    pub fn without_sim_cache(mut self) -> Self {
+        self.stack = self.stack.without_sim_cache();
         self
     }
 
-    /// Disables only the elaboration cache (the determinism tests use
-    /// this to pin cache transparency layer by layer).
+    /// Disables only the elaboration cache.
     pub fn without_elab_cache(mut self) -> Self {
-        self.elab_cache = None;
+        self.stack = self.stack.without_elab_cache();
+        self
+    }
+
+    /// Disables only the session pool.
+    pub fn without_session_pool(mut self) -> Self {
+        self.stack = self.stack.without_session_pool();
+        self
+    }
+
+    /// Disables only the golden-artifact cache.
+    pub fn without_golden_cache(mut self) -> Self {
+        self.stack = self.stack.without_golden_cache();
         self
     }
 
@@ -89,6 +103,20 @@ impl Engine {
         self
     }
 
+    /// The stack this run will actually install. The one-shot baseline
+    /// is documented as fresh-everything: leasing (and retaining)
+    /// compiled sessions it would never execute through would skew both
+    /// memory and the reported pool counters, so the pool is masked in
+    /// that mode. The data layers (sim, elab, golden) hold pure values
+    /// and stay on.
+    fn effective_stack(&self) -> CacheStack {
+        if self.one_shot {
+            self.stack.clone().without_session_pool()
+        } else {
+            self.stack.clone()
+        }
+    }
+
     /// Runs every job of `plan`, returning outcomes in canonical job
     /// order plus run-level measurements.
     pub fn execute(&self, plan: &RunPlan, factory: &dyn ClientFactory) -> RunResult {
@@ -96,17 +124,8 @@ impl Engine {
         let jobs = plan.jobs();
         let total = jobs.len();
         let done = AtomicUsize::new(0);
-        let outcomes = parallel_map(self.threads, self.cache.as_ref(), &jobs, |_, job| {
-            let _elab_guard = self.elab_cache.as_ref().map(|c| c.install());
-            // The one-shot baseline is documented as fresh-everything:
-            // leasing (and retaining) compiled sessions it would never
-            // execute through would skew both memory and the reported
-            // pool counters, so the pool stays uninstalled in that mode.
-            let _pool_guard = self
-                .session_pool
-                .as_ref()
-                .filter(|_| !self.one_shot)
-                .map(|c| c.install());
+        let stack = self.effective_stack();
+        let outcomes = parallel_map(self.threads, Some(&stack), &jobs, |_, job| {
             let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
             let outcome = run_job(job, &plan.config, factory);
             if self.progress {
@@ -118,32 +137,37 @@ impl Engine {
         RunResult {
             outcomes,
             threads: self.threads,
-            cache: self.cache.as_ref().map(|c| c.stats()),
-            elab_cache: self.elab_cache.as_ref().map(|c| c.stats()),
-            // Mirror the install-time filter: a one-shot run never used
-            // the pool, so it reports "disabled", not "on with zeros".
-            session_pool: self
-                .session_pool
-                .as_ref()
-                .filter(|_| !self.one_shot)
-                .map(|c| c.stats()),
+            // Snapshot the stack that was installed: a one-shot run never
+            // used the pool, so it reports "disabled", not "on with
+            // zeros".
+            caches: stack.stats(),
             wall: t0.elapsed(),
         }
     }
 
+    /// The engine's shared cache stack.
+    pub fn stack(&self) -> &CacheStack {
+        &self.stack
+    }
+
     /// The engine's shared simulation cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<SimCache>> {
-        self.cache.as_ref()
+        self.stack.sim_cache()
     }
 
     /// The engine's shared elaboration cache, if enabled.
     pub fn elab_cache(&self) -> Option<&Arc<ElabCache>> {
-        self.elab_cache.as_ref()
+        self.stack.elab_cache()
     }
 
     /// The engine's shared session pool, if enabled.
     pub fn session_pool(&self) -> Option<&Arc<EvalContext>> {
-        self.session_pool.as_ref()
+        self.stack.session_pool()
+    }
+
+    /// The engine's shared golden-artifact cache, if enabled.
+    pub fn golden_cache(&self) -> Option<&Arc<GoldenCache>> {
+        self.stack.golden_cache()
     }
 }
 
@@ -155,26 +179,20 @@ pub struct RunResult {
     pub outcomes: Vec<TaskOutcome>,
     /// Worker count the run used (timing sidecar metadata).
     pub threads: usize,
-    /// Simulation-cache counters at the end of the run, when caching was
-    /// enabled.
-    pub cache: Option<CacheStats>,
-    /// Elaboration-cache counters at the end of the run, when caching
-    /// was enabled.
-    pub elab_cache: Option<CacheStats>,
-    /// Session-pool counters at the end of the run, when the pool was
-    /// enabled.
-    pub session_pool: Option<CacheStats>,
+    /// Per-layer counters of the installed [`CacheStack`] at the end of
+    /// the run (`None` per layer that was disabled).
+    pub caches: StackStats,
     /// Total wall time of the run.
     pub wall: Duration,
 }
 
 /// Order-preserving parallel map over `items` with work-stealing
 /// scheduling: applies `f(index, item)` on a pool of `threads` workers
-/// (each with `cache` installed, when given) and returns results in item
-/// order regardless of completion order.
+/// (each with `stack` installed under one guard, when given) and
+/// returns results in item order regardless of completion order.
 pub fn parallel_map<T, U, F>(
     threads: usize,
-    cache: Option<&Arc<SimCache>>,
+    stack: Option<&CacheStack>,
     items: &[T],
     f: F,
 ) -> Vec<U>
@@ -188,7 +206,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| {
-                let _guard = cache.map(|c| c.install());
+                let _guard = stack.map(|s| s.install());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
@@ -227,10 +245,10 @@ mod tests {
     }
 
     #[test]
-    fn workers_share_the_cache() {
+    fn workers_share_the_stack() {
         use correctbench_tbgen::cache::CacheKey;
-        let cache = SimCache::new();
         use correctbench_verilog::Fingerprint;
+        let stack = CacheStack::full();
         let key = CacheKey {
             dut: Fingerprint(1),
             driver: Fingerprint(2),
@@ -241,7 +259,7 @@ mod tests {
         // Prime the table once, then have every worker probe the same
         // key: all 64 lookups must hit, which only holds when workers
         // share one table rather than installing per-thread copies.
-        cache.put(
+        stack.sim_cache().expect("sim layer").put(
             key,
             Ok(correctbench_tbgen::TbRun {
                 results: Vec::new(),
@@ -250,11 +268,27 @@ mod tests {
             }),
         );
         let items: Vec<u64> = (0..64).collect();
-        let found = parallel_map(4, Some(&cache), &items, |_, _| {
+        let found = parallel_map(4, Some(&stack), &items, |_, _| {
             correctbench_tbgen::cache::with_active(|c| c.get(&key).is_some()).expect("installed")
         });
         assert!(found.iter().all(|f| *f), "every worker sees the entry");
-        let stats = cache.stats();
+        let stats = stack.stats().sim.expect("sim layer");
         assert_eq!((stats.hits, stats.misses, stats.entries), (64, 0, 1));
+    }
+
+    #[test]
+    fn engine_layer_toggles_mask_the_stack() {
+        let e = Engine::new(2).without_sim_cache().without_golden_cache();
+        assert!(e.cache().is_none());
+        assert!(e.golden_cache().is_none());
+        assert!(e.elab_cache().is_some());
+        assert!(e.session_pool().is_some());
+        let all_off = Engine::new(2).without_cache();
+        assert!(all_off
+            .stack()
+            .stats()
+            .layers()
+            .iter()
+            .all(|(_, s)| s.is_none()));
     }
 }

@@ -1,0 +1,57 @@
+//! `correctbench-run --help` documents every cache-layer flag.
+//!
+//! The per-layer switches (`--no-sim-cache`, `--no-elab-cache`,
+//! `--no-session-pool`, `--no-golden-cache`) and their `--no-cache`
+//! alias are part of the binary's contract — CI's cache-layer matrix
+//! and the README both lean on them — so the help text is pinned here
+//! by running the real binary.
+
+use std::process::Command;
+
+fn help_output() -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_correctbench-run"))
+        .arg("--help")
+        .output()
+        .expect("run correctbench-run --help");
+    assert!(
+        out.status.success(),
+        "--help must exit 0, got {:?}",
+        out.status
+    );
+    String::from_utf8(out.stdout).expect("help text is UTF-8")
+}
+
+#[test]
+fn help_lists_every_cache_layer_flag() {
+    let help = help_output();
+    for flag in [
+        "--no-cache",
+        "--no-sim-cache",
+        "--no-elab-cache",
+        "--no-session-pool",
+        "--no-golden-cache",
+    ] {
+        assert!(
+            help.contains(flag),
+            "--help output is missing `{flag}`:\n{help}"
+        );
+    }
+}
+
+#[test]
+fn help_lists_the_core_sweep_flags() {
+    let help = help_output();
+    for flag in [
+        "--full",
+        "--problems",
+        "--reps",
+        "--seed",
+        "--threads",
+        "--out",
+    ] {
+        assert!(
+            help.contains(flag),
+            "--help output is missing core flag `{flag}`:\n{help}"
+        );
+    }
+}

@@ -1,7 +1,8 @@
 //! The harness's central contract: the JSONL artifact stream of a plan
 //! is **byte-identical** regardless of worker count, and independent of
-//! whether the simulation cache is enabled (caching is a pure
-//! memoization — it may change wall time, never results).
+//! which [`CacheStack`] layers (simulation cache, elaboration cache,
+//! session pool, golden-artifact cache) are enabled — caching is a pure
+//! memoization: it may change wall time, never results.
 
 use correctbench_harness::{outcomes_jsonl, Engine, RunPlan};
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
@@ -102,13 +103,58 @@ fn session_pool_is_semantically_transparent() {
 }
 
 #[test]
+fn golden_cache_is_semantically_transparent_across_thread_counts() {
+    // Isolate the golden-artifact layer: the other layers stay on, only
+    // the golden cache is toggled — and the comparison spans thread
+    // counts, so a cached golden bundle must evaluate byte-identically
+    // to a freshly derived one no matter which worker first populated
+    // the shard. (A stale or mixed-up bundle would corrupt every later
+    // cell of its problem, so this is the layer's load-bearing test.)
+    let golden_on_4 = artifact_with(Engine::new(4));
+    let golden_off_4 = artifact_with(Engine::new(4).without_golden_cache());
+    assert!(
+        golden_on_4 == golden_off_4,
+        "golden cache changed outcomes:\n--- cached ---\n{golden_on_4}\n--- derived ---\n{golden_off_4}"
+    );
+    let golden_off_2 = artifact_with(Engine::new(2).without_golden_cache());
+    let golden_on_8 = artifact_with(Engine::new(8));
+    assert!(
+        golden_off_2 == golden_on_8,
+        "golden cache x thread count changed outcomes:\n--- off@2 ---\n{golden_off_2}\n--- on@8 ---\n{golden_on_8}"
+    );
+}
+
+#[test]
+fn sweep_plan_shows_golden_cache_hits() {
+    // Every (method, rep) cell of a problem evaluates with the same
+    // problem-keyed eval seed, so only the first cell may derive the
+    // golden bundle. On one worker thread the accounting is exact: one
+    // miss per distinct problem, every later fetch a hit.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let result = Engine::new(1).execute(&plan(), &factory);
+    let stats = result
+        .caches
+        .golden
+        .expect("golden cache enabled by default");
+    assert_eq!(
+        (stats.misses, stats.entries),
+        (3, 3),
+        "golden derivation must run exactly once per problem: {stats}"
+    );
+    assert!(
+        stats.hits > 0,
+        "no golden-cache hits in a multi-rep sweep: {stats}"
+    );
+}
+
+#[test]
 fn sweep_plan_shows_session_pool_hits() {
     // Every (method, rep) job of a problem leases the golden checker's
     // session for its Eval2 agreement pass; with 3 methods x 2 reps the
     // pool must convert most of those acquisitions into hits.
     let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
     let result = Engine::new(4).execute(&plan(), &factory);
-    let stats = result.session_pool.expect("pool enabled by default");
+    let stats = result.caches.sessions.expect("pool enabled by default");
     assert!(
         stats.hits > 0,
         "no session-pool hits in a multi-rep sweep: {stats}"
@@ -123,7 +169,7 @@ fn sweep_plan_shows_elab_cache_hits() {
     // cache missed.
     let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
     let result = Engine::new(4).execute(&plan(), &factory);
-    let stats = result.elab_cache.expect("elab cache enabled by default");
+    let stats = result.caches.elab.expect("elab cache enabled by default");
     assert!(
         stats.hits > 0,
         "no elaboration-cache hits in a multi-rep sweep: {stats}"
@@ -138,7 +184,7 @@ fn sweep_plan_shows_cache_hits() {
     let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
     let engine = Engine::new(4);
     let result = engine.execute(&plan(), &factory);
-    let stats = result.cache.expect("cache enabled by default");
+    let stats = result.caches.sim.expect("cache enabled by default");
     assert!(
         stats.hits > 0,
         "no cache hits in a multi-rep sweep: {stats}"

@@ -29,7 +29,6 @@ use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::{Fingerprint, FingerprintHasher, StructuralHash};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -228,24 +227,25 @@ impl SimCache {
     /// Makes `self` the active cache of the *current thread* until the
     /// returned guard drops. [`crate::run_testbench_parsed`] consults the
     /// active cache transparently; nesting restores the previous cache.
+    ///
+    /// A thin shim over [`CacheStack`](crate::CacheStack), which is the
+    /// preferred handle — it installs every layer under one guard.
     pub fn install(self: &Arc<Self>) -> CacheGuard {
-        install::install(&ACTIVE, self)
+        crate::CacheStack::empty()
+            .with_sim_cache(Arc::clone(self))
+            .install()
     }
-}
-
-thread_local! {
-    static ACTIVE: RefCell<Option<Arc<SimCache>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with the thread's active cache, if one is installed. Mostly
 /// internal — the runner consults it on every testbench run — but public
 /// so harnesses can probe or prime the active cache directly.
 pub fn with_active<R>(f: impl FnOnce(&SimCache) -> R) -> Option<R> {
-    install::with_active(&ACTIVE, f)
+    install::with_active(&install::SIM, f)
 }
 
 /// Re-activates the previous cache (usually none) when dropped.
-pub type CacheGuard = install::InstallGuard<SimCache>;
+pub type CacheGuard = install::StackGuard;
 
 #[cfg(test)]
 mod tests {

@@ -34,7 +34,6 @@ use crate::session::EvalSession;
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
 use correctbench_verilog::hash::Fingerprint;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,22 +148,23 @@ impl EvalContext {
     /// Makes `self` the active context of the *current thread* until the
     /// returned guard drops. [`acquire_session`] consults the active
     /// context transparently; nesting restores the previous context.
+    ///
+    /// A thin shim over [`CacheStack`](crate::CacheStack), which is the
+    /// preferred handle — it installs every layer under one guard.
     pub fn install(self: &Arc<Self>) -> ContextGuard {
-        install::install(&ACTIVE, self)
+        crate::CacheStack::empty()
+            .with_session_pool(Arc::clone(self))
+            .install()
     }
-}
-
-thread_local! {
-    static ACTIVE: RefCell<Option<Arc<EvalContext>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with the thread's active context, if one is installed.
 pub fn with_active<R>(f: impl FnOnce(&EvalContext) -> R) -> Option<R> {
-    install::with_active(&ACTIVE, f)
+    install::with_active(&install::POOL, f)
 }
 
 /// Re-activates the previous context (usually none) when dropped.
-pub type ContextGuard = install::InstallGuard<EvalContext>;
+pub type ContextGuard = install::StackGuard;
 
 /// An exclusive lease on an evaluation session. Derefs to
 /// [`EvalSession`]; dropping it returns a pooled session to the
@@ -228,7 +228,7 @@ pub(crate) fn acquire_session_keyed(
         },
         None => PoolKey::for_pair(problem, checker),
     };
-    let ctx = install::active(&ACTIVE);
+    let ctx = install::active(&install::POOL);
     let Some(ctx) = ctx else {
         let key = build_key();
         return Ok(SessionLease {

@@ -25,7 +25,6 @@
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::Fingerprint;
 use correctbench_verilog::CompiledDesign;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -143,23 +142,24 @@ impl ElabCache {
     /// Makes `self` the active elaboration cache of the *current thread*
     /// until the returned guard drops. The runner consults the active
     /// cache transparently; nesting restores the previous cache.
+    ///
+    /// A thin shim over [`CacheStack`](crate::CacheStack), which is the
+    /// preferred handle — it installs every layer under one guard.
     pub fn install(self: &Arc<Self>) -> ElabCacheGuard {
-        install::install(&ACTIVE, self)
+        crate::CacheStack::empty()
+            .with_elab_cache(Arc::clone(self))
+            .install()
     }
-}
-
-thread_local! {
-    static ACTIVE: RefCell<Option<Arc<ElabCache>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with the thread's active elaboration cache, if one is
 /// installed.
 pub fn with_active<R>(f: impl FnOnce(&ElabCache) -> R) -> Option<R> {
-    install::with_active(&ACTIVE, f)
+    install::with_active(&install::ELAB, f)
 }
 
 /// Re-activates the previous cache (usually none) when dropped.
-pub type ElabCacheGuard = install::InstallGuard<ElabCache>;
+pub type ElabCacheGuard = install::StackGuard;
 
 #[cfg(test)]
 mod tests {

@@ -1,20 +1,44 @@
-//! Thread-local installation, shared by every per-worker reuse layer.
+//! Thread-local installation and the unified [`CacheStack`] handle.
 //!
-//! The simulation cache, the elaboration cache and the session pool all
-//! follow one pattern: a shared `Arc` is *installed* on the current
-//! thread so the layers between the harness and the runner stay
-//! oblivious, lookups consult the active instance transparently, and a
-//! guard restores the previous instance (usually none) on drop — so
-//! installs nest. Each layer keeps its own `thread_local!` slot (they
-//! are independent and individually toggleable); the save/restore and
-//! consult machinery lives here once.
+//! The per-worker reuse layers — the simulation cache, the elaboration
+//! cache, the session pool and the golden-artifact cache — all follow
+//! one pattern: a shared `Arc` is *installed* on the current thread so
+//! the layers between the harness and the runner stay oblivious,
+//! lookups consult the active instance transparently, and a guard
+//! restores the previous instance (usually none) on drop — so installs
+//! nest. This module owns **every** thread-local slot (the source-scan
+//! test `tests/key_path_scan.rs` forbids cache slots anywhere else) and
+//! the [`CacheStack`]: the explicit, shareable bundle of all four
+//! layers that a harness installs once per worker with a single guard.
 
-use std::cell::RefCell;
+use crate::cache::{CacheStats, SimCache};
+use crate::context::EvalContext;
+use crate::elab::ElabCache;
+use crate::golden::GoldenCache;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::thread::LocalKey;
 
 /// One layer's thread-local slot: the active shared instance, if any.
 pub(crate) type Slot<T> = LocalKey<RefCell<Option<Arc<T>>>>;
+
+thread_local! {
+    /// The active simulation cache (consulted by the runner and
+    /// [`crate::EvalSession::run`]).
+    pub(crate) static SIM: RefCell<Option<Arc<SimCache>>> = const { RefCell::new(None) };
+    /// The active elaboration cache (consulted by `compiled_for`).
+    pub(crate) static ELAB: RefCell<Option<Arc<ElabCache>>> = const { RefCell::new(None) };
+    /// The active session pool (consulted by
+    /// [`crate::acquire_session`]).
+    pub(crate) static POOL: RefCell<Option<Arc<EvalContext>>> = const { RefCell::new(None) };
+    /// The active golden-artifact cache (consulted by
+    /// `correctbench_autoeval::golden_artifacts`).
+    pub(crate) static GOLDEN: RefCell<Option<Arc<GoldenCache>>> = const { RefCell::new(None) };
+    /// The one-shot escape hatch (see [`crate::force_one_shot`]) — not a
+    /// cache slot, but thread-local session state lives here with the
+    /// rest of the install machinery.
+    pub(crate) static ONE_SHOT: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Makes `value` the active instance of `slot` on the current thread
 /// until the returned guard drops.
@@ -44,5 +68,275 @@ impl<T> Drop for InstallGuard<T> {
     fn drop(&mut self) {
         let prev = self.prev.take();
         self.slot.with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+/// The bundle of per-worker reuse layers, each individually optional:
+///
+/// | layer | type | memoizes |
+/// |---|---|---|
+/// | simulation cache | [`SimCache`] | whole testbench runs |
+/// | elaboration cache | [`ElabCache`] | compiled (DUT, driver) designs |
+/// | session pool | [`EvalContext`] | leased evaluation sessions |
+/// | golden cache | [`GoldenCache`] | per-problem golden artifacts |
+///
+/// A `CacheStack` is the *handle* a harness holds and shares: build one
+/// ([`CacheStack::full`] or [`CacheStack::empty`] plus the `with_*` /
+/// `without_*` builders), clone it into every worker (clones share the
+/// underlying layers — they are `Arc`s), and [`install`](Self::install)
+/// it once per worker thread with a single guard. Layer stats aggregate
+/// through [`stats`](Self::stats).
+///
+/// # Examples
+///
+/// ```
+/// use correctbench_tbgen::CacheStack;
+///
+/// let stack = CacheStack::full().without_golden_cache();
+/// let _guard = stack.install();
+/// // Runner calls on this thread now consult the sim/elab caches and
+/// // lease sessions from the pool; the guard restores the previous
+/// // (usually empty) layers on drop.
+/// assert!(stack.stats().golden.is_none());
+/// ```
+#[derive(Clone, Default)]
+pub struct CacheStack {
+    sim: Option<Arc<SimCache>>,
+    elab: Option<Arc<ElabCache>>,
+    sessions: Option<Arc<EvalContext>>,
+    golden: Option<Arc<GoldenCache>>,
+}
+
+impl CacheStack {
+    /// A stack with all four layers enabled and fresh.
+    pub fn full() -> CacheStack {
+        CacheStack {
+            sim: Some(SimCache::new()),
+            elab: Some(ElabCache::new()),
+            sessions: Some(EvalContext::new()),
+            golden: Some(GoldenCache::new()),
+        }
+    }
+
+    /// A stack with every layer disabled (installing it is a no-op
+    /// beyond masking outer layers).
+    pub fn empty() -> CacheStack {
+        CacheStack::default()
+    }
+
+    /// Replaces the simulation-cache layer (pass an externally-shared
+    /// cache to memoize across several plans).
+    pub fn with_sim_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.sim = Some(cache);
+        self
+    }
+
+    /// Replaces the elaboration-cache layer.
+    pub fn with_elab_cache(mut self, cache: Arc<ElabCache>) -> Self {
+        self.elab = Some(cache);
+        self
+    }
+
+    /// Replaces the session-pool layer.
+    pub fn with_session_pool(mut self, pool: Arc<EvalContext>) -> Self {
+        self.sessions = Some(pool);
+        self
+    }
+
+    /// Replaces the golden-artifact-cache layer.
+    pub fn with_golden_cache(mut self, cache: Arc<GoldenCache>) -> Self {
+        self.golden = Some(cache);
+        self
+    }
+
+    /// Disables the simulation-cache layer.
+    pub fn without_sim_cache(mut self) -> Self {
+        self.sim = None;
+        self
+    }
+
+    /// Disables the elaboration-cache layer.
+    pub fn without_elab_cache(mut self) -> Self {
+        self.elab = None;
+        self
+    }
+
+    /// Disables the session-pool layer.
+    pub fn without_session_pool(mut self) -> Self {
+        self.sessions = None;
+        self
+    }
+
+    /// Disables the golden-artifact-cache layer.
+    pub fn without_golden_cache(mut self) -> Self {
+        self.golden = None;
+        self
+    }
+
+    /// The simulation-cache layer, if enabled.
+    pub fn sim_cache(&self) -> Option<&Arc<SimCache>> {
+        self.sim.as_ref()
+    }
+
+    /// The elaboration-cache layer, if enabled.
+    pub fn elab_cache(&self) -> Option<&Arc<ElabCache>> {
+        self.elab.as_ref()
+    }
+
+    /// The session-pool layer, if enabled.
+    pub fn session_pool(&self) -> Option<&Arc<EvalContext>> {
+        self.sessions.as_ref()
+    }
+
+    /// The golden-artifact-cache layer, if enabled.
+    pub fn golden_cache(&self) -> Option<&Arc<GoldenCache>> {
+        self.golden.as_ref()
+    }
+
+    /// Makes every enabled layer the active instance of its slot on the
+    /// *current thread* until the returned guard drops. Disabled layers
+    /// leave their slots untouched, so a partial stack can be nested
+    /// inside a fuller one (the usual case is installing onto empty
+    /// slots). One guard restores all of them, in reverse order.
+    pub fn install(&self) -> StackGuard {
+        StackGuard {
+            _golden: self.golden.as_ref().map(|c| install(&GOLDEN, c)),
+            _sessions: self.sessions.as_ref().map(|c| install(&POOL, c)),
+            _elab: self.elab.as_ref().map(|c| install(&ELAB, c)),
+            _sim: self.sim.as_ref().map(|c| install(&SIM, c)),
+        }
+    }
+
+    /// Point-in-time counters of every enabled layer.
+    pub fn stats(&self) -> StackStats {
+        StackStats {
+            sim: self.sim.as_ref().map(|c| c.stats()),
+            elab: self.elab.as_ref().map(|c| c.stats()),
+            sessions: self.sessions.as_ref().map(|c| c.stats()),
+            golden: self.golden.as_ref().map(|c| c.stats()),
+        }
+    }
+}
+
+/// Re-activates the previous instance of every layer a
+/// [`CacheStack::install`] replaced (field drop order is declaration
+/// order, the reverse of installation).
+pub struct StackGuard {
+    _golden: Option<InstallGuard<GoldenCache>>,
+    _sessions: Option<InstallGuard<EvalContext>>,
+    _elab: Option<InstallGuard<ElabCache>>,
+    _sim: Option<InstallGuard<SimCache>>,
+}
+
+/// Aggregated per-layer counters of one [`CacheStack`] — `None` marks a
+/// disabled layer. This is the unified shape harnesses report: each
+/// layer keeps its own [`CacheStats`], the stack snapshots all four.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StackStats {
+    /// Simulation-cache counters, when the layer is enabled.
+    pub sim: Option<CacheStats>,
+    /// Elaboration-cache counters, when the layer is enabled.
+    pub elab: Option<CacheStats>,
+    /// Session-pool counters, when the layer is enabled.
+    pub sessions: Option<CacheStats>,
+    /// Golden-artifact-cache counters, when the layer is enabled.
+    pub golden: Option<CacheStats>,
+}
+
+impl StackStats {
+    /// The layers in canonical order with their display labels — the
+    /// single definition reports and artifacts iterate so layer naming
+    /// cannot drift between `summary.txt` and `timings.jsonl`.
+    pub fn layers(&self) -> [(&'static str, Option<CacheStats>); 4] {
+        [
+            ("simulation cache", self.sim),
+            ("elaboration cache", self.elab),
+            ("session pool", self.sessions),
+            ("golden cache", self.golden),
+        ]
+    }
+}
+
+impl std::fmt::Display for StackStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (label, stats) in self.layers() {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            match stats {
+                Some(s) => write!(f, "{label}: {s}")?,
+                None => write!(f, "{label}: disabled")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_stack_installs_every_layer_under_one_guard() {
+        let stack = CacheStack::full();
+        assert!(crate::cache::with_active(|_| ()).is_none());
+        {
+            let _guard = stack.install();
+            assert!(crate::cache::with_active(|_| ()).is_some());
+            assert!(crate::elab::with_active(|_| ()).is_some());
+            assert!(crate::context::with_active(|_| ()).is_some());
+            assert!(crate::golden::with_active(|_| ()).is_some());
+        }
+        assert!(crate::cache::with_active(|_| ()).is_none());
+        assert!(crate::elab::with_active(|_| ()).is_none());
+        assert!(crate::context::with_active(|_| ()).is_none());
+        assert!(crate::golden::with_active(|_| ()).is_none());
+    }
+
+    #[test]
+    fn partial_stack_leaves_other_slots_untouched() {
+        let outer = CacheStack::full();
+        let inner = CacheStack::empty().with_golden_cache(GoldenCache::new());
+        let _outer_guard = outer.install();
+        {
+            let _inner_guard = inner.install();
+            // The inner stack only replaced the golden layer; the
+            // outer sim cache stays visible through the nesting.
+            assert!(crate::cache::with_active(|_| ()).is_some());
+            let inner_golden = crate::golden::active().expect("golden installed");
+            assert!(Arc::ptr_eq(
+                &inner_golden,
+                inner.golden_cache().expect("layer")
+            ));
+        }
+        let restored = crate::golden::active().expect("outer restored");
+        assert!(Arc::ptr_eq(&restored, outer.golden_cache().expect("layer")));
+    }
+
+    #[test]
+    fn stats_report_disabled_layers_as_none() {
+        let stack = CacheStack::full()
+            .without_session_pool()
+            .without_sim_cache();
+        let stats = stack.stats();
+        assert!(stats.sim.is_none());
+        assert!(stats.sessions.is_none());
+        assert_eq!(stats.elab, Some(CacheStats::default()));
+        assert_eq!(stats.golden, Some(CacheStats::default()));
+        let rendered = stats.to_string();
+        assert!(rendered.contains("simulation cache: disabled"));
+        assert!(rendered.contains("golden cache: 0 hits"));
+    }
+
+    #[test]
+    fn clones_share_layers() {
+        let stack = CacheStack::full();
+        let clone = stack.clone();
+        assert!(Arc::ptr_eq(
+            stack.sim_cache().expect("sim"),
+            clone.sim_cache().expect("sim")
+        ));
     }
 }

@@ -31,6 +31,7 @@ pub mod context;
 pub mod coverage;
 pub mod driver;
 pub mod elab;
+pub mod golden;
 mod install;
 pub mod record;
 pub mod runner;
@@ -42,6 +43,8 @@ pub use context::{acquire_session, EvalContext, PoolKey, SessionLease};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
 pub use elab::{ElabCache, ElabKey};
+pub use golden::{problem_fingerprint, GoldenArtifacts, GoldenCache, GoldenKey};
+pub use install::{CacheStack, StackGuard, StackStats};
 pub use record::{parse_record, parse_records, FieldValue, Record, RecordBinding};
 pub use runner::{
     compile_pair, judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,

@@ -38,7 +38,6 @@ use correctbench_dataset::Problem;
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::Fingerprint;
 use correctbench_verilog::{CompiledDesign, LogicVec, Simulator, VerilogError};
-use std::cell::Cell;
 use std::sync::Arc;
 
 /// A reusable evaluation session for one `(problem, checker)` pair.
@@ -348,13 +347,9 @@ impl EvalSession {
     }
 }
 
-thread_local! {
-    static ONE_SHOT: Cell<bool> = const { Cell::new(false) };
-}
-
 /// `true` while a [`force_one_shot`] guard is live on this thread.
 pub(crate) fn one_shot_active() -> bool {
-    ONE_SHOT.with(Cell::get)
+    crate::install::ONE_SHOT.with(|f| f.get())
 }
 
 /// Forces every session on the current thread onto the legacy one-shot
@@ -362,7 +357,7 @@ pub(crate) fn one_shot_active() -> bool {
 /// drops. Exists for the determinism suite (session-batched vs one-shot
 /// artifact equality) and A/B benchmarking; never needed for correctness.
 pub fn force_one_shot() -> OneShotGuard {
-    let prev = ONE_SHOT.with(|f| f.replace(true));
+    let prev = crate::install::ONE_SHOT.with(|f| f.replace(true));
     OneShotGuard { prev }
 }
 
@@ -374,7 +369,7 @@ pub struct OneShotGuard {
 impl Drop for OneShotGuard {
     fn drop(&mut self) {
         let prev = self.prev;
-        ONE_SHOT.with(|f| f.set(prev));
+        crate::install::ONE_SHOT.with(|f| f.set(prev));
     }
 }
 
