@@ -196,6 +196,7 @@ pub fn golden_artifacts(problem: &Problem, seed: u64) -> Arc<GoldenArtifacts> {
 /// `seed` fixes the Eval2 mutant set (use the same seed when comparing
 /// methods).
 pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Autoeval);
     // Eval0: syntax.
     let Some(driver) = correctbench_verilog::parse(&tb.driver).ok().filter(|f| {
         f.modules

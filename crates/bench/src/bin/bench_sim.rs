@@ -35,6 +35,11 @@
 //!   evaluation session by constructing it (checker compile + binding
 //!   resolution, the per-job cost the validator and AutoEval used to
 //!   pay) and by leasing it from an installed `EvalContext` pool.
+//! * `bytecode_cached_ns` vs `hot_path_obs_ns` — the same steady-state
+//!   hot path with no observability collector armed (spans and counter
+//!   probes short-circuit on the thread-local check) and with a live
+//!   per-job collector installed (`ObsStack::enabled`), pinning the
+//!   enabled-span overhead the harness pays per job.
 //! * `golden_derive_ns` vs `golden_cached_ns` — acquiring the
 //!   per-problem golden evaluation bundle (golden testbench generation,
 //!   golden DUT/driver parses, Eval2 mutant set) by deriving it from
@@ -62,6 +67,7 @@
 use correctbench_autoeval::{derive_golden_artifacts, golden_artifacts};
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
+use correctbench_obs::ObsStack;
 use correctbench_tbgen::{
     acquire_session, compile_pair, force_one_shot, generate_driver, generate_scenarios,
     judge_records, limits_for, module_interface_fingerprint, run_testbench_parsed, EvalContext,
@@ -165,6 +171,7 @@ struct Row {
     tree_walk_ns: u64,
     bytecode_ns: u64,
     bytecode_cached_ns: u64,
+    hot_path_obs_ns: u64,
     one_shot_sweep_ns: u64,
     session_sweep_ns: u64,
     judge_interp_ns: u64,
@@ -209,6 +216,12 @@ impl Row {
     /// Cached golden-bundle fetch vs. deriving the bundle from scratch.
     fn speedup_golden(&self) -> f64 {
         self.golden_derive_ns as f64 / self.golden_cached_ns.max(1) as f64
+    }
+
+    /// Cost of a live observability collector on the steady-state hot
+    /// path, in percent over the unobserved run.
+    fn obs_overhead_pct(&self) -> f64 {
+        (self.hot_path_obs_ns as f64 / self.bytecode_cached_ns.max(1) as f64 - 1.0) * 100.0
     }
 
     /// Speedup vs. the externally measured pre-PR baseline, when given.
@@ -284,7 +297,7 @@ fn main() {
         // Prime the golden shard so the cached arm measures steady-state
         // hits, not the first derivation.
         std::hint::black_box(golden_artifacts(&case.problem, GOLDEN_SEED));
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns] =
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, hot_path_obs_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns] =
             medians_interleaved(
                 samples,
                 &mut [
@@ -297,6 +310,12 @@ fn main() {
                         simulate_and_judge(&case, &fresh, ExecMode::Bytecode);
                     },
                     &mut || {
+                        simulate_and_judge(&case, &compiled, ExecMode::Bytecode);
+                    },
+                    &mut || {
+                        // The identical hot path with a collector armed:
+                        // every span and counter flush does real work.
+                        let _obs = ObsStack::enabled().install();
                         simulate_and_judge(&case, &compiled, ExecMode::Bytecode);
                     },
                     &mut || {
@@ -406,6 +425,7 @@ fn main() {
             tree_walk_ns,
             bytecode_ns,
             bytecode_cached_ns,
+            hot_path_obs_ns,
             one_shot_sweep_ns,
             session_sweep_ns,
             judge_interp_ns,
@@ -426,10 +446,11 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x | obs {:+.2}%{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
             row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
             row.speedup_fingerprint(), row.speedup_pool(), row.speedup_golden(),
+            row.obs_overhead_pct(),
         );
         rows.push(row);
     }
@@ -442,6 +463,7 @@ fn main() {
         median_f64(rows.iter().map(Row::speedup_fingerprint).collect()).expect("rows");
     let median_pool = median_f64(rows.iter().map(Row::speedup_pool).collect()).expect("rows");
     let median_golden = median_f64(rows.iter().map(Row::speedup_golden).collect()).expect("rows");
+    let median_obs = median_f64(rows.iter().map(Row::obs_overhead_pct).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
     let mut json = String::new();
@@ -473,6 +495,7 @@ fn main() {
         json,
         "  \"median_speedup_golden_cached_vs_derived\": {median_golden:.2},"
     );
+    let _ = writeln!(json, "  \"median_obs_overhead_pct\": {median_obs:.2},");
     if let Some(m) = median_vs_pre_pr {
         let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
         let _ = writeln!(
@@ -490,13 +513,14 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2},\"hot_path_obs_ns\":{},\"obs_overhead_pct\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
             r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
             r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
             r.key_debug_hash_ns, r.key_fingerprint_ns, r.speedup_fingerprint(),
             r.session_fresh_ns, r.session_pooled_ns, r.speedup_pool(),
             r.golden_derive_ns, r.golden_cached_ns, r.speedup_golden(),
+            r.hot_path_obs_ns, r.obs_overhead_pct(),
         );
     }
     let _ = writeln!(json, "  ]");
@@ -511,7 +535,7 @@ fn main() {
         None => String::new(),
     };
     eprintln!(
-        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x{tail} -> {out_path}"
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x, obs overhead {median_obs:+.2}%{tail} -> {out_path}"
     );
 }
 

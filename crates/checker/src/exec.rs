@@ -307,6 +307,11 @@ pub struct JudgeSession {
     /// Staging for register next-values: updates read pass-1 values, so
     /// commits must not observe each other (`q2 <= q1; q1 <= d`).
     commit: Vec<LogicVec>,
+    /// Register slot commits applied since the last
+    /// [`JudgeSession::take_commits_retired`] — a pure measurement,
+    /// drained by the caller so this crate needs no observability
+    /// dependency.
+    commits_retired: u64,
 }
 
 impl JudgeSession {
@@ -331,6 +336,7 @@ impl JudgeSession {
             compiled,
             slots,
             commit,
+            commits_retired: 0,
         }
     }
 
@@ -375,6 +381,7 @@ impl JudgeSession {
         }
         // Commit register updates from pass-1 values (staged: no commit
         // observes another), then re-evaluate from the new state.
+        self.commits_retired += self.compiled.commits.len() as u64;
         for (stage, c) in self.commit.iter_mut().zip(self.compiled.commits.iter()) {
             stage.assign_resize(&self.slots[c.next as usize], false);
         }
@@ -390,6 +397,14 @@ impl JudgeSession {
             eval_node(&self.compiled, i as usize, &mut self.slots, inputs);
         }
         Ok(())
+    }
+
+    /// Drains the register-slot-commit counter: commits applied since
+    /// the last drain (or construction). A take-style measurement hook —
+    /// callers with an observability collector flush it after a judging
+    /// sweep.
+    pub fn take_commits_retired(&mut self) -> u64 {
+        std::mem::take(&mut self.commits_retired)
     }
 
     /// Output `i` (program order, matching

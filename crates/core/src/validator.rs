@@ -166,6 +166,7 @@ pub fn validate(
     llm: &mut dyn LlmClient,
     cfg: &Config,
 ) -> Validation {
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Validate);
     // A testbench that cannot even run is wrong with no usable bug info.
     if !tb.is_syntactically_valid() {
         let ns = tb.scenarios.len();

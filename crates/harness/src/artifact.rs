@@ -1,23 +1,41 @@
 //! Structured JSONL artifacts.
 //!
-//! A run writes two streams plus a human summary:
+//! A run writes three machine-readable files plus a human summary:
 //!
 //! * `outcomes.jsonl` — one JSON object per job in canonical job order.
 //!   Every field is a pure function of the plan, so the file is
-//!   **byte-identical across thread counts and re-runs** (the
-//!   determinism contract the harness integration tests pin down).
-//! * `timings.jsonl` — measured per-job wall times and run metadata.
-//!   Honest measurements are not deterministic, so they live in this
-//!   sidecar, never in `outcomes.jsonl`.
+//!   **byte-identical across thread counts, cache layers, re-runs and
+//!   observability settings** (the determinism contract the harness
+//!   integration tests pin down).
+//! * `timings.jsonl` (schema v2) — measured run metadata and per-job
+//!   wall times. The first line describes the run (`run_wall_ms`,
+//!   `threads`, `jobs`, one counter object or `null` per cache layer);
+//!   every following line is one job, in canonical job order, carrying
+//!   the join keys `job`/`problem`/`method`/`rep`/`seed` (so joining
+//!   against `outcomes.jsonl` no longer needs lockstep reads), the
+//!   measured `wall_ms`/`wall_us`, and — when observability is on —
+//!   a `phases` object (exclusive per-phase microseconds, `obs::Phase`
+//!   taxonomy) plus a `counters` object (`obs::Counter` taxonomy);
+//!   both are `null` under `--no-obs`. Honest measurements are not
+//!   deterministic, so they live in this sidecar, never in
+//!   `outcomes.jsonl`.
+//! * `metrics.json` — the run-level aggregation: phase totals, counter
+//!   totals, cache-layer counters, and per-`(problem, method)` job
+//!   latency percentiles (p50/p90/p99/max/mean, from the deterministic-
+//!   structure log-bucketed [`correctbench_obs::Histogram`]). The
+//!   `correctbench-report` binary recomputes the same tables offline
+//!   from any `timings.jsonl`.
 //! * `summary.txt` — the rendered [`crate::report`] tables.
 //!
 //! No external JSON dependency exists in this offline workspace, so the
-//! tiny encoder below handles the one shape we emit: flat objects of
-//! strings, integers, booleans and string arrays.
+//! tiny encoder below handles the shapes we emit: flat objects of
+//! strings, integers, floats, booleans, string arrays and one level of
+//! nested objects ([`crate::json`] is the matching reader).
 
 use crate::scheduler::RunResult;
 use crate::worker::TaskOutcome;
 use correctbench_dataset::CircuitKind;
+use correctbench_obs::JobObs;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -107,10 +125,43 @@ fn cache_json(stats: Option<correctbench_tbgen::CacheStats>) -> String {
     }
 }
 
-/// Renders the measured timing sidecar for one run. Cache counters live
-/// here, not in `outcomes.jsonl`: totals depend on worker interleaving,
-/// so they are measurements, like wall times — the sidecar is where
-/// sweeps attribute their wall-time wins to the cache-stack layers.
+/// Renders a job's phase breakdown as a JSON object of exclusive
+/// per-phase microseconds (`null` when observability was off).
+fn phases_json(obs: Option<&JobObs>) -> String {
+    match obs {
+        Some(obs) => {
+            let fields: Vec<String> = obs
+                .phases()
+                .map(|(name, ns)| format!("\"{name}\":{}", ns / 1_000))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        None => "null".to_string(),
+    }
+}
+
+/// Renders a job's counter totals as a JSON object (`null` when
+/// observability was off).
+fn counters_json(obs: Option<&JobObs>) -> String {
+    match obs {
+        Some(obs) => {
+            let fields: Vec<String> = obs
+                .counter_values()
+                .map(|(name, n)| format!("\"{name}\":{n}"))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the measured timing sidecar for one run (schema v2: job
+/// lines carry the `method`/`rep`/`seed` join keys and, with
+/// observability on, per-phase self-times and counters). Cache counters
+/// live here, not in `outcomes.jsonl`: totals depend on worker
+/// interleaving, so they are measurements, like wall times — the
+/// sidecar is where sweeps attribute their wall-time wins to the
+/// cache-stack layers and the pipeline phases.
 pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -127,12 +178,79 @@ pub fn timings_jsonl(result: &RunResult) -> String {
     for o in &result.outcomes {
         let _ = writeln!(
             s,
-            "{{\"job\":{},\"problem\":\"{}\",\"wall_ms\":{}}}",
+            "{{\"job\":{},\"problem\":\"{}\",\"method\":\"{}\",\"rep\":{},\"seed\":{},\"wall_ms\":{},\"wall_us\":{},\"phases\":{},\"counters\":{}}}",
             o.job_id,
             json_escape(&o.problem),
-            o.wall.as_millis()
+            o.method.name(),
+            o.rep,
+            o.seed,
+            o.wall.as_millis(),
+            o.wall.as_micros(),
+            phases_json(o.obs.as_ref()),
+            counters_json(o.obs.as_ref()),
         );
     }
+    s
+}
+
+/// Renders the run-level `metrics.json` artifact: run metadata, phase
+/// and counter totals aggregated over every job's collector, the
+/// cache-layer counters, and per-`(problem, method)` job-latency
+/// percentiles in first-appearance order over the canonical job list
+/// (deterministic structure; measured values).
+pub fn metrics_json(result: &RunResult) -> String {
+    let mut totals = JobObs::default();
+    let mut observed = 0usize;
+    for o in &result.outcomes {
+        if let Some(obs) = &o.obs {
+            totals.merge(obs);
+            observed += 1;
+        }
+    }
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"correctbench-metrics-v1\",");
+    let _ = writeln!(s, "  \"run_wall_ms\": {},", result.wall.as_millis());
+    let _ = writeln!(s, "  \"threads\": {},", result.threads);
+    let _ = writeln!(s, "  \"jobs\": {},", result.outcomes.len());
+    let _ = writeln!(s, "  \"observed_jobs\": {observed},");
+    let phase_fields: Vec<String> = totals
+        .phases()
+        .map(|(name, ns)| format!("\"{name}\":{}", ns / 1_000))
+        .collect();
+    let _ = writeln!(s, "  \"phase_totals_us\": {{{}}},", phase_fields.join(","));
+    let counter_fields: Vec<String> = totals
+        .counter_values()
+        .map(|(name, n)| format!("\"{name}\":{n}"))
+        .collect();
+    let _ = writeln!(s, "  \"counter_totals\": {{{}}},", counter_fields.join(","));
+    let _ = writeln!(
+        s,
+        "  \"caches\": {{\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{}}},",
+        cache_json(result.caches.sim),
+        cache_json(result.caches.elab),
+        cache_json(result.caches.sessions),
+        cache_json(result.caches.golden),
+    );
+    let _ = writeln!(s, "  \"latency\": [");
+    let groups = crate::report::latency_groups(&result.outcomes);
+    for (i, (problem, method, hist)) in groups.iter().enumerate() {
+        let comma = if i + 1 < groups.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"problem\":\"{}\",\"method\":\"{}\",\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"mean_us\":{}}}{comma}",
+            json_escape(problem),
+            method,
+            hist.count(),
+            hist.percentile(0.50) / 1_000,
+            hist.percentile(0.90) / 1_000,
+            hist.percentile(0.99) / 1_000,
+            hist.max() / 1_000,
+            (hist.mean() / 1_000.0).round() as u64,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
     s
 }
 
@@ -143,6 +261,8 @@ pub struct ArtifactPaths {
     pub outcomes: PathBuf,
     /// Measured timing sidecar.
     pub timings: PathBuf,
+    /// Run-level aggregated metrics.
+    pub metrics: PathBuf,
     /// Human-readable summary.
     pub summary: PathBuf,
 }
@@ -157,10 +277,12 @@ pub fn write_artifacts(dir: &Path, result: &RunResult, summary: &str) -> io::Res
     let paths = ArtifactPaths {
         outcomes: dir.join("outcomes.jsonl"),
         timings: dir.join("timings.jsonl"),
+        metrics: dir.join("metrics.json"),
         summary: dir.join("summary.txt"),
     };
     std::fs::write(&paths.outcomes, outcomes_jsonl(&result.outcomes))?;
     std::fs::write(&paths.timings, timings_jsonl(result))?;
+    std::fs::write(&paths.metrics, metrics_json(result))?;
     std::fs::write(&paths.summary, summary)?;
     Ok(paths)
 }

@@ -1,0 +1,142 @@
+//! `correctbench-report`: offline re-aggregation of a timing sidecar.
+//!
+//! ```text
+//! correctbench-report [--help] TIMINGS.JSONL
+//! ```
+//!
+//! Reads a `timings.jsonl` produced by `correctbench-run --out` (schema
+//! v2: a run line followed by one line per job) and re-renders what a
+//! live run puts in `summary.txt`/`metrics.json`: per-`(problem,
+//! method)` job-latency percentiles (p50/p90/p99/max, from the same
+//! deterministic-structure log-bucketed histogram) plus phase and
+//! counter totals when the sidecar carries observability data. Works on
+//! any past run's artifact — no re-execution.
+
+use correctbench_harness::json::{parse, Value};
+use correctbench_obs::{Counter, Histogram, Phase};
+
+const USAGE: &str = "usage: correctbench-report [--help] TIMINGS.JSONL";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut path = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0)
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag `{other}`")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    fail("exactly one timings.jsonl path expected");
+                }
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("a timings.jsonl path is required"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1)
+    });
+
+    // (problem, method) -> latency histogram, first-appearance order —
+    // the same grouping a live run writes into metrics.json.
+    let mut groups: Vec<(String, String, Histogram)> = Vec::new();
+    let mut phase_us = [0u64; Phase::COUNT];
+    let mut counters = [0u64; Counter::COUNT];
+    let mut observed = 0usize;
+    let mut jobs = 0usize;
+    let mut run_line: Option<Value> = None;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).unwrap_or_else(|e| {
+            eprintln!("error: {path}:{}: {e}", lineno + 1);
+            std::process::exit(1)
+        });
+        if v.get("run_wall_ms").is_some() {
+            run_line = Some(v);
+            continue;
+        }
+        let Some(problem) = v.get("problem").and_then(Value::as_str) else {
+            eprintln!("error: {path}:{}: job line without `problem`", lineno + 1);
+            std::process::exit(1)
+        };
+        jobs += 1;
+        // v1 sidecars lack `method`/`wall_us`; degrade gracefully so the
+        // report still works on pre-v2 artifacts.
+        let method = v.get("method").and_then(Value::as_str).unwrap_or("?");
+        let wall_us = v
+            .get("wall_us")
+            .and_then(Value::as_u64)
+            .or_else(|| v.get("wall_ms").and_then(Value::as_u64).map(|ms| ms * 1000))
+            .unwrap_or(0);
+        let slot = groups
+            .iter()
+            .position(|(p, m, _)| p == problem && m == method);
+        let hist = match slot {
+            Some(i) => &mut groups[i].2,
+            None => {
+                groups.push((problem.to_string(), method.to_string(), Histogram::new()));
+                &mut groups.last_mut().expect("just pushed").2
+            }
+        };
+        hist.record(wall_us * 1_000); // histograms store nanoseconds
+        if let Some(phases @ Value::Obj(_)) = v.get("phases") {
+            observed += 1;
+            for p in Phase::ALL {
+                phase_us[p as usize] += phases.get(p.name()).and_then(Value::as_u64).unwrap_or(0);
+            }
+        }
+        if let Some(cs @ Value::Obj(_)) = v.get("counters") {
+            for c in Counter::ALL {
+                counters[c as usize] += cs.get(c.name()).and_then(Value::as_u64).unwrap_or(0);
+            }
+        }
+    }
+
+    if let Some(run) = &run_line {
+        println!(
+            "run: {} jobs on {} threads, wall {} ms",
+            run.get("jobs").and_then(Value::as_u64).unwrap_or(0),
+            run.get("threads").and_then(Value::as_u64).unwrap_or(0),
+            run.get("run_wall_ms").and_then(Value::as_u64).unwrap_or(0),
+        );
+    }
+    println!(
+        "job latency percentiles (ms)\n{:<18} {:<13} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "problem", "method", "runs", "p50", "p90", "p99", "max"
+    );
+    for (problem, method, hist) in &groups {
+        println!(
+            "{:<18} {:<13} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            problem,
+            method,
+            hist.count(),
+            hist.percentile(0.50) as f64 / 1e6,
+            hist.percentile(0.90) as f64 / 1e6,
+            hist.percentile(0.99) as f64 / 1e6,
+            hist.max() as f64 / 1e6,
+        );
+    }
+    if observed > 0 {
+        println!("phase totals ({observed}/{jobs} jobs observed)");
+        for p in Phase::ALL {
+            println!("  {:<10} {:>12} us", p.name(), phase_us[p as usize]);
+        }
+        println!("counter totals");
+        for c in Counter::ALL {
+            println!("  {:<18} {:>14}", c.name(), counters[c as usize]);
+        }
+    } else {
+        println!("no observability data in this sidecar (run without --no-obs to collect it)");
+    }
+}

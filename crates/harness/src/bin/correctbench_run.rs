@@ -5,7 +5,7 @@
 //!                  [--threads N] [--methods cb,ab,base] [--model NAME]
 //!                  [--out DIR] [--no-cache] [--no-sim-cache]
 //!                  [--no-elab-cache] [--no-session-pool]
-//!                  [--no-golden-cache] [--quiet]
+//!                  [--no-golden-cache] [--no-obs] [--progress] [--quiet]
 //! ```
 //!
 //! Expands (problems × methods × reps) into a job graph and runs it on a
@@ -14,17 +14,22 @@
 //! has its own `--no-*-cache` switch; `--no-cache` is the alias that
 //! disables all four. Prints the aggregate summary, and (with `--out`)
 //! writes `outcomes.jsonl` (deterministic, thread-count and cache
-//! independent), `timings.jsonl` (measured, with per-layer counters) and
-//! `summary.txt`.
+//! independent), `timings.jsonl` (measured: per-layer cache counters
+//! plus per-job phase self-times and work counters), `metrics.json`
+//! (aggregated phase/counter totals and latency percentiles) and
+//! `summary.txt`. `--no-obs` disarms the per-job observability
+//! collectors; `--progress` draws a live done/throughput/ETA line on
+//! stderr (only when stderr is a terminal).
 
 use correctbench::Method;
 use correctbench_harness::cli::{usage, write_artifacts_or_exit, RunArgs};
 use correctbench_harness::{render_summary, Engine, RunPlan};
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
+use std::io::IsTerminal as _;
 
 const EXTRA_USAGE: &str = "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] \
      [--no-cache] [--no-sim-cache] [--no-elab-cache] [--no-session-pool] [--no-golden-cache] \
-     [--quiet]";
+     [--no-obs] [--progress] [--quiet]";
 
 fn parse_methods(spec: &str) -> Vec<Method> {
     let methods: Vec<Method> = spec
@@ -79,6 +84,8 @@ fn main() {
     let mut methods = Method::ALL.to_vec();
     let mut model = ModelKind::Gpt4o;
     let mut layers = LayerFlags::all_on();
+    let mut obs = true;
+    let mut progress = false;
     let mut quiet = false;
     let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
         "--methods" => {
@@ -121,6 +128,14 @@ fn main() {
             layers.golden = false;
             true
         }
+        "--no-obs" => {
+            obs = false;
+            true
+        }
+        "--progress" => {
+            progress = true;
+            true
+        }
         "--quiet" => {
             quiet = true;
             true
@@ -157,7 +172,13 @@ fn main() {
         );
     }
 
-    let mut engine = Engine::new(args.threads).with_progress(!quiet);
+    // The progress line is interactive chrome: draw it only when asked
+    // for and stderr is actually a terminal, so piped/CI runs stay clean.
+    let live = progress && std::io::stderr().is_terminal();
+    let mut engine = Engine::new(args.threads).with_progress(live && !quiet);
+    if !obs {
+        engine = engine.without_obs();
+    }
     if !layers.sim {
         engine = engine.without_sim_cache();
     }
@@ -173,7 +194,7 @@ fn main() {
     let factory = SimulatedClientFactory::for_model(plan.model);
     let result = engine.execute(&plan, &factory);
     let summary = render_summary(&plan, &result);
-    if !quiet {
+    if live && !quiet {
         eprintln!();
     }
     print!("{summary}");

@@ -14,10 +14,20 @@
 //!   engine installs on every worker (simulation cache, elaboration
 //!   cache, session pool, golden-artifact cache);
 //! * [`artifact`] — deterministic `outcomes.jsonl` plus the measured
-//!   `timings.jsonl` sidecar;
-//! * [`report`] — aggregate summaries.
+//!   `timings.jsonl` sidecar and the aggregated `metrics.json`;
+//! * [`report`] — aggregate summaries and latency percentile tables;
+//! * [`json`] — the minimal JSON reader matching the artifact encoder.
 //!
-//! The `correctbench-run` binary drives all of it from the command line.
+//! Observability (`correctbench_obs`) is threaded through the whole
+//! stack: the engine arms one collector per job, `TaskOutcome::obs`
+//! carries the drained per-phase self-times and counters, and the
+//! artifacts above join them to the measured wall times. `--no-obs`
+//! (or [`Engine::without_obs`]) turns all of it off; `outcomes.jsonl`
+//! is byte-identical either way.
+//!
+//! The `correctbench-run` binary drives all of it from the command
+//! line; `correctbench-report` re-aggregates any `timings.jsonl` into
+//! percentile tables offline.
 //!
 //! # Examples
 //!
@@ -36,6 +46,7 @@
 
 pub mod artifact;
 pub mod cli;
+pub mod json;
 pub mod plan;
 pub mod report;
 pub mod scheduler;
@@ -57,12 +68,13 @@ pub mod cache {
     pub use correctbench_tbgen::{CacheStack, StackGuard, StackStats};
 }
 
-pub use artifact::{outcomes_jsonl, write_artifacts, ArtifactPaths};
+pub use artifact::{metrics_json, outcomes_jsonl, timings_jsonl, write_artifacts, ArtifactPaths};
 pub use cache::{
     CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, SimCache, StackStats,
 };
 pub use cli::RunArgs;
+pub use correctbench_obs::{Histogram, JobObs, ObsStack};
 pub use plan::{mix_seed, problem_subset, Job, RunPlan};
-pub use report::{render_summary, summarize, MethodSummary};
+pub use report::{latency_groups, render_latency_table, render_summary, summarize, MethodSummary};
 pub use scheduler::{parallel_map, Engine, RunResult};
 pub use worker::{run_job, TaskOutcome};

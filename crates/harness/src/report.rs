@@ -5,6 +5,7 @@ use crate::scheduler::RunResult;
 use crate::worker::TaskOutcome;
 use correctbench::Method;
 use correctbench_autoeval::EvalLevel;
+use correctbench_obs::Histogram;
 use std::fmt::Write as _;
 
 /// Aggregated statistics of one method across a run.
@@ -68,6 +69,59 @@ pub fn summarize(outcomes: &[TaskOutcome], method: Method) -> MethodSummary {
     s
 }
 
+/// Groups job wall times into one latency [`Histogram`] per
+/// `(problem, method)` cell, in first-appearance order over the
+/// canonical job list — the grouping itself is deterministic even
+/// though the recorded times are measurements. Shared by the
+/// `summary.txt` percentile table and the `metrics.json` artifact.
+pub fn latency_groups(outcomes: &[TaskOutcome]) -> Vec<(String, String, Histogram)> {
+    let mut groups: Vec<(String, String, Histogram)> = Vec::new();
+    for o in outcomes {
+        let method = o.method.name().to_string();
+        let slot = groups
+            .iter()
+            .position(|(p, m, _)| *p == o.problem && *m == method);
+        let hist = match slot {
+            Some(i) => &mut groups[i].2,
+            None => {
+                groups.push((o.problem.clone(), method, Histogram::new()));
+                &mut groups.last_mut().expect("just pushed").2
+            }
+        };
+        hist.record(o.wall.as_nanos() as u64);
+    }
+    groups
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the per-`(problem, method)` job-latency percentile table
+/// (p50/p90/p99/max in milliseconds) that `render_summary` appends.
+pub fn render_latency_table(outcomes: &[TaskOutcome]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "job latency percentiles (ms)\n{:<18} {:<13} {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "problem", "method", "runs", "p50", "p90", "p99", "max"
+    );
+    for (problem, method, hist) in latency_groups(outcomes) {
+        let _ = writeln!(
+            s,
+            "{:<18} {:<13} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            problem,
+            method,
+            hist.count(),
+            ns_to_ms(hist.percentile(0.50)),
+            ns_to_ms(hist.percentile(0.90)),
+            ns_to_ms(hist.percentile(0.99)),
+            ns_to_ms(hist.max()),
+        );
+    }
+    s
+}
+
 /// Renders the run summary: per-method evaluation table, token costs,
 /// and the engine's wall-clock / cache measurements.
 pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
@@ -116,5 +170,6 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
             }
         }
     }
+    s.push_str(&render_latency_table(&result.outcomes));
     s
 }

@@ -10,6 +10,7 @@
 use crate::plan::RunPlan;
 use crate::worker::{run_job, TaskOutcome};
 use correctbench_llm::ClientFactory;
+use correctbench_obs::ObsStack;
 use correctbench_tbgen::{CacheStack, ElabCache, EvalContext, GoldenCache, SimCache, StackStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -26,6 +27,7 @@ use std::time::{Duration, Instant};
 pub struct Engine {
     threads: usize,
     stack: CacheStack,
+    obs: ObsStack,
     progress: bool,
     one_shot: bool,
 }
@@ -37,6 +39,7 @@ impl Engine {
         Engine {
             threads: threads.max(1),
             stack: CacheStack::full(),
+            obs: ObsStack::enabled(),
             progress: false,
             one_shot: false,
         }
@@ -94,6 +97,22 @@ impl Engine {
         self
     }
 
+    /// Replaces the observability switch ([`ObsStack::enabled`] by
+    /// default): each job runs under its own collector, so phase
+    /// self-times and counters land in [`TaskOutcome::obs`].
+    pub fn with_obs(mut self, obs: ObsStack) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Disables observability — the `--no-obs` behavior: no collector
+    /// is armed, every span and counter probe short-circuits, and
+    /// [`TaskOutcome::obs`] is `None`.
+    pub fn without_obs(mut self) -> Self {
+        self.obs = ObsStack::disabled();
+        self
+    }
+
     /// Forces the legacy one-shot evaluation path (fresh simulator per
     /// run, interpreted judging) instead of session-batched execution.
     /// The determinism suite runs plans both ways and pins artifact
@@ -127,10 +146,23 @@ impl Engine {
         let stack = self.effective_stack();
         let outcomes = parallel_map(self.threads, Some(&stack), &jobs, |_, job| {
             let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
+            // One collector per job (not per worker): `run_job` drains
+            // it at job end, so measurements are attributed to the job
+            // that incurred them no matter which worker ran it.
+            let _obs_guard = self.obs.install();
             let outcome = run_job(job, &plan.config, factory);
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprint!("[{n}/{total}] {}\r", job.problem.name);
+                let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                let rate = n as f64 / secs;
+                let eta = (total - n) as f64 / rate.max(1e-9);
+                eprint!(
+                    "\r[{n}/{total}] {:>6.1} jobs/s  eta {:>4.0}s  {:<24}",
+                    rate, eta, job.problem.name
+                );
+                if n == total {
+                    eprintln!();
+                }
             }
             outcome
         });

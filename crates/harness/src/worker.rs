@@ -58,6 +58,12 @@ pub struct TaskOutcome {
     /// Measured wall time of the job (non-deterministic; timing sidecar
     /// only).
     pub wall: Duration,
+    /// The job's drained observability measurements (per-phase
+    /// self-times and counters) — `None` when no collector was armed
+    /// (`--no-obs`, or callers outside the engine). Measured data:
+    /// emitted only into `timings.jsonl`/`metrics.json`, never
+    /// `outcomes.jsonl`.
+    pub obs: Option<correctbench_obs::JobObs>,
 }
 
 /// Runs one job to completion.
@@ -90,6 +96,10 @@ pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutc
         trace: outcome.trace,
         tokens: outcome.tokens,
         wall: t0.elapsed(),
+        // Drain (and rearm) the thread's collector while this job's
+        // guard is still installed — the snapshot is exactly this job's
+        // spans and counters.
+        obs: correctbench_obs::take_job(),
     }
 }
 

@@ -39,6 +39,35 @@ fn help_lists_every_cache_layer_flag() {
 }
 
 #[test]
+fn help_lists_the_observability_flags() {
+    let help = help_output();
+    for flag in ["--no-obs", "--progress"] {
+        assert!(
+            help.contains(flag),
+            "--help output is missing `{flag}`:\n{help}"
+        );
+    }
+}
+
+#[test]
+fn report_binary_documents_its_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_correctbench-report"))
+        .arg("--help")
+        .output()
+        .expect("run correctbench-report --help");
+    assert!(
+        out.status.success(),
+        "--help must exit 0, got {:?}",
+        out.status
+    );
+    let help = String::from_utf8(out.stdout).expect("help text is UTF-8");
+    assert!(
+        help.contains("correctbench-report") && help.contains("TIMINGS.JSONL"),
+        "report --help missing usage line:\n{help}"
+    );
+}
+
+#[test]
 fn help_lists_the_core_sweep_flags() {
     let help = help_output();
     for flag in [

@@ -35,6 +35,26 @@ fn two_and_eight_threads_produce_byte_identical_jsonl() {
 }
 
 #[test]
+fn observability_is_semantically_transparent_across_thread_counts() {
+    // Observability only absorbs measurements — collectors never feed
+    // back into evaluation — so the deterministic artifact must be
+    // byte-identical with obs armed (the default), disarmed (--no-obs),
+    // and across worker counts in both modes.
+    let obs_on_4 = artifact_with(Engine::new(4));
+    let obs_off_4 = artifact_with(Engine::new(4).without_obs());
+    assert!(
+        obs_on_4 == obs_off_4,
+        "observability changed outcomes:\n--- obs on ---\n{obs_on_4}\n--- obs off ---\n{obs_off_4}"
+    );
+    let obs_off_2 = artifact_with(Engine::new(2).without_obs());
+    let obs_on_8 = artifact_with(Engine::new(8));
+    assert!(
+        obs_off_2 == obs_on_8,
+        "observability x thread count changed outcomes:\n--- off@2 ---\n{obs_off_2}\n--- on@8 ---\n{obs_on_8}"
+    );
+}
+
+#[test]
 fn cache_is_semantically_transparent() {
     let cached = artifact_with(Engine::new(4));
     let uncached = artifact_with(Engine::new(4).without_cache());

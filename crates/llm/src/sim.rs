@@ -193,6 +193,7 @@ fn drop_scenario_stanza(src: &str, victim: usize, total: usize) -> String {
 
 impl LlmClient for SimulatedLlm {
     fn request(&mut self, req: &LlmRequest<'_>) -> LlmResponse {
+        let _span = correctbench_obs::span(correctbench_obs::Phase::Llm);
         match req {
             LlmRequest::GenerateScenarios { problem } => {
                 let seed = self.rng.gen();

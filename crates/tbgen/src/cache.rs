@@ -185,8 +185,14 @@ impl SimCache {
                 e.value.clone()
             });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::SimCacheHits, 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::SimCacheMisses, 1);
+            }
         };
         found
     }

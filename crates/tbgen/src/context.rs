@@ -244,12 +244,14 @@ pub(crate) fn acquire_session_keyed(
     let key = build_key();
     if let Some((session, hits)) = ctx.checkout(&key) {
         ctx.hits.fetch_add(1, Ordering::Relaxed);
+        correctbench_obs::add(correctbench_obs::Counter::PoolHits, 1);
         return Ok(SessionLease {
             session: Some(session),
             home: Some((ctx, key, hits + 1)),
         });
     }
     ctx.misses.fetch_add(1, Ordering::Relaxed);
+    correctbench_obs::add(correctbench_obs::Counter::PoolMisses, 1);
     // The key's fingerprints are handed to the constructor so a miss
     // pays the visitor walk once, not twice.
     let session = EvalSession::with_fingerprints(problem, checker, key.problem, key.checker)?;

@@ -100,8 +100,14 @@ impl ElabCache {
                 Arc::clone(&e.value)
             });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::ElabCacheHits, 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::ElabCacheMisses, 1);
+            }
         };
         found
     }

@@ -139,8 +139,14 @@ impl GoldenCache {
                 Arc::clone(&e.value)
             });
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::GoldenHits, 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                correctbench_obs::add(correctbench_obs::Counter::GoldenMisses, 1);
+            }
         };
         found
     }

@@ -346,6 +346,7 @@ pub(crate) fn judge_records_with_ports(
     ports: &[correctbench_dataset::PortSpec],
     num_scenarios: usize,
 ) -> Result<Vec<ScenarioResult>, TbError> {
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Judge);
     let mut state = CheckerState::new(checker);
     let mut seen = vec![false; num_scenarios];
     let mut failed = vec![false; num_scenarios];

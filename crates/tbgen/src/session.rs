@@ -304,6 +304,7 @@ impl EvalSession {
         records: &[Record],
         num_scenarios: usize,
     ) -> Result<Vec<ScenarioResult>, TbError> {
+        let _span = correctbench_obs::span(correctbench_obs::Phase::Judge);
         self.judge.reset();
         self.seen.clear();
         self.seen.resize(num_scenarios, false);
@@ -332,6 +333,11 @@ impl EvalSession {
                 }
             }
         }
+
+        correctbench_obs::add(
+            correctbench_obs::Counter::JudgeCommits,
+            self.judge.take_commits_retired(),
+        );
 
         Ok((0..num_scenarios)
             .map(|i| {

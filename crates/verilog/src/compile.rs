@@ -202,6 +202,7 @@ pub struct CompiledDesign {
 impl CompiledDesign {
     /// Compiles `design`, consuming it.
     pub fn new(design: Design) -> CompiledDesign {
+        let _span = correctbench_obs::span(correctbench_obs::Phase::Compile);
         let mut c = Compiler {
             design: &design,
             exprs: Vec::new(),

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 /// modules, recursive instantiation deeper than 16 levels, bad port
 /// bindings, and `always` blocks that could never suspend.
 pub fn elaborate(file: &SourceFile, top: &str) -> Result<Design, ElabError> {
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Elab);
     let mut seen = HashMap::new();
     for m in &file.modules {
         if seen.insert(m.name.clone(), ()).is_some() {

@@ -33,6 +33,7 @@ use crate::lexer::{lex, Keyword, NumberLit, Punct, SpannedToken, Token};
 /// # }
 /// ```
 pub fn parse(src: &str) -> Result<SourceFile, ParseError> {
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Parse);
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut modules = Vec::new();

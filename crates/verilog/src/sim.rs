@@ -273,12 +273,31 @@ impl<'d> Simulator<'d> {
     /// [`SimError::EventBudgetExhausted`] when the instruction budget runs
     /// out (runaway zero-delay loops).
     pub fn run(&mut self) -> Result<SimOutput, SimError> {
+        let _span = correctbench_obs::span(correctbench_obs::Phase::Simulate);
         let Simulator {
             compiled,
             state,
             mode,
         } = self;
-        state.run(compiled.get(), *mode)
+        let steps_before = state.steps;
+        let out = state.run(compiled.get(), *mode);
+        // Flush the run's work volumes to the job's collector (inert
+        // when none is armed). The accumulators are pure measurement
+        // fields, zeroed after flush so a session's next run reports its
+        // own delta.
+        correctbench_obs::add(
+            correctbench_obs::Counter::SimInstrs,
+            state.steps - steps_before,
+        );
+        correctbench_obs::add(
+            correctbench_obs::Counter::SimEvents,
+            std::mem::take(&mut state.events),
+        );
+        correctbench_obs::add(
+            correctbench_obs::Counter::NbaCommits,
+            std::mem::take(&mut state.nba_commits),
+        );
+        out
     }
 
     /// Rewinds every piece of mutable simulation state to power-on —
@@ -321,6 +340,12 @@ struct SimState {
     finished: bool,
     limits: SimLimits,
     steps: u64,
+    /// Activations processed since the last observability flush
+    /// (measurement only — never read by simulation logic).
+    events: u64,
+    /// NBA commits applied since the last observability flush
+    /// (measurement only).
+    nba_commits: u64,
 }
 
 impl SimState {
@@ -360,6 +385,8 @@ impl SimState {
             finished: false,
             limits,
             steps: 0,
+            events: 0,
+            nba_commits: 0,
         }
     }
 
@@ -400,6 +427,8 @@ impl SimState {
         self.lines.clear();
         self.finished = false;
         self.steps = 0;
+        self.events = 0;
+        self.nba_commits = 0;
     }
 
     fn run(&mut self, cd: &CompiledDesign, mode: ExecMode) -> Result<SimOutput, SimError> {
@@ -459,6 +488,7 @@ impl SimState {
                     return Ok(());
                 }
                 activations += 1;
+                self.events += 1;
                 if activations > activation_budget {
                     return Err(SimError::DeltaOverflow { time: self.time });
                 }
@@ -477,6 +507,7 @@ impl SimState {
                 return Err(SimError::DeltaOverflow { time: self.time });
             }
             std::mem::swap(&mut self.nba, &mut self.nba_scratch);
+            self.nba_commits += self.nba_scratch.len() as u64;
             for i in 0..self.nba_scratch.len() {
                 let (sig, lo, value) = std::mem::replace(
                     &mut self.nba_scratch[i],
