@@ -17,8 +17,8 @@ use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
 use correctbench_llm::CheckerArtifact;
 use correctbench_tbgen::{
-    acquire_session, generate_driver, generate_scenarios, GoldenArtifacts, GoldenKey,
-    ScenarioResult, TbError, TbRun,
+    abort_job, acquire_session, generate_driver, generate_scenarios, AbortKind, GoldenArtifacts,
+    GoldenKey, ScenarioResult, TbError, TbRun,
 };
 use correctbench_verilog::mutate::mutate_module;
 use correctbench_verilog::pretty::print_file;
@@ -101,11 +101,24 @@ fn tb_report(run: Result<TbRun, TbError>) -> Option<bool> {
     }
 }
 
+/// Parses source the dataset invariant (or the golden generator)
+/// guarantees is well-formed. If the invariant is ever violated, the
+/// job aborts with a structured `parse_error` instead of panicking the
+/// worker — one bad fixture must not read as a harness crash.
+fn parse_trusted(src: &str, what: &str) -> correctbench_verilog::ast::SourceFile {
+    match correctbench_verilog::parse(src) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("trusted {what} failed to parse: {e}");
+            abort_job(AbortKind::ParseError)
+        }
+    }
+}
+
 /// Generates the `EVAL2_MUTANTS` mutant DUT sources for a problem,
 /// deterministic in `seed`. Every mutant parses and elaborates.
 pub fn eval2_mutants(problem: &Problem, seed: u64) -> Vec<String> {
-    let golden = correctbench_verilog::parse(&problem.golden_rtl)
-        .expect("golden RTL parses by dataset invariant");
+    let golden = parse_trusted(&problem.golden_rtl, "golden RTL");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x000e_7a12);
     let mut mutants = Vec::with_capacity(EVAL2_MUTANTS);
     let mut guard = 0;
@@ -135,9 +148,13 @@ pub fn eval2_mutants(problem: &Problem, seed: u64) -> Vec<String> {
 pub fn golden_testbench(problem: &Problem, seed: u64) -> EvalTb {
     let scenarios = generate_scenarios(problem, seed ^ 0x601d);
     let driver = generate_driver(problem, &scenarios);
-    let checker = CheckerArtifact::clean(
-        compile_module(&problem.golden_module()).expect("golden RTL compiles to checker IR"),
-    );
+    let checker = CheckerArtifact::clean(match compile_module(&problem.golden_module()) {
+        Ok(program) => program,
+        Err(e) => {
+            eprintln!("golden RTL failed to compile to checker IR: {e:?}");
+            abort_job(AbortKind::ParseError)
+        }
+    });
     EvalTb {
         scenarios,
         driver,
@@ -153,9 +170,8 @@ pub fn golden_testbench(problem: &Problem, seed: u64) -> EvalTb {
 /// fixtures by construction.
 pub fn derive_golden_artifacts(problem: &Problem, seed: u64) -> GoldenArtifacts {
     let tb = golden_testbench(problem, seed);
-    let dut = correctbench_verilog::parse(&problem.golden_rtl)
-        .expect("golden RTL parses by dataset invariant");
-    let driver = correctbench_verilog::parse(&tb.driver).expect("generated golden driver parses");
+    let dut = parse_trusted(&problem.golden_rtl, "golden RTL");
+    let driver = parse_trusted(&tb.driver, "golden driver");
     let mutants = eval2_mutants(problem, seed)
         .iter()
         .filter_map(|m| correctbench_verilog::parse(m).ok())
@@ -230,8 +246,7 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
     let golden_dut = match &cached {
         Some(golden) => &golden.dut,
         None => {
-            local_dut = correctbench_verilog::parse(&problem.golden_rtl)
-                .expect("golden RTL parses by dataset invariant");
+            local_dut = parse_trusted(&problem.golden_rtl, "golden RTL");
             &local_dut
         }
     };

@@ -73,10 +73,15 @@ pub fn outcome_json(o: &TaskOutcome) -> String {
         .iter()
         .map(|a| format!("\"{}\"", a.name()))
         .collect();
+    let failure = match o.failure {
+        Some(kind) => format!("\"{}\"", kind.name()),
+        None => "null".to_string(),
+    };
     format!(
         concat!(
             "{{\"job\":{},\"problem\":\"{}\",\"kind\":\"{}\",\"method\":\"{}\",",
             "\"model\":\"{}\",\"rep\":{},\"seed\":{},\"eval\":\"{}\",",
+            "\"status\":\"{}\",\"failure\":{},",
             "\"validated\":{},\"gave_up\":{},\"corrections\":{},\"reboots\":{},",
             "\"final_from_corrector\":{},\"validator_intervened\":{},",
             "\"trace\":[{}],\"input_tokens\":{},\"output_tokens\":{},\"requests\":{}}}"
@@ -89,6 +94,8 @@ pub fn outcome_json(o: &TaskOutcome) -> String {
         o.rep,
         o.seed,
         o.level.name(),
+        if o.failure.is_none() { "ok" } else { "aborted" },
+        failure,
         o.validated,
         o.gave_up,
         o.corrections,
@@ -100,6 +107,125 @@ pub fn outcome_json(o: &TaskOutcome) -> String {
         o.tokens.output_tokens,
         o.tokens.requests,
     )
+}
+
+/// Extracts an integer field from a canonical artifact line without
+/// going through the f64-based reader (exact for all 64 bits).
+fn raw_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(line.len(), |i| start + i);
+    line[start..end].parse().ok()
+}
+
+/// Parses one `outcomes.jsonl` line back into its [`TaskOutcome`] — the
+/// exact inverse of [`outcome_json`] over the deterministic fields
+/// (`wall` and `obs` are measured, not journaled, so they come back
+/// zero/`None`). This is what `--resume` replays a journal with.
+///
+/// # Errors
+///
+/// A human-readable message when the line is not a well-formed outcome
+/// object (the resume path treats a broken *last* line as a torn write
+/// and truncates it; a broken earlier line is a corrupt journal).
+pub fn parse_outcome_line(line: &str) -> Result<TaskOutcome, String> {
+    use correctbench::{Action, Method};
+    use correctbench_autoeval::EvalLevel;
+    use correctbench_llm::{ModelKind, TokenUsage};
+    let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(crate::json::Value::as_u64)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
+    };
+    let string = |key: &str| {
+        v.get(key)
+            .and_then(crate::json::Value::as_str)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let boolean = |key: &str| match v.get(key) {
+        Some(crate::json::Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean field `{key}`")),
+    };
+    let kind = match string("kind")? {
+        "cmb" => CircuitKind::Combinational,
+        "seq" => CircuitKind::Sequential,
+        other => return Err(format!("unknown kind `{other}`")),
+    };
+    let method_name = string("method")?;
+    let method = Method::ALL
+        .into_iter()
+        .find(|m| m.name() == method_name)
+        .ok_or_else(|| format!("unknown method `{method_name}`"))?;
+    let model_name = string("model")?;
+    let model = [
+        ModelKind::Gpt4o,
+        ModelKind::Claude35Sonnet,
+        ModelKind::Gpt4oMini,
+    ]
+    .into_iter()
+    .find(|m| m.as_str() == model_name)
+    .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let level_name = string("eval")?;
+    let level = EvalLevel::ALL
+        .into_iter()
+        .find(|l| l.name() == level_name)
+        .ok_or_else(|| format!("unknown eval level `{level_name}`"))?;
+    let failure = match v.get("failure") {
+        Some(crate::json::Value::Null) => None,
+        Some(crate::json::Value::Str(name)) => Some(
+            correctbench_tbgen::AbortKind::from_name(name)
+                .ok_or_else(|| format!("unknown failure kind `{name}`"))?,
+        ),
+        _ => return Err("missing field `failure`".to_string()),
+    };
+    let trace = match v.get("trace") {
+        Some(crate::json::Value::Arr(actions)) => actions
+            .iter()
+            .map(|a| {
+                let name = a.as_str().ok_or("non-string trace action")?;
+                [
+                    Action::Correcting,
+                    Action::Rebooting,
+                    Action::Pass,
+                    Action::GiveUp,
+                ]
+                .into_iter()
+                .find(|action| action.name() == name)
+                .ok_or_else(|| format!("unknown action `{name}`"))
+            })
+            .collect::<Result<Vec<Action>, String>>()?,
+        _ => return Err("missing field `trace`".to_string()),
+    };
+    Ok(TaskOutcome {
+        job_id: num("job")? as usize,
+        problem: string("problem")?.to_string(),
+        kind,
+        method,
+        model,
+        rep: num("rep")?,
+        // Seeds use all 64 bits; the f64-based reader would round them
+        // past 2^53, so the seed comes straight off the raw line.
+        seed: raw_u64_field(line, "seed").ok_or("missing numeric field `seed`")?,
+        level,
+        failure,
+        validated: boolean("validated")?,
+        gave_up: boolean("gave_up")?,
+        corrections: num("corrections")? as u32,
+        reboots: num("reboots")? as u32,
+        final_from_corrector: boolean("final_from_corrector")?,
+        validator_intervened: boolean("validator_intervened")?,
+        trace,
+        tokens: TokenUsage {
+            input_tokens: num("input_tokens")?,
+            output_tokens: num("output_tokens")?,
+            requests: num("requests")?,
+        },
+        wall: std::time::Duration::ZERO,
+        obs: None,
+    })
 }
 
 /// Renders the deterministic outcome stream: one line per job, canonical
@@ -267,24 +393,335 @@ pub struct ArtifactPaths {
     pub summary: PathBuf,
 }
 
-/// Writes the artifact set of `result` under `dir` (created if missing).
+/// Writes `contents` to `path` atomically: a sibling temp file is
+/// written, flushed, and renamed over the destination, so a crash at
+/// any instant leaves either the old file or the new one — never a
+/// truncated hybrid.
+///
+/// # Errors
+///
+/// Any filesystem failure writing or renaming the temp file.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn artifact_paths(dir: &Path) -> ArtifactPaths {
+    ArtifactPaths {
+        outcomes: dir.join("outcomes.jsonl"),
+        timings: dir.join("timings.jsonl"),
+        metrics: dir.join("metrics.json"),
+        summary: dir.join("summary.txt"),
+    }
+}
+
+/// Writes the artifact set of `result` under `dir` (created if
+/// missing). Every file is written atomically ([`write_atomic`]).
 ///
 /// # Errors
 ///
 /// Any filesystem failure creating `dir` or writing a file.
 pub fn write_artifacts(dir: &Path, result: &RunResult, summary: &str) -> io::Result<ArtifactPaths> {
     std::fs::create_dir_all(dir)?;
-    let paths = ArtifactPaths {
-        outcomes: dir.join("outcomes.jsonl"),
-        timings: dir.join("timings.jsonl"),
-        metrics: dir.join("metrics.json"),
-        summary: dir.join("summary.txt"),
-    };
-    std::fs::write(&paths.outcomes, outcomes_jsonl(&result.outcomes))?;
-    std::fs::write(&paths.timings, timings_jsonl(result))?;
-    std::fs::write(&paths.metrics, metrics_json(result))?;
-    std::fs::write(&paths.summary, summary)?;
+    let paths = artifact_paths(dir);
+    write_atomic(&paths.outcomes, &outcomes_jsonl(&result.outcomes))?;
+    write_sidecars(dir, result, summary)
+}
+
+/// Like [`write_artifacts`] but leaves `outcomes.jsonl` alone — the
+/// tail of a journaled run, where the [`OutcomeJournal`] already wrote
+/// (and never rewrites) the outcome stream.
+///
+/// # Errors
+///
+/// Any filesystem failure creating `dir` or writing a file.
+pub fn write_sidecars(dir: &Path, result: &RunResult, summary: &str) -> io::Result<ArtifactPaths> {
+    std::fs::create_dir_all(dir)?;
+    let paths = artifact_paths(dir);
+    write_atomic(&paths.timings, &timings_jsonl(result))?;
+    write_atomic(&paths.metrics, &metrics_json(result))?;
+    write_atomic(&paths.summary, summary)?;
     Ok(paths)
+}
+
+/// An append-only, per-line-flushed `outcomes.jsonl` writer.
+///
+/// Workers finish jobs in arbitrary order but the journal file must be
+/// a prefix of the canonical stream at every instant (that is what
+/// makes `--resume` sound): completed lines are parked in a reorder
+/// buffer and the contiguous run starting at the next expected job id
+/// is written and flushed line by line. After a SIGKILL the file is a
+/// canonical prefix plus at most one torn trailing line.
+///
+/// IO errors are latched instead of panicking — a full disk must not
+/// look like a job crash — and surfaced through
+/// [`OutcomeJournal::take_error`] when the run finishes.
+pub struct OutcomeJournal {
+    inner: std::sync::Mutex<JournalInner>,
+}
+
+struct JournalInner {
+    file: std::fs::File,
+    /// Next job id to hit the file.
+    next: usize,
+    /// Completed lines waiting for their predecessors.
+    pending: std::collections::BTreeMap<usize, String>,
+    error: Option<io::Error>,
+}
+
+impl OutcomeJournal {
+    /// Creates (or truncates) `path`, expecting job ids from 0.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure creating the file.
+    pub fn create(path: &Path) -> io::Result<OutcomeJournal> {
+        Self::with_file(std::fs::File::create(path)?, 0)
+    }
+
+    /// Opens `path` for append, expecting job ids from `completed` —
+    /// the `--resume` constructor, called after the replay pass
+    /// verified (and possibly truncated) the existing prefix.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure opening the file.
+    pub fn resume(path: &Path, completed: usize) -> io::Result<OutcomeJournal> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Self::with_file(file, completed)
+    }
+
+    fn with_file(file: std::fs::File, next: usize) -> io::Result<OutcomeJournal> {
+        Ok(OutcomeJournal {
+            inner: std::sync::Mutex::new(JournalInner {
+                file,
+                next,
+                pending: std::collections::BTreeMap::new(),
+                error: None,
+            }),
+        })
+    }
+
+    /// Records job `job_id`'s rendered line and drains every line that
+    /// is now contiguous, flushing after each so the on-disk file never
+    /// runs ahead of what the OS was asked to persist.
+    pub fn push(&self, job_id: usize, line: String) {
+        use std::io::Write as _;
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        if inner.error.is_some() {
+            return;
+        }
+        inner.pending.insert(job_id, line);
+        loop {
+            let next = inner.next;
+            let Some(line) = inner.pending.remove(&next) else {
+                break;
+            };
+            let wrote = inner
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| inner.file.write_all(b"\n"))
+                .and_then(|()| inner.file.flush());
+            if let Err(e) = wrote {
+                inner.error = Some(e);
+                return;
+            }
+            inner.next += 1;
+        }
+    }
+
+    /// The first IO error the journal hit, if any (taking it).
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.inner
+            .lock()
+            .expect("journal lock poisoned")
+            .error
+            .take()
+    }
+}
+
+/// Replays an interrupted run's `outcomes.jsonl`: parses the completed
+/// prefix, discards a torn trailing line (truncating the file to the
+/// last intact line, with a stderr warning), and verifies the lines are
+/// exactly jobs `0..n` in order. The returned outcomes are what
+/// `--resume` skips re-running.
+///
+/// # Errors
+///
+/// IO failures, or `InvalidData` when the journal is corrupt beyond a
+/// torn tail (a broken or out-of-order line with more lines after it).
+pub fn replay_journal(path: &Path) -> io::Result<Vec<TaskOutcome>> {
+    let corrupt = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let bytes = std::fs::read(path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let mut outcomes: Vec<TaskOutcome> = Vec::new();
+    // Byte offset after the last intact line — where a torn tail gets
+    // truncated back to.
+    let mut good_end = 0u64;
+    let mut pos = 0usize;
+    for chunk in text.split_inclusive('\n') {
+        let start = pos;
+        pos += chunk.len();
+        let is_last = pos >= text.len();
+        let line = chunk.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            good_end = pos as u64;
+            continue;
+        }
+        let parsed = if chunk.ends_with('\n') {
+            // A line without its newline is a torn write even if the
+            // JSON happens to close.
+            parse_outcome_line(line)
+        } else {
+            Err("no trailing newline".to_string())
+        };
+        match parsed {
+            Ok(o) => {
+                if o.job_id != outcomes.len() {
+                    return Err(corrupt(format!(
+                        "{}: line {} has job id {}, expected {}",
+                        path.display(),
+                        outcomes.len() + 1,
+                        o.job_id,
+                        outcomes.len()
+                    )));
+                }
+                outcomes.push(o);
+                good_end = pos as u64;
+            }
+            Err(e) if is_last => {
+                eprintln!(
+                    "warning: {}: discarding torn trailing line at byte {start} ({e})",
+                    path.display()
+                );
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(good_end)?;
+                break;
+            }
+            Err(e) => {
+                return Err(corrupt(format!(
+                    "{}: corrupt journal line at byte {start}: {e}",
+                    path.display()
+                )));
+            }
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Renders the `plan.json` run manifest: everything `--resume` needs to
+/// rebuild the interrupted run's plan (problems by name, methods,
+/// model, seeds, budgets). The pipeline `Config` is not recorded — the
+/// run binary always uses the default configuration, which the manifest
+/// schema version pins.
+pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
+    let problems: Vec<String> = plan
+        .problems
+        .iter()
+        .map(|p| format!("\"{}\"", json_escape(&p.name)))
+        .collect();
+    let methods: Vec<String> = plan
+        .methods
+        .iter()
+        .map(|m| format!("\"{}\"", m.name()))
+        .collect();
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    format!(
+        concat!(
+            "{{\"schema\":\"correctbench-plan-v1\",\"name\":\"{}\",",
+            "\"problems\":[{}],\"methods\":[{}],\"model\":\"{}\",",
+            "\"reps\":{},\"base_seed\":{},\"sim_budget\":{},\"job_deadline_ms\":{}}}\n"
+        ),
+        json_escape(&plan.name),
+        problems.join(","),
+        methods.join(","),
+        plan.model.as_str(),
+        plan.reps,
+        plan.base_seed,
+        opt(plan.sim_budget),
+        opt(plan.job_deadline_ms),
+    )
+}
+
+/// Parses a `plan.json` manifest back into the [`RunPlan`] it recorded.
+///
+/// # Errors
+///
+/// A human-readable message on schema mismatch, malformed JSON, or a
+/// problem name the dataset does not know.
+pub fn parse_plan_manifest(src: &str) -> Result<crate::plan::RunPlan, String> {
+    use correctbench::Method;
+    use correctbench_llm::ModelKind;
+    let v = crate::json::parse(src.trim_end()).map_err(|e| e.to_string())?;
+    if v.get("schema").and_then(crate::json::Value::as_str) != Some("correctbench-plan-v1") {
+        return Err("not a correctbench-plan-v1 manifest".to_string());
+    }
+    let string = |key: &str| {
+        v.get(key)
+            .and_then(crate::json::Value::as_str)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let names = |key: &str| match v.get(key) {
+        Some(crate::json::Value::Arr(items)) => items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("non-string entry in `{key}`"))
+            })
+            .collect::<Result<Vec<String>, String>>(),
+        _ => Err(format!("missing array field `{key}`")),
+    };
+    let opt = |key: &str| match v.get(key) {
+        Some(crate::json::Value::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("bad field `{key}`")),
+        None => Err(format!("missing field `{key}`")),
+    };
+    let problems = names("problems")?
+        .iter()
+        .map(|name| {
+            correctbench_dataset::problem(name).ok_or_else(|| format!("unknown problem `{name}`"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let methods = names("methods")?
+        .iter()
+        .map(|name| {
+            Method::ALL
+                .into_iter()
+                .find(|m| m.name() == *name)
+                .ok_or_else(|| format!("unknown method `{name}`"))
+        })
+        .collect::<Result<Vec<Method>, String>>()?;
+    let model_name = string("model")?;
+    let model = [
+        ModelKind::Gpt4o,
+        ModelKind::Claude35Sonnet,
+        ModelKind::Gpt4oMini,
+    ]
+    .into_iter()
+    .find(|m| m.as_str() == model_name)
+    .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let mut plan = crate::plan::RunPlan::new(string("name")?.to_string(), problems);
+    plan.methods = methods;
+    plan.model = model;
+    plan.reps = raw_u64_field(src, "reps").ok_or("missing field `reps`")?;
+    plan.base_seed = raw_u64_field(src, "base_seed").ok_or("missing field `base_seed`")?;
+    plan.sim_budget = opt("sim_budget")?;
+    plan.job_deadline_ms = opt("job_deadline_ms")?;
+    Ok(plan)
 }
 
 #[cfg(test)]

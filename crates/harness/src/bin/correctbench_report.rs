@@ -54,14 +54,30 @@ fn main() {
     let mut jobs = 0usize;
     let mut run_line: Option<Value> = None;
 
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = parse(line).unwrap_or_else(|e| {
-            eprintln!("error: {path}:{}: {e}", lineno + 1);
-            std::process::exit(1)
-        });
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
+    let last = lines.len().saturating_sub(1);
+    for (i, &(lineno, line)) in lines.iter().enumerate() {
+        let v = match parse(line) {
+            Ok(v) => v,
+            // A broken *final* line is what a SIGKILLed run leaves
+            // behind (the journal flushes per line, so at most the tail
+            // is torn): report the rest instead of refusing the file.
+            Err(e) if i == last => {
+                eprintln!(
+                    "warning: {path}:{}: skipping truncated trailing line ({e})",
+                    lineno + 1
+                );
+                continue;
+            }
+            Err(e) => {
+                eprintln!("error: {path}:{}: {e}", lineno + 1);
+                std::process::exit(1)
+            }
+        };
         if v.get("run_wall_ms").is_some() {
             run_line = Some(v);
             continue;

@@ -3,9 +3,11 @@
 //! ```text
 //! correctbench-run [--full] [--problems N] [--reps N] [--seed N]
 //!                  [--threads N] [--methods cb,ab,base] [--model NAME]
-//!                  [--out DIR] [--no-cache] [--no-sim-cache]
-//!                  [--no-elab-cache] [--no-session-pool]
-//!                  [--no-golden-cache] [--no-obs] [--progress] [--quiet]
+//!                  [--out DIR] [--resume DIR] [--sim-budget N]
+//!                  [--job-deadline-ms N] [--faults SPEC] [--no-cache]
+//!                  [--no-sim-cache] [--no-elab-cache]
+//!                  [--no-session-pool] [--no-golden-cache] [--no-obs]
+//!                  [--progress] [--quiet]
 //! ```
 //!
 //! Expands (problems × methods × reps) into a job graph and runs it on a
@@ -20,14 +22,36 @@
 //! `summary.txt`. `--no-obs` disarms the per-job observability
 //! collectors; `--progress` draws a live done/throughput/ETA line on
 //! stderr (only when stderr is a terminal).
+//!
+//! # Robustness
+//!
+//! Every job runs inside a fault barrier: a panic (or a structured
+//! abort from an exhausted budget) becomes a `status: "aborted"`
+//! outcome line with a stable `failure` taxonomy instead of killing the
+//! run. `--sim-budget N` caps every simulation's event budget;
+//! `--job-deadline-ms N` bounds each job's wall time. With `--out` the
+//! outcome stream is journaled — appended and flushed per line as jobs
+//! complete — and a `plan.json` manifest is written up front, so a run
+//! killed at any instant can be finished with `--resume DIR` (replays
+//! the journal, skips completed jobs, appends the rest; the final file
+//! is byte-identical to an uninterrupted run). `--faults` injects
+//! test-only failures (see the fault module docs for the grammar).
+//!
+//! Exit codes: 0 all jobs ok; 1 infrastructure/IO failure; 2 usage
+//! error; 3 run completed but at least one job aborted.
 
 use correctbench::Method;
-use correctbench_harness::cli::{usage, write_artifacts_or_exit, RunArgs};
-use correctbench_harness::{render_summary, Engine, RunPlan};
+use correctbench_harness::cli::{numeric_flag, usage, RunArgs};
+use correctbench_harness::{
+    parse_plan_manifest, plan_manifest_json, render_summary, replay_journal, write_atomic,
+    write_sidecars, Engine, FaultPlan, OutcomeJournal, RunPlan, RunResult,
+};
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 use std::io::IsTerminal as _;
+use std::path::PathBuf;
 
 const EXTRA_USAGE: &str = "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] \
+     [--resume DIR] [--sim-budget N] [--job-deadline-ms N] [--faults SPEC] \
      [--no-cache] [--no-sim-cache] [--no-elab-cache] [--no-session-pool] [--no-golden-cache] \
      [--no-obs] [--progress] [--quiet]";
 
@@ -54,6 +78,13 @@ fn parse_model(spec: &str) -> ModelKind {
         "gpt-4o-mini" | "mini" => ModelKind::Gpt4oMini,
         other => usage(&format!("unknown model `{other}`"), EXTRA_USAGE),
     }
+}
+
+/// Aborts with exit code 1 — an infrastructure failure, as opposed to a
+/// usage error (2) or aborted jobs (3).
+fn infra(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
 }
 
 /// Which cache-stack layers the run enables (all on by default).
@@ -87,6 +118,10 @@ fn main() {
     let mut obs = true;
     let mut progress = false;
     let mut quiet = false;
+    let mut sim_budget: Option<u64> = None;
+    let mut job_deadline_ms: Option<u64> = None;
+    let mut faults = FaultPlan::none();
+    let mut resume: Option<PathBuf> = None;
     let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
         "--methods" => {
             methods = parse_methods(
@@ -100,6 +135,27 @@ fn main() {
                 &it.next()
                     .unwrap_or_else(|| usage("--model needs a name", EXTRA_USAGE)),
             );
+            true
+        }
+        "--sim-budget" => {
+            sim_budget = Some(numeric_flag("--sim-budget", it, EXTRA_USAGE));
+            true
+        }
+        "--job-deadline-ms" => {
+            job_deadline_ms = Some(numeric_flag("--job-deadline-ms", it, EXTRA_USAGE));
+            true
+        }
+        "--faults" => {
+            let spec = it
+                .next()
+                .unwrap_or_else(|| usage("--faults needs a spec", EXTRA_USAGE));
+            faults = FaultPlan::parse(&spec).unwrap_or_else(|e| usage(&e, EXTRA_USAGE));
+            true
+        }
+        "--resume" => {
+            resume = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                usage("--resume needs a run directory", EXTRA_USAGE)
+            })));
             true
         }
         // The alias: disable every layer of the stack at once.
@@ -143,15 +199,44 @@ fn main() {
         _ => false,
     });
 
-    let mut plan = RunPlan::new("correctbench-run", args.problem_set());
-    plan.methods = methods;
-    plan.model = model;
-    plan.reps = args.reps;
-    plan.base_seed = args.seed;
+    // `--resume DIR` rebuilds the plan from DIR's manifest (the sweep
+    // flags of the original invocation win over any given now) and
+    // replays the journal; a fresh run shapes the plan from the flags.
+    let (plan, prior) = match &resume {
+        Some(dir) => {
+            let manifest_path = dir.join("plan.json");
+            let manifest = std::fs::read_to_string(&manifest_path).unwrap_or_else(|e| {
+                infra(&format!("cannot read {}: {e}", manifest_path.display()))
+            });
+            let plan = parse_plan_manifest(&manifest)
+                .unwrap_or_else(|e| infra(&format!("{}: {e}", manifest_path.display())));
+            let prior = replay_journal(&dir.join("outcomes.jsonl"))
+                .unwrap_or_else(|e| infra(&format!("cannot replay journal: {e}")));
+            if prior.len() > plan.num_jobs() {
+                infra(&format!(
+                    "journal has {} outcomes but the plan only has {} jobs",
+                    prior.len(),
+                    plan.num_jobs()
+                ));
+            }
+            (plan, prior)
+        }
+        None => {
+            let mut plan = RunPlan::new("correctbench-run", args.problem_set());
+            plan.methods = methods;
+            plan.model = model;
+            plan.reps = args.reps;
+            plan.base_seed = args.seed;
+            plan.sim_budget = sim_budget;
+            plan.job_deadline_ms = job_deadline_ms;
+            (plan, Vec::new())
+        }
+    };
+    let out = resume.clone().or_else(|| args.out.clone());
 
     if !quiet {
         eprintln!(
-            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, caches {})",
+            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, caches {}){}",
             plan.problems.len(),
             plan.methods.len(),
             plan.reps,
@@ -169,13 +254,20 @@ fn main() {
             } else {
                 "off".to_string()
             },
+            if prior.is_empty() {
+                String::new()
+            } else {
+                format!(", resuming after {} journaled jobs", prior.len())
+            },
         );
     }
 
     // The progress line is interactive chrome: draw it only when asked
     // for and stderr is actually a terminal, so piped/CI runs stay clean.
     let live = progress && std::io::stderr().is_terminal();
-    let mut engine = Engine::new(args.threads).with_progress(live && !quiet);
+    let mut engine = Engine::new(args.threads)
+        .with_progress(live && !quiet)
+        .with_faults(faults);
     if !obs {
         engine = engine.without_obs();
     }
@@ -192,15 +284,50 @@ fn main() {
         engine = engine.without_golden_cache();
     }
     let factory = SimulatedClientFactory::for_model(plan.model);
-    let result = engine.execute(&plan, &factory);
+
+    // With an output directory the outcome stream goes through the
+    // crash-safe journal: manifest first (atomically), then one flushed
+    // line per completed job. Without one, everything stays in memory.
+    let journal = out.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| infra(&format!("cannot create {}: {e}", dir.display())));
+        let outcomes_path = dir.join("outcomes.jsonl");
+        if resume.is_some() {
+            OutcomeJournal::resume(&outcomes_path, prior.len())
+                .unwrap_or_else(|e| infra(&format!("cannot reopen journal: {e}")))
+        } else {
+            write_atomic(&dir.join("plan.json"), &plan_manifest_json(&plan))
+                .unwrap_or_else(|e| infra(&format!("cannot write plan manifest: {e}")));
+            OutcomeJournal::create(&outcomes_path)
+                .unwrap_or_else(|e| infra(&format!("cannot create journal: {e}")))
+        }
+    });
+
+    let result = engine.execute_streamed(&plan, &factory, journal.as_ref(), prior.len());
+    if let Some(e) = journal.as_ref().and_then(|j| j.take_error()) {
+        infra(&format!("journal write failed: {e}"));
+    }
+
+    // Replayed outcomes rejoin the fresh ones so the summary and the
+    // sidecars describe the whole run (their wall times are unknown —
+    // measured data from a previous process — and read as zero).
+    let result = RunResult {
+        outcomes: prior.into_iter().chain(result.outcomes).collect(),
+        ..result
+    };
     let summary = render_summary(&plan, &result);
     if live && !quiet {
         eprintln!();
     }
     print!("{summary}");
 
-    if let Some(dir) = &args.out {
-        let paths = write_artifacts_or_exit(dir, &result, &summary);
+    if let Some(dir) = &out {
+        let paths = write_sidecars(dir, &result, &summary).unwrap_or_else(|e| {
+            infra(&format!(
+                "failed to write artifacts to {}: {e}",
+                dir.display()
+            ))
+        });
         if !quiet {
             eprintln!(
                 "artifacts: {} | {} | {}",
@@ -209,5 +336,15 @@ fn main() {
                 paths.summary.display()
             );
         }
+    }
+
+    let aborted = result
+        .outcomes
+        .iter()
+        .filter(|o| o.failure.is_some())
+        .count();
+    if aborted > 0 {
+        eprintln!("{aborted} job(s) aborted (see the `failure` field in outcomes)");
+        std::process::exit(3);
     }
 }

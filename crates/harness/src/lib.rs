@@ -46,6 +46,7 @@
 
 pub mod artifact;
 pub mod cli;
+pub mod fault;
 pub mod json;
 pub mod plan;
 pub mod report;
@@ -68,13 +69,19 @@ pub mod cache {
     pub use correctbench_tbgen::{CacheStack, StackGuard, StackStats};
 }
 
-pub use artifact::{metrics_json, outcomes_jsonl, timings_jsonl, write_artifacts, ArtifactPaths};
+pub use artifact::{
+    metrics_json, outcome_json, outcomes_jsonl, parse_outcome_line, parse_plan_manifest,
+    plan_manifest_json, replay_journal, timings_jsonl, write_artifacts, write_atomic,
+    write_sidecars, ArtifactPaths, OutcomeJournal,
+};
 pub use cache::{
     CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, SimCache, StackStats,
 };
 pub use cli::RunArgs;
 pub use correctbench_obs::{Histogram, JobObs, ObsStack};
+pub use correctbench_tbgen::AbortKind;
+pub use fault::{FaultKind, FaultPlan, FAULT_EXIT_CODE};
 pub use plan::{mix_seed, problem_subset, Job, RunPlan};
 pub use report::{latency_groups, render_latency_table, render_summary, summarize, MethodSummary};
 pub use scheduler::{parallel_map, Engine, RunResult};
-pub use worker::{run_job, TaskOutcome};
+pub use worker::{run_job, run_job_guarded, TaskOutcome};

@@ -29,6 +29,20 @@ pub struct RunPlan {
     pub base_seed: u64,
     /// Pipeline configuration shared by all jobs.
     pub config: Config,
+    /// Per-simulation event-budget cap (`--sim-budget`): clamps the step
+    /// limit of every simulation a job runs. When the cap binds (it is
+    /// lower than the natural limit) and a simulation exhausts it, the
+    /// job aborts with `sim_budget_exhausted` — deterministically, since
+    /// the budget is a pure function of the plan. `None` = natural
+    /// limits only.
+    pub sim_budget: Option<u64>,
+    /// Per-job wall-clock deadline in milliseconds
+    /// (`--job-deadline-ms`): a job still simulating past its deadline
+    /// aborts with `deadline_exceeded`. Wall time is measured, so this
+    /// is the one knob that makes outcomes depend on machine speed —
+    /// off (`None`) by default and excluded from the determinism
+    /// contract when set.
+    pub job_deadline_ms: Option<u64>,
 }
 
 impl RunPlan {
@@ -42,6 +56,8 @@ impl RunPlan {
             reps: 1,
             base_seed: 2025,
             config: Config::default(),
+            sim_budget: None,
+            job_deadline_ms: None,
         }
     }
 

@@ -7,8 +7,10 @@
 //! finished what when: the outcome vector is byte-for-byte independent of
 //! the thread count.
 
+use crate::artifact::{outcome_json, OutcomeJournal};
+use crate::fault::FaultPlan;
 use crate::plan::RunPlan;
-use crate::worker::{run_job, TaskOutcome};
+use crate::worker::{run_job_guarded, TaskOutcome};
 use correctbench_llm::ClientFactory;
 use correctbench_obs::ObsStack;
 use correctbench_tbgen::{CacheStack, ElabCache, EvalContext, GoldenCache, SimCache, StackStats};
@@ -30,6 +32,7 @@ pub struct Engine {
     obs: ObsStack,
     progress: bool,
     one_shot: bool,
+    faults: FaultPlan,
 }
 
 impl Engine {
@@ -42,7 +45,17 @@ impl Engine {
             obs: ObsStack::enabled(),
             progress: false,
             one_shot: false,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Injects a test-only [`FaultPlan`]: the listed jobs are broken on
+    /// purpose at job start (or through their LLM transport) so the
+    /// fault-isolation and crash-recovery suites have something to
+    /// survive. Production runs keep the default empty plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replaces the whole cache stack (pass an externally-shared stack
@@ -139,18 +152,45 @@ impl Engine {
     /// Runs every job of `plan`, returning outcomes in canonical job
     /// order plus run-level measurements.
     pub fn execute(&self, plan: &RunPlan, factory: &dyn ClientFactory) -> RunResult {
+        self.execute_streamed(plan, factory, None, 0)
+    }
+
+    /// Like [`Engine::execute`], but skips the first `skip` jobs of the
+    /// canonical list (they are already in the journal a `--resume`
+    /// replayed) and, when `journal` is given, streams every completed
+    /// outcome line into it the moment its canonical predecessors are
+    /// done — so an interrupted run leaves a usable prefix on disk
+    /// instead of nothing.
+    pub fn execute_streamed(
+        &self,
+        plan: &RunPlan,
+        factory: &dyn ClientFactory,
+        journal: Option<&OutcomeJournal>,
+        skip: usize,
+    ) -> RunResult {
         let t0 = Instant::now();
         let jobs = plan.jobs();
+        let jobs = &jobs[skip.min(jobs.len())..];
         let total = jobs.len();
         let done = AtomicUsize::new(0);
         let stack = self.effective_stack();
-        let outcomes = parallel_map(self.threads, Some(&stack), &jobs, |_, job| {
+        let outcomes = parallel_map(self.threads, Some(&stack), jobs, |_, job| {
             let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
-            // One collector per job (not per worker): `run_job` drains
+            // One collector per job (not per worker): the worker drains
             // it at job end, so measurements are attributed to the job
             // that incurred them no matter which worker ran it.
             let _obs_guard = self.obs.install();
-            let outcome = run_job(job, &plan.config, factory);
+            let outcome = run_job_guarded(
+                job,
+                &plan.config,
+                factory,
+                plan.sim_budget,
+                plan.job_deadline_ms,
+                self.faults.get(job.id),
+            );
+            if let Some(journal) = journal {
+                journal.push(outcome.job_id, outcome_json(&outcome));
+            }
             if self.progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let secs = t0.elapsed().as_secs_f64().max(1e-9);

@@ -6,14 +6,22 @@
 //! its [`TaskOutcome`], so jobs commute: any worker may run any job in
 //! any order and the collected outcomes are identical.
 
+use crate::fault::{FaultKind, FAULT_EXIT_CODE};
 use crate::plan::Job;
 use correctbench::Method;
 use correctbench::{run_method, Action, Config};
 use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
 use correctbench_dataset::CircuitKind;
-use correctbench_llm::{ClientFactory, ModelKind, TokenUsage};
+use correctbench_llm::{
+    ClientFactory, FaultyTransport, LlmClient, ModelKind, RetryPolicy, Retrying, TokenUsage,
+};
+use correctbench_obs::Counter;
+use correctbench_tbgen::{install_budget, AbortKind, JobAbort, JobBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 use std::time::{Duration, Instant};
 
 /// The structured record a job leaves behind — the unit of the JSONL
@@ -39,6 +47,12 @@ pub struct TaskOutcome {
     pub seed: u64,
     /// AutoEval level reached.
     pub level: EvalLevel,
+    /// Why the job aborted, when it did not run to completion
+    /// ([`run_job_guarded`]'s failure taxonomy). `None` = the job
+    /// finished normally (`status: ok` in artifacts); aborted jobs carry
+    /// deterministic placeholder values in every pipeline field (level
+    /// `Failed`, empty trace, zero tokens).
+    pub failure: Option<AbortKind>,
     /// Final validator verdict was "correct" (CorrectBench only).
     pub validated: bool,
     /// The loop exhausted its budgets with a wrong verdict standing.
@@ -66,10 +80,41 @@ pub struct TaskOutcome {
     pub obs: Option<correctbench_obs::JobObs>,
 }
 
-/// Runs one job to completion.
+/// Runs one job to completion, unguarded: a panic propagates to the
+/// caller. The engine runs jobs through [`run_job_guarded`] instead.
 pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutcome {
+    run_job_inner(job, cfg, factory, None)
+}
+
+/// Builds the job's client, wiring injected LLM faults through the
+/// retry layer. Transient faults fail before reaching the real client,
+/// so a recovered run's responses and token usage are unchanged.
+fn build_client(
+    factory: &dyn ClientFactory,
+    seed: u64,
+    fault: Option<FaultKind>,
+) -> Box<dyn LlmClient + Send> {
+    match fault {
+        Some(FaultKind::LlmTransient) => Box::new(Retrying::new(
+            FaultyTransport::transient(factory.client(seed), 2),
+            RetryPolicy::default(),
+        )),
+        Some(FaultKind::LlmFatal) => Box::new(Retrying::new(
+            FaultyTransport::fatal(factory.client(seed)),
+            RetryPolicy::default(),
+        )),
+        _ => factory.client(seed),
+    }
+}
+
+fn run_job_inner(
+    job: &Job,
+    cfg: &Config,
+    factory: &dyn ClientFactory,
+    fault: Option<FaultKind>,
+) -> TaskOutcome {
     let t0 = Instant::now();
-    let mut llm = factory.client(job.seed);
+    let mut llm = build_client(factory, job.seed, fault);
     let mut rng = StdRng::seed_from_u64(job.seed ^ 0x777);
     let outcome = run_method(job.method, &job.problem, &mut *llm, cfg, &mut rng);
     let tb = EvalTb {
@@ -87,6 +132,7 @@ pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutc
         rep: job.rep,
         seed: job.seed,
         level,
+        failure: None,
         validated: outcome.validated,
         gave_up: outcome.gave_up(),
         corrections: outcome.corrections,
@@ -100,6 +146,140 @@ pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutc
         // guard is still installed — the snapshot is exactly this job's
         // spans and counters.
         obs: correctbench_obs::take_job(),
+    }
+}
+
+thread_local! {
+    /// `true` while this thread is inside a guarded job — the quiet
+    /// panic hook's signal that an unwind is about to be absorbed into
+    /// a structured outcome and the default backtrace spew would only
+    /// corrupt the progress display.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Chains a panic hook that stays silent for panics the job guard will
+/// catch (structured [`JobAbort`]s and injected faults included) while
+/// leaving every other thread's panics as loud as before.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_JOB.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct InJobGuard;
+
+impl InJobGuard {
+    fn enter() -> InJobGuard {
+        IN_JOB.with(|f| f.set(true));
+        InJobGuard
+    }
+}
+
+impl Drop for InJobGuard {
+    fn drop(&mut self) {
+        IN_JOB.with(|f| f.set(false));
+    }
+}
+
+/// The deterministic record of a job that did not finish: every
+/// pipeline field takes its inert default, so the line depends only on
+/// the job and the failure kind — never on how far the job got before
+/// dying.
+fn aborted_outcome(job: &Job, kind: AbortKind, wall: Duration) -> TaskOutcome {
+    TaskOutcome {
+        job_id: job.id,
+        problem: job.problem.name.clone(),
+        kind: job.problem.kind,
+        method: job.method,
+        model: job.model,
+        rep: job.rep,
+        seed: job.seed,
+        level: EvalLevel::Failed,
+        failure: Some(kind),
+        validated: false,
+        gave_up: false,
+        corrections: 0,
+        reboots: 0,
+        final_from_corrector: false,
+        validator_intervened: false,
+        trace: Vec::new(),
+        tokens: TokenUsage::default(),
+        wall,
+        obs: correctbench_obs::take_job(),
+    }
+}
+
+/// Runs one job inside a fault barrier with its budgets installed.
+///
+/// * Any unwind is caught and classified: a typed
+///   [`JobAbort`](correctbench_tbgen::JobAbort) payload carries its own
+///   [`AbortKind`]; anything else is `panic`. Either way the job
+///   becomes a deterministic `status: aborted` outcome instead of
+///   taking down the worker.
+/// * `sim_budget` / `deadline_ms` are installed as the thread's
+///   [`JobBudget`] for the duration of the job; the tbgen runner clamps
+///   every simulation with them and aborts the job when a binding
+///   budget is exhausted.
+/// * Cache hygiene is structural: every reuse layer inserts only after
+///   a simulation completes, and session leases discard their session
+///   when dropped mid-unwind — so an aborted job leaves no trace in the
+///   shared [`CacheStack`](correctbench_tbgen::CacheStack).
+pub fn run_job_guarded(
+    job: &Job,
+    cfg: &Config,
+    factory: &dyn ClientFactory,
+    sim_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    fault: Option<FaultKind>,
+) -> TaskOutcome {
+    install_quiet_panic_hook();
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _in_job = InJobGuard::enter();
+        let _budget = install_budget(JobBudget {
+            max_sim_steps: sim_budget,
+            // The deadline clock starts when the job starts, not when
+            // the run starts — each job gets the full allowance.
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        });
+        match fault {
+            Some(FaultKind::Panic) => panic!("injected fault: panic at job {}", job.id),
+            Some(FaultKind::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultKind::Exit) => {
+                eprintln!("injected fault: exiting process at job {}", job.id);
+                std::process::exit(FAULT_EXIT_CODE);
+            }
+            _ => {}
+        }
+        run_job_inner(job, cfg, factory, fault)
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let kind = payload
+                .downcast_ref::<JobAbort>()
+                .map_or(AbortKind::Panic, |a| a.kind);
+            if kind == AbortKind::Panic {
+                // Structured aborts are expected and speak through the
+                // artifact; a raw panic is a bug worth one stderr line
+                // even though the run survives it.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                eprintln!("job {}: aborted by panic: {msg}", job.id);
+            }
+            correctbench_obs::add(Counter::JobAborts, 1);
+            aborted_outcome(job, kind, t0.elapsed())
+        }
     }
 }
 

@@ -38,6 +38,8 @@ fn outcomes_lines_pin_field_set_and_order() {
                 "rep",
                 "seed",
                 "eval",
+                "status",
+                "failure",
                 "validated",
                 "gave_up",
                 "corrections",
@@ -109,6 +111,8 @@ fn timings_lines_pin_field_set_and_order() {
                 "pool_misses",
                 "golden_hits",
                 "golden_misses",
+                "llm_retries",
+                "job_aborts",
             ],
             "counter taxonomy drift:\n{line}"
         );

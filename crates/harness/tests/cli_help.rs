@@ -68,6 +68,17 @@ fn report_binary_documents_its_usage() {
 }
 
 #[test]
+fn help_lists_the_robustness_flags() {
+    let help = help_output();
+    for flag in ["--sim-budget", "--job-deadline-ms", "--faults", "--resume"] {
+        assert!(
+            help.contains(flag),
+            "--help output is missing robustness flag `{flag}`:\n{help}"
+        );
+    }
+}
+
+#[test]
 fn help_lists_the_core_sweep_flags() {
     let help = help_output();
     for flag in [

@@ -1,0 +1,186 @@
+//! Fault isolation and budget enforcement.
+//!
+//! The robustness contract: a job that panics, exhausts a budget, or
+//! loses its LLM becomes a structured `status: aborted` outcome line —
+//! and *nothing else changes*. Every other job's line stays
+//! byte-identical across thread counts and cache layers, because
+//! aborted jobs never publish into the shared reuse layers.
+
+use correctbench_harness::json::{parse, Value};
+use correctbench_harness::{
+    outcomes_jsonl, AbortKind, CacheStack, Engine, FaultPlan, RunPlan, TaskOutcome,
+};
+use correctbench_llm::{ModelKind, SimulatedClientFactory};
+
+fn plan() -> RunPlan {
+    let problems = ["and_8", "mux4_8"]
+        .iter()
+        .map(|n| correctbench_dataset::problem(n).expect("problem"))
+        .collect();
+    RunPlan::new("faults", problems) // 2 problems x 3 methods = 6 jobs
+}
+
+fn run(engine: Engine, plan: &RunPlan) -> Vec<TaskOutcome> {
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    engine.execute(plan, &factory).outcomes
+}
+
+fn stream(engine: Engine, plan: &RunPlan) -> String {
+    outcomes_jsonl(&run(engine, plan))
+}
+
+#[test]
+fn panic_fault_leaves_every_other_line_byte_identical() {
+    let plan = plan();
+    let clean = stream(Engine::new(2), &plan);
+    for threads in [2, 4, 8] {
+        let faulted = stream(
+            Engine::new(threads).with_faults(FaultPlan::parse("panic@2").expect("spec")),
+            &plan,
+        );
+        assert_eq!(clean.lines().count(), faulted.lines().count());
+        for (i, (clean_line, faulted_line)) in clean.lines().zip(faulted.lines()).enumerate() {
+            if i == 2 {
+                let v = parse(faulted_line).expect("aborted line parses");
+                assert_eq!(v.get("status").and_then(Value::as_str), Some("aborted"));
+                assert_eq!(v.get("failure").and_then(Value::as_str), Some("panic"));
+                assert_eq!(v.get("eval").and_then(Value::as_str), Some("Failed"));
+                assert_eq!(v.get("requests").and_then(Value::as_u64), Some(0));
+            } else {
+                assert_eq!(
+                    clean_line, faulted_line,
+                    "job {i} disturbed by the panic at job 2 ({threads} threads)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_llm_retries_abort_with_llm_error() {
+    let plan = plan();
+    let outcomes = run(
+        Engine::new(2).with_faults(FaultPlan::parse("llmfatal@1").expect("spec")),
+        &plan,
+    );
+    assert_eq!(outcomes[1].failure, Some(AbortKind::LlmError));
+    assert!(outcomes
+        .iter()
+        .enumerate()
+        .all(|(i, o)| i == 1 || o.failure.is_none()));
+}
+
+#[test]
+fn recovered_transient_llm_fault_is_byte_invisible() {
+    let plan = plan();
+    let clean = stream(Engine::new(4), &plan);
+    let faulted = stream(
+        Engine::new(4).with_faults(FaultPlan::parse("llm@3").expect("spec")),
+        &plan,
+    );
+    assert!(
+        clean == faulted,
+        "a retried transient LLM fault changed the artifact:\n--- clean ---\n{clean}\n--- faulted ---\n{faulted}"
+    );
+}
+
+#[test]
+fn binding_sim_budget_aborts_deterministically_across_threads_and_caches() {
+    let mut plan = plan();
+    plan.sim_budget = Some(10);
+    let baseline = stream(Engine::new(1), &plan);
+    let aborted = baseline
+        .lines()
+        .filter(|l| l.contains("\"failure\":\"sim_budget_exhausted\""))
+        .count();
+    assert!(aborted > 0, "a 10-event budget must bind:\n{baseline}");
+    for engine in [
+        Engine::new(4),
+        Engine::new(8),
+        Engine::new(4).without_cache(),
+        Engine::new(4).one_shot(),
+    ] {
+        let other = stream(engine, &plan);
+        assert!(
+            baseline == other,
+            "budget exhaustion is not deterministic:\n--- 1 thread ---\n{baseline}\n--- variant ---\n{other}"
+        );
+    }
+}
+
+#[test]
+fn expired_deadline_aborts_with_deadline_exceeded() {
+    let mut plan = plan();
+    plan.job_deadline_ms = Some(0);
+    let outcomes = run(Engine::new(2), &plan);
+    // A job that never simulates (e.g. a Baseline testbench that dies
+    // at Eval0 on syntax) can legitimately finish under an expired
+    // deadline; every job that *does* reach a simulation must abort.
+    let exceeded = outcomes
+        .iter()
+        .filter(|o| o.failure == Some(AbortKind::DeadlineExceeded))
+        .count();
+    assert!(
+        exceeded > 0,
+        "no job hit the expired deadline: {:?}",
+        outcomes.iter().map(|o| o.failure).collect::<Vec<_>>()
+    );
+    for o in &outcomes {
+        assert!(
+            o.failure.is_none() || o.failure == Some(AbortKind::DeadlineExceeded),
+            "job {}: unexpected failure {:?} under an expired deadline",
+            o.job_id,
+            o.failure
+        );
+    }
+}
+
+#[test]
+fn aborted_jobs_never_poison_the_shared_cache_stack() {
+    // First pass: every job dies on a binding simulation budget, with
+    // every reuse layer (sim cache, elab cache, session pool, golden
+    // cache) installed and shared. Second pass: the *same* stack runs
+    // the plan cleanly. If any abort had published a poisoned entry —
+    // a partial simulation, a half-built golden bundle, a mid-run
+    // session checked back in — the reused stack would diverge from a
+    // fresh one.
+    let mut starved = plan();
+    starved.sim_budget = Some(10);
+    let stack = CacheStack::full();
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let first = Engine::new(4)
+        .with_stack(stack.clone())
+        .execute(&starved, &factory);
+    assert!(
+        first.outcomes.iter().any(|o| o.failure.is_some()),
+        "the starvation pass must abort jobs for this test to mean anything"
+    );
+    let reused = outcomes_jsonl(
+        &Engine::new(4)
+            .with_stack(stack)
+            .execute(&plan(), &factory)
+            .outcomes,
+    );
+    let fresh = stream(Engine::new(4), &plan());
+    assert!(
+        reused == fresh,
+        "cache stack poisoned by aborted jobs:\n--- reused stack ---\n{reused}\n--- fresh stack ---\n{fresh}"
+    );
+}
+
+#[test]
+fn aborted_outcomes_round_trip_through_the_journal_codec() {
+    use correctbench_harness::{outcome_json, parse_outcome_line};
+    let plan = plan();
+    let outcomes = run(
+        Engine::new(2).with_faults(FaultPlan::parse("panic@0,llmfatal@4").expect("spec")),
+        &plan,
+    );
+    for o in &outcomes {
+        let line = outcome_json(o);
+        let back = parse_outcome_line(&line).expect("line parses back");
+        assert_eq!(outcome_json(&back), line, "codec not a round trip");
+        assert_eq!(back.failure, o.failure);
+        assert_eq!(back.seed, o.seed, "seed must round-trip all 64 bits");
+    }
+}

@@ -175,3 +175,13 @@ pub trait LlmClient {
     /// Cumulative token usage of this client.
     fn usage(&self) -> TokenUsage;
 }
+
+impl<C: LlmClient + ?Sized> LlmClient for Box<C> {
+    fn request(&mut self, req: &LlmRequest<'_>) -> LlmResponse {
+        (**self).request(req)
+    }
+
+    fn usage(&self) -> TokenUsage {
+        (**self).usage()
+    }
+}

@@ -26,6 +26,7 @@
 pub mod client;
 pub mod factory;
 pub mod profile;
+pub mod retry;
 pub mod sim;
 pub mod tokens;
 
@@ -34,5 +35,6 @@ pub use client::{
 };
 pub use factory::{ClientFactory, SimulatedClientFactory};
 pub use profile::{ModelKind, ModelProfile};
+pub use retry::{FaultyTransport, LlmTransport, RetryPolicy, Retrying, TransientLlmError};
 pub use sim::SimulatedLlm;
 pub use tokens::{estimate_tokens, TokenUsage};

@@ -1,0 +1,221 @@
+//! Retry-with-backoff over a fallible LLM transport.
+//!
+//! The [`LlmClient`] trait is infallible by design — the simulated model
+//! always answers — but a production endpoint is not: requests time out,
+//! rate-limit, or 5xx. [`Retrying`] is the seam where that reality is
+//! absorbed: it drives an [`LlmTransport`] (a client whose requests can
+//! fail transiently), retries with exponential backoff, and — when the
+//! attempt budget is exhausted — aborts the *job* with
+//! [`AbortKind::LlmError`] rather than panicking ad hoc, so the harness
+//! records a structured `aborted` outcome and every other job is
+//! untouched.
+//!
+//! [`FaultyTransport`] is the matching test/fault-injection half: it
+//! wraps any real client and fails a configured number of attempts
+//! *before* delegating, so a transiently-faulted run whose retries
+//! succeed is byte-identical to a clean run (token usage included).
+
+use std::time::Duration;
+
+use correctbench_obs::{add, Counter};
+use correctbench_tbgen::{abort_job, AbortKind};
+
+use crate::client::{LlmClient, LlmRequest, LlmResponse};
+use crate::tokens::TokenUsage;
+
+/// A transient transport-level failure (timeout, rate limit, 5xx).
+///
+/// Carries no payload: the retry layer treats every transient failure
+/// identically, and the structured abort taxonomy (not this type) is
+/// what surfaces in artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransientLlmError;
+
+/// An LLM client whose requests can fail transiently.
+///
+/// This is the fallible lower half of [`LlmClient`]; [`Retrying`]
+/// adapts it back to the infallible interface the pipeline uses.
+pub trait LlmTransport {
+    /// Attempts one request.
+    fn try_request(&mut self, req: &LlmRequest<'_>) -> Result<LlmResponse, TransientLlmError>;
+
+    /// Cumulative token usage (failed attempts consume none).
+    fn usage(&self) -> TokenUsage;
+}
+
+/// How many attempts to make and how long to wait between them.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). Must be ≥ 1.
+    pub attempts: u32,
+    /// Base backoff slept after the `n`-th failed attempt, scaled by
+    /// `2^n`. [`Duration::ZERO`] disables sleeping (the test default —
+    /// backoff must never influence artifact bytes).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Retry adapter: an infallible [`LlmClient`] over a fallible
+/// [`LlmTransport`].
+#[derive(Debug)]
+pub struct Retrying<T> {
+    transport: T,
+    policy: RetryPolicy,
+}
+
+impl<T: LlmTransport> Retrying<T> {
+    /// Wraps `transport` with `policy`.
+    pub fn new(transport: T, policy: RetryPolicy) -> Self {
+        Retrying { transport, policy }
+    }
+}
+
+impl<T: LlmTransport> LlmClient for Retrying<T> {
+    fn request(&mut self, req: &LlmRequest<'_>) -> LlmResponse {
+        let attempts = self.policy.attempts.max(1);
+        for attempt in 0..attempts {
+            match self.transport.try_request(req) {
+                Ok(resp) => return resp,
+                Err(TransientLlmError) => {
+                    if attempt + 1 < attempts {
+                        add(Counter::LlmRetries, 1);
+                        if !self.policy.backoff.is_zero() {
+                            std::thread::sleep(self.policy.backoff * (1u32 << attempt.min(16)));
+                        }
+                    }
+                }
+            }
+        }
+        abort_job(AbortKind::LlmError)
+    }
+
+    fn usage(&self) -> TokenUsage {
+        self.transport.usage()
+    }
+}
+
+/// Fault-injecting transport over a real client.
+///
+/// Fails the first `transient` attempts (or *every* attempt when
+/// `fatal`) **before** delegating to the inner client, so failed
+/// attempts consume no tokens and never advance the inner client's
+/// deterministic response stream — a faulted-then-recovered run is
+/// byte-identical to a clean one.
+#[derive(Debug)]
+pub struct FaultyTransport<C> {
+    inner: C,
+    transient: u32,
+    fatal: bool,
+    attempts_seen: u32,
+}
+
+impl<C: LlmClient> FaultyTransport<C> {
+    /// Fails the first `transient` attempts, then recovers.
+    pub fn transient(inner: C, transient: u32) -> Self {
+        FaultyTransport {
+            inner,
+            transient,
+            fatal: false,
+            attempts_seen: 0,
+        }
+    }
+
+    /// Fails every attempt (the retry budget cannot save the job).
+    pub fn fatal(inner: C) -> Self {
+        FaultyTransport {
+            inner,
+            transient: 0,
+            fatal: true,
+            attempts_seen: 0,
+        }
+    }
+}
+
+impl<C: LlmClient> LlmTransport for FaultyTransport<C> {
+    fn try_request(&mut self, req: &LlmRequest<'_>) -> Result<LlmResponse, TransientLlmError> {
+        if self.fatal {
+            return Err(TransientLlmError);
+        }
+        if self.attempts_seen < self.transient {
+            self.attempts_seen += 1;
+            return Err(TransientLlmError);
+        }
+        Ok(self.inner.request(req))
+    }
+
+    fn usage(&self) -> TokenUsage {
+        self.inner.usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{ClientFactory, SimulatedClientFactory};
+    use crate::profile::ModelKind;
+
+    fn factory() -> SimulatedClientFactory {
+        SimulatedClientFactory::for_model(ModelKind::Gpt4o)
+    }
+
+    fn rtl(client: &mut dyn LlmClient) -> String {
+        let p = correctbench_dataset::problem("adder_8").expect("problem");
+        match client.request(&LlmRequest::GenerateRtl { problem: &p }) {
+            LlmResponse::Source(s) => s,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_invisible_in_output_and_usage() {
+        let f = factory();
+        let mut clean = f.client(7);
+        let baseline = rtl(clean.as_mut());
+        let clean_usage = clean.usage();
+
+        let mut retried = Retrying::new(
+            FaultyTransport::transient(f.client(7), 2),
+            RetryPolicy::default(),
+        );
+        assert_eq!(rtl(&mut retried), baseline, "retries replay the stream");
+        assert_eq!(retried.usage(), clean_usage, "failed attempts cost nothing");
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_llm_error() {
+        let f = factory();
+        let mut retried =
+            Retrying::new(FaultyTransport::fatal(f.client(7)), RetryPolicy::default());
+        let p = correctbench_dataset::problem("adder_8").expect("problem");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            retried.request(&LlmRequest::GenerateRtl { problem: &p })
+        }))
+        .expect_err("fatal transport must abort");
+        let abort = err
+            .downcast_ref::<correctbench_tbgen::JobAbort>()
+            .expect("typed JobAbort payload");
+        assert_eq!(abort.kind, AbortKind::LlmError);
+    }
+
+    #[test]
+    fn retries_are_counted() {
+        let guard = correctbench_obs::ObsStack::enabled().install();
+        let f = factory();
+        let mut retried = Retrying::new(
+            FaultyTransport::transient(f.client(7), 2),
+            RetryPolicy::default(),
+        );
+        let _ = rtl(&mut retried);
+        let job = correctbench_obs::take_job().expect("obs armed");
+        assert_eq!(job.counter(Counter::LlmRetries), 2);
+        drop(guard);
+    }
+}

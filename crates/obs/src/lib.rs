@@ -108,11 +108,15 @@ pub enum Counter {
     GoldenHits,
     /// Golden-artifact-cache misses (bundle derived).
     GoldenMisses,
+    /// LLM requests retried after a transient transport failure.
+    LlmRetries,
+    /// Jobs that ended in a structured abort instead of an outcome.
+    JobAborts,
 }
 
 impl Counter {
     /// Number of counters (array-index domain).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Every counter, in canonical (artifact) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -128,6 +132,8 @@ impl Counter {
         Counter::PoolMisses,
         Counter::GoldenHits,
         Counter::GoldenMisses,
+        Counter::LlmRetries,
+        Counter::JobAborts,
     ];
 
     /// The artifact field name of this counter.
@@ -145,6 +151,8 @@ impl Counter {
             Counter::PoolMisses => "pool_misses",
             Counter::GoldenHits => "golden_hits",
             Counter::GoldenMisses => "golden_misses",
+            Counter::LlmRetries => "llm_retries",
+            Counter::JobAborts => "job_aborts",
         }
     }
 }

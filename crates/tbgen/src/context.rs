@@ -190,6 +190,14 @@ impl DerefMut for SessionLease {
 
 impl Drop for SessionLease {
     fn drop(&mut self) {
+        // A lease dropped while unwinding holds a session in an unknown
+        // mid-evaluation state (partially reset simulator, judge state,
+        // half-filled buffers). Checking it in would let one aborted job
+        // poison every later job that leases the same (problem, checker)
+        // pair — discard it instead; the pool refills on the next miss.
+        if std::thread::panicking() {
+            return;
+        }
         if let (Some(session), Some((ctx, key, hits))) = (self.session.take(), self.home.take()) {
             ctx.checkin(key, session, hits);
         }

@@ -38,6 +38,74 @@ thread_local! {
     /// cache slot, but thread-local session state lives here with the
     /// rest of the install machinery.
     pub(crate) static ONE_SHOT: Cell<bool> = const { Cell::new(false) };
+    /// The active per-job execution budget (see [`JobBudget`]) —
+    /// consulted by every simulation entry point to clamp
+    /// [`correctbench_verilog::sim::SimLimits`].
+    pub(crate) static BUDGET: Cell<JobBudget> = const { Cell::new(JobBudget::none()) };
+}
+
+/// Per-job execution budgets a harness installs around one job. Both
+/// knobs are enforced at the simulation entry points
+/// ([`crate::simulate_records_limited`] and the session runner), which
+/// clamp every run's [`SimLimits`](correctbench_verilog::sim::SimLimits)
+/// against them:
+///
+/// * `max_sim_steps` — a **per-simulation-run** instruction budget.
+///   When it undercuts a run's natural step limit ("binding") and the
+///   run exhausts it, the job aborts with
+///   [`AbortKind::SimBudgetExhausted`](crate::abort::AbortKind). The
+///   budget is process-global and sims are deterministic, so whether a
+///   given (design, testbench, scenarios) key completes or aborts under
+///   a fixed budget never depends on thread count or cache warmth —
+///   aborted runs are never cached, completed runs replay identically.
+/// * `deadline` — a wall-clock cutoff for the whole job; exceeding it
+///   aborts with [`AbortKind::DeadlineExceeded`](crate::abort::AbortKind).
+///   Inherently non-deterministic; meant as a last-resort guard, not a
+///   reproducible outcome.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobBudget {
+    /// Per-simulation-run step ceiling, if any.
+    pub max_sim_steps: Option<u64>,
+    /// Wall-clock deadline for the job, if any.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl JobBudget {
+    /// No budget: natural limits apply unchanged.
+    pub const fn none() -> JobBudget {
+        JobBudget {
+            max_sim_steps: None,
+            deadline: None,
+        }
+    }
+
+    /// Whether any knob is set.
+    pub fn is_some(&self) -> bool {
+        self.max_sim_steps.is_some() || self.deadline.is_some()
+    }
+}
+
+/// Makes `budget` the active job budget on the current thread until the
+/// returned guard drops (restoring the previous budget, usually none).
+pub fn install_budget(budget: JobBudget) -> BudgetGuard {
+    let prev = BUDGET.with(|b| b.replace(budget));
+    BudgetGuard { prev }
+}
+
+/// The budget active on the current thread.
+pub fn active_budget() -> JobBudget {
+    BUDGET.with(Cell::get)
+}
+
+/// Restores the previously active [`JobBudget`] when dropped.
+pub struct BudgetGuard {
+    prev: JobBudget,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        BUDGET.with(|b| b.set(self.prev));
+    }
 }
 
 /// Makes `value` the active instance of `slot` on the current thread

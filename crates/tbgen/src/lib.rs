@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abort;
 pub mod cache;
 pub mod context;
 pub mod coverage;
@@ -38,13 +39,16 @@ pub mod runner;
 pub mod scenarios;
 pub mod session;
 
+pub use abort::{abort_job, AbortKind, JobAbort};
 pub use cache::{module_interface_fingerprint, CacheKey, CacheStats, SimCache};
 pub use context::{acquire_session, EvalContext, PoolKey, SessionLease};
 pub use coverage::{CoverageReport, SignalCoverage};
 pub use driver::{generate_driver, record_format, TB_MODULE};
 pub use elab::{ElabCache, ElabKey};
 pub use golden::{problem_fingerprint, GoldenArtifacts, GoldenCache, GoldenKey};
-pub use install::{CacheStack, StackGuard, StackStats};
+pub use install::{
+    active_budget, install_budget, BudgetGuard, CacheStack, JobBudget, StackGuard, StackStats,
+};
 pub use record::{parse_record, parse_records, FieldValue, Record, RecordBinding};
 pub use runner::{
     compile_pair, judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,

@@ -10,7 +10,9 @@ use crate::record::{parse_records, FieldValue, Record};
 use crate::scenarios::ScenarioSet;
 use correctbench_checker::{step, CheckerProgram, CheckerRunError, CheckerState};
 use correctbench_dataset::Problem;
-use correctbench_verilog::{elaborate, parse, CompiledDesign, SimLimits, Simulator, VerilogError};
+use correctbench_verilog::{
+    elaborate, parse, CompiledDesign, SimError, SimLimits, Simulator, VerilogError,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -130,10 +132,48 @@ pub fn simulate_records_limited(
     limits: SimLimits,
 ) -> Result<(Vec<Record>, u64), TbError> {
     let compiled = compiled_for(dut, driver)?;
+    let (limits, binding) = budgeted_limits(limits);
     let out = Simulator::from_compiled_with_limits(&compiled, limits)
         .run()
-        .map_err(VerilogError::from)?;
+        .map_err(|e| classify_sim_err(e, binding))?;
     Ok((parse_records(&out.lines), out.end_time))
+}
+
+/// Applies the thread's active [`crate::JobBudget`] to one run's
+/// limits: clamps `max_steps` when the step budget undercuts the
+/// natural limit (the *binding* case) and threads the wall deadline
+/// through. Returns the clamped limits and whether the step budget
+/// binds — the flag that decides whether an exhaustion is a natural,
+/// cacheable `Err` (today's behavior) or a structured job abort.
+pub(crate) fn budgeted_limits(mut limits: SimLimits) -> (SimLimits, bool) {
+    let budget = crate::install::active_budget();
+    let mut binding = false;
+    if let Some(b) = budget.max_sim_steps {
+        if b < limits.max_steps {
+            limits.max_steps = b;
+            binding = true;
+        }
+    }
+    if budget.deadline.is_some() {
+        limits.deadline = budget.deadline;
+    }
+    (limits, binding)
+}
+
+/// Classifies a simulation error under a budgeted run: a missed wall
+/// deadline or a *binding* step-budget exhaustion aborts the job
+/// (unwinding before any cache `put`, so the abort can never be
+/// memoized); everything else stays an ordinary error.
+pub(crate) fn classify_sim_err(err: SimError, binding: bool) -> VerilogError {
+    match err {
+        SimError::DeadlineExceeded => {
+            crate::abort::abort_job(crate::abort::AbortKind::DeadlineExceeded)
+        }
+        SimError::EventBudgetExhausted if binding => {
+            crate::abort::abort_job(crate::abort::AbortKind::SimBudgetExhausted)
+        }
+        e => VerilogError::Sim(e),
+    }
 }
 
 /// The compiled form of the combined DUT + driver design, through the

@@ -37,7 +37,7 @@ use correctbench_checker::{CheckerProgram, JudgeSession};
 use correctbench_dataset::Problem;
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::Fingerprint;
-use correctbench_verilog::{CompiledDesign, LogicVec, Simulator, VerilogError};
+use correctbench_verilog::{CompiledDesign, LogicVec, Simulator};
 use std::sync::Arc;
 
 /// A reusable evaluation session for one `(problem, checker)` pair.
@@ -271,7 +271,7 @@ impl EvalSession {
             });
         }
         let compiled = self.compiled(dut, driver)?;
-        let limits = limits_for(scenarios);
+        let (limits, binding) = crate::runner::budgeted_limits(limits_for(scenarios));
         let sim = match &mut self.sim {
             Some(sim) if sim.shares(&compiled) => {
                 sim.reset();
@@ -280,7 +280,9 @@ impl EvalSession {
             }
             slot => slot.insert(Simulator::from_shared_with_limits(compiled, limits)),
         };
-        let out = sim.run().map_err(VerilogError::from)?;
+        let out = sim
+            .run()
+            .map_err(|e| crate::runner::classify_sim_err(e, binding))?;
         let records = parse_records(&out.lines);
         let results = self.judge(&records, scenarios.len())?;
         Ok(TbRun {

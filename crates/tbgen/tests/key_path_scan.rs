@@ -22,6 +22,7 @@ const KEY_PATH_SOURCES: &[(&str, &str)] = &[
 /// to declare thread-local slots.
 const NON_INSTALL_SOURCES: &[(&str, &str)] = &[
     ("lib.rs", include_str!("../src/lib.rs")),
+    ("abort.rs", include_str!("../src/abort.rs")),
     ("cache.rs", include_str!("../src/cache.rs")),
     ("context.rs", include_str!("../src/context.rs")),
     ("coverage.rs", include_str!("../src/coverage.rs")),

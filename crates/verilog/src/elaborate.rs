@@ -67,6 +67,24 @@ impl Scope {
     }
 }
 
+/// Upper bound on any signal or expression width the elaborator accepts.
+/// Malformed or adversarial generated RTL can declare ranges like
+/// `[2000000000:0]` or nest replications whose width product overflows;
+/// rejecting them here turns would-be giant allocations (or debug-build
+/// arithmetic panics) into ordinary [`ElabError`]s.
+const MAX_WIDTH: usize = 1 << 20;
+
+/// Validates a computed width against [`MAX_WIDTH`].
+fn checked_width(width: usize, what: &str) -> Result<usize, ElabError> {
+    if width > MAX_WIDTH {
+        Err(ElabError::new(format!(
+            "{what} width {width} exceeds the supported maximum {MAX_WIDTH}"
+        )))
+    } else {
+        Ok(width)
+    }
+}
+
 struct Elaborator<'a> {
     file: &'a SourceFile,
     design: &'a mut Design,
@@ -88,6 +106,7 @@ impl<'a> Elaborator<'a> {
         if scope.names.contains_key(name) {
             return Err(ElabError::new(format!("duplicate declaration of `{name}`")));
         }
+        checked_width(width, "signal")?;
         let id = SignalId(self.design.signals.len() as u32);
         self.design.signals.push(SignalDef {
             name: format!("{prefix}{name}"),
@@ -167,7 +186,7 @@ impl<'a> Elaborator<'a> {
         for item in &module.items {
             match item {
                 Item::Net(decl) => {
-                    let width = decl.range.map_or(1, |r| r.width());
+                    let width = checked_width(decl.range.map_or(1, |r| r.width()), "signal")?;
                     let lsb = decl.range.map_or(0, |r| r.lsb);
                     let kind = match decl.kind {
                         NetKind::Wire => SignalKind::Wire,
@@ -554,17 +573,23 @@ impl<'a> Elaborator<'a> {
                     .iter()
                     .map(|p| self.resolve_expr(scope, p))
                     .collect::<Result<Vec<_>, _>>()?;
-                let width = parts.iter().map(|p| p.width).sum();
+                let width = parts
+                    .iter()
+                    .try_fold(0usize, |acc, p| acc.checked_add(p.width))
+                    .ok_or_else(|| ElabError::new("concatenation width overflow"))?;
                 RExpr {
-                    width,
+                    width: checked_width(width, "concatenation")?,
                     signed: false,
                     kind: RExprKind::Concat(parts),
                 }
             }
             Expr::Repl(n, inner) => {
                 let inner = self.resolve_expr(scope, inner)?;
+                let width = n
+                    .checked_mul(inner.width)
+                    .ok_or_else(|| ElabError::new("replication width overflow"))?;
                 RExpr {
-                    width: n * inner.width,
+                    width: checked_width(width, "replication")?,
                     signed: false,
                     kind: RExprKind::Repl(*n, Box::new(inner)),
                 }

@@ -81,6 +81,9 @@ pub enum SimError {
     },
     /// The global event budget was exhausted before `$finish`.
     EventBudgetExhausted,
+    /// The wall-clock deadline in [`SimLimits`](crate::sim::SimLimits)
+    /// passed before the run completed.
+    DeadlineExceeded,
     /// A runtime-evaluated construct was invalid (e.g. out-of-range
     /// replication count).
     Runtime(String),
@@ -97,6 +100,9 @@ impl fmt::Display for SimError {
             }
             SimError::EventBudgetExhausted => {
                 write!(f, "event budget exhausted before $finish")
+            }
+            SimError::DeadlineExceeded => {
+                write!(f, "wall-clock deadline exceeded before $finish")
             }
             SimError::Runtime(m) => write!(f, "runtime error: {m}"),
         }

@@ -153,13 +153,18 @@ impl Parser {
 
     fn const_int(&mut self) -> Result<i64, ParseError> {
         // Constant integer with optional leading minus (for ranges).
+        // Bounds are clamped to ±2^31 so downstream width arithmetic
+        // (`msb - lsb`, `lsb` rebasing) can never overflow an i64.
         let neg = self.eat_punct(Punct::Minus);
         let n = self.expect_number()?;
         let v = n
             .value
             .to_u64()
-            .ok_or_else(|| self.err("range bound must be a known constant"))?
-            as i64;
+            .ok_or_else(|| self.err("range bound must be a known constant"))?;
+        if v > 1 << 31 {
+            return Err(self.err("range bound out of range"));
+        }
+        let v = v as i64;
         Ok(if neg { -v } else { v })
     }
 

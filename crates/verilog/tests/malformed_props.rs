@@ -1,0 +1,117 @@
+//! Malformed-input robustness: `parse` and `elaborate` must return
+//! `Err`, never panic, no matter how broken the RTL is. Generated code
+//! reaches the front end unfiltered, so every input-dependent `unwrap`,
+//! slice, or arithmetic overflow on these paths is a harness-killing
+//! bug (one panicking job would tear down a whole run without the
+//! fault-isolation layer — and even with it, a panic here misclassifies
+//! an ordinary syntax failure as a crash).
+
+use correctbench_verilog::corrupt::corrupt_source;
+use correctbench_verilog::parser::parse;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parses and, when parsing succeeds, elaborates every module of `src`.
+/// The return values are irrelevant — reaching the end without a panic
+/// is the property.
+fn front_end_total(src: &str) {
+    if let Ok(file) = parse(src) {
+        for module in &file.modules {
+            let name = module.name.clone();
+            let _ = correctbench_verilog::elaborate(&file, &name);
+        }
+    }
+}
+
+/// Adversarial regressions: inputs that previously could overflow
+/// debug-build arithmetic or request absurd allocations.
+#[test]
+fn extreme_range_bounds_are_rejected_not_panics() {
+    for src in [
+        // i64::MIN negation / i64 subtraction overflow candidates.
+        "module m(input [-9223372036854775808:0] a); endmodule",
+        "module m(input [9223372036854775807:-1] a); endmodule",
+        "module m(input [18446744073709551615:0] a); endmodule",
+        // Bounds just past the accepted 2^31 clamp.
+        "module m(input [2147483649:0] a); endmodule",
+        "module m(input [0:-2147483649] a); endmodule",
+    ] {
+        assert!(parse(src).is_err(), "accepted extreme range: {src}");
+    }
+}
+
+#[test]
+fn giant_widths_fail_elaboration_cleanly() {
+    // Parses (bounds are within ±2^31) but must not allocate gigabits.
+    let src = "module m(input [2000000000:0] a, output y); assign y = a[0]; endmodule";
+    let file = parse(src).expect("range bounds are in parser range");
+    assert!(correctbench_verilog::elaborate(&file, "m").is_err());
+}
+
+#[test]
+fn nested_replication_width_overflow_is_an_error() {
+    // 4096^6 > 2^64: the width product must be checked, not wrapped.
+    let inner = "a";
+    let mut expr = inner.to_string();
+    for _ in 0..6 {
+        expr = format!("{{4096{{{expr}}}}}");
+    }
+    let src = format!("module m(input a, output y); assign y = |{expr}; endmodule");
+    let file = parse(&src).expect("replication nest parses");
+    assert!(correctbench_verilog::elaborate(&file, "m").is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corrupted golden sources (the realistic malformed population:
+    /// truncations, dropped tokens, mangled identifiers) never panic
+    /// the front end, however many corruption rounds are stacked.
+    #[test]
+    fn corrupted_golden_rtl_never_panics(problem_idx in 0usize..156, seed: u64, rounds in 1usize..4) {
+        let problems = correctbench_dataset::all_problems();
+        let p = &problems[problem_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut src = p.golden_rtl.clone();
+        for _ in 0..rounds {
+            src = corrupt_source(&src, &mut rng);
+        }
+        front_end_total(&src);
+    }
+
+    /// Byte-splice fuzzing: random edits (insert/delete/replace of short
+    /// ASCII runs) at random offsets of a golden source. Broader than the
+    /// realistic corruptions — this is what exercises lexer edge cases.
+    #[test]
+    fn byte_spliced_golden_rtl_never_panics(problem_idx in 0usize..156, seed: u64) {
+        let problems = correctbench_dataset::all_problems();
+        let p = &problems[problem_idx];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0051_1ce5);
+        let mut src = p.golden_rtl.clone().into_bytes();
+        for _ in 0..rng.gen_range(1..6) {
+            let at = rng.gen_range(0..=src.len());
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // Insert a short printable run.
+                    let n = rng.gen_range(1..8);
+                    for i in 0..n {
+                        src.insert((at + i).min(src.len()), rng.gen_range(0x20..0x7f));
+                    }
+                }
+                1 => {
+                    // Delete a short run.
+                    let n = rng.gen_range(1usize..8).min(src.len().saturating_sub(at));
+                    src.drain(at..at + n);
+                }
+                _ => {
+                    if at < src.len() {
+                        src[at] = rng.gen_range(0x20..0x7f);
+                    }
+                }
+            }
+        }
+        let src = String::from_utf8_lossy(&src);
+        front_end_total(&src);
+    }
+}
