@@ -12,6 +12,7 @@
 //! whether it flatters the golden design.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use correctbench_checker::compile_module;
 use correctbench_dataset::Problem;
@@ -208,6 +209,20 @@ pub fn golden_artifacts(problem: &Problem, seed: u64) -> Arc<GoldenArtifacts> {
     derived
 }
 
+/// True when static analysis alone tells `mutant` apart from `dut`:
+/// their [`LintReport`](correctbench_verilog::LintReport) signatures
+/// differ. Such a mutant needs no simulation in the Eval2 sweep — any
+/// lint-gated pipeline rejects it identically for every testbench, so
+/// the generated and golden testbenches agree on it by construction.
+/// Reports come through the worker's lint cache when one is installed.
+pub fn statically_distinguished(
+    dut: &correctbench_verilog::ast::SourceFile,
+    mutant: &correctbench_verilog::ast::SourceFile,
+) -> bool {
+    correctbench_tbgen::lint_cached(dut).signature()
+        != correctbench_tbgen::lint_cached(mutant).signature()
+}
+
 /// Evaluates `tb` for `problem`, returning the highest level reached.
 /// `seed` fixes the Eval2 mutant set (use the same seed when comparing
 /// methods).
@@ -266,22 +281,31 @@ pub fn evaluate(problem: &Problem, tb: &EvalTb, seed: u64) -> EvalLevel {
     if golden.mutants.is_empty() {
         return EvalLevel::Eval2; // no usable mutants: vacuous agreement
     }
-    let mine = session.sweep_mutants(golden.mutants.iter(), &driver, &tb.scenarios);
+    // Static pre-screen: mutants whose lint signature differs from the
+    // golden DUT's count as agreements without simulation (see
+    // [`statically_distinguished`]) and drop out of *both* sweeps.
+    let dynamic: Vec<&correctbench_verilog::ast::SourceFile> = golden
+        .mutants
+        .iter()
+        .filter(|m| !statically_distinguished(&golden.dut, m))
+        .collect();
+    let static_agree = golden.mutants.len() - dynamic.len();
+    let mine = session.sweep_mutants(dynamic.iter().copied(), &driver, &tb.scenarios);
     let golden_reports: Vec<Option<bool>> = match acquire_session(problem, &golden.checker) {
         // The golden checker is identical for every (method, rep)
         // job of a problem, so under a harness context this lease is
         // the pool's steadiest customer.
         Ok(mut golden_session) => golden_session
-            .sweep_mutants(golden.mutants.iter(), &golden.driver, &golden.scenarios)
+            .sweep_mutants(dynamic.iter().copied(), &golden.driver, &golden.scenarios)
             .into_iter()
             .map(tb_report)
             .collect(),
         // Unreachable for compiler-derived golden checkers; degrade
         // to per-run "no report" like the interpreter would.
-        Err(_) => vec![None; golden.mutants.len()],
+        Err(_) => vec![None; dynamic.len()],
     };
-    let mut agree = 0usize;
-    let mut counted = 0usize;
+    let mut agree = static_agree;
+    let mut counted = static_agree;
     for (mine, golden) in mine.into_iter().zip(golden_reports) {
         match (tb_report(mine), golden) {
             (Some(a), Some(b)) => {
@@ -428,6 +452,26 @@ mod tests {
         assert_eq!(first.driver, derived.driver);
         assert_eq!(first.mutants, derived.mutants);
         assert_eq!(first.mutants.len(), EVAL2_MUTANTS);
+    }
+
+    #[test]
+    fn dropped_driver_mutant_is_statically_distinguished() {
+        // Deleting a register's driving statement changes the dataflow
+        // shape (undriven/unused findings appear), so the lint
+        // signatures diverge and the mutant never reaches a simulator.
+        let p = problem("counter_8").expect("problem");
+        let dut = parse_trusted(&p.golden_rtl, "golden RTL");
+        let mut mutant = dut.clone();
+        let m = mutant.module_mut(&p.name).expect("module");
+        for item in &mut m.items {
+            if let correctbench_verilog::ast::Item::Always(always) = item {
+                always.body = correctbench_verilog::ast::Stmt::Block(Vec::new());
+            }
+        }
+        assert!(statically_distinguished(&dut, &mutant));
+        // Identical sources carry identical signatures: the pre-screen
+        // must never fabricate agreement for an unchanged DUT.
+        assert!(!statically_distinguished(&dut, &dut.clone()));
     }
 
     #[test]

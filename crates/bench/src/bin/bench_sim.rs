@@ -46,10 +46,23 @@
 //!   scratch (the per-cell cost AutoEval paid before the golden cache)
 //!   and by fetching it from an installed `GoldenCache` (steady state:
 //!   every cell of a problem after the first).
+//! * `lint_cold_ns` vs `lint_cached_ns` — running the static-analysis
+//!   pass on the combined (DUT + driver) source from scratch
+//!   (`lint_file`, the lint-cache miss cost) and fetching the memoized
+//!   report from an installed `LintCache` (steady state: a fingerprint
+//!   probe plus an `Arc` clone).
+//! * `lint_warn_ns` — the absolute per-job cost `--lint=warn` adds on
+//!   top of a job (combine the sources, parse, fetch the memoized
+//!   report — the parse dominates). Its *relative* overhead only means
+//!   something against a full job, which this micro-benchmark does not
+//!   run, so the end-to-end number is measured on the harness itself
+//!   (the `lint` phase's share of total phase-attributed time in a real
+//!   sweep's `metrics.json`) and recorded via `--lint-warn-overhead`.
 //!
 //! ```text
 //! bench_sim [--quick] [--samples N] [--out FILE]
 //!           [--baseline NAME=NS]... [--baseline-commit HASH]
+//!           [--lint-warn-overhead PCT]
 //! ```
 //!
 //! Writes `BENCH_sim.json` (default, in the working directory) with the
@@ -70,12 +83,14 @@ use correctbench_dataset::Problem;
 use correctbench_obs::ObsStack;
 use correctbench_tbgen::{
     acquire_session, compile_pair, force_one_shot, generate_driver, generate_scenarios,
-    judge_records, limits_for, module_interface_fingerprint, run_testbench_parsed, EvalContext,
-    EvalSession, GoldenCache, ScenarioSet,
+    judge_records, limits_for, lint_cached, module_interface_fingerprint, run_testbench_parsed,
+    EvalContext, EvalSession, GoldenCache, LintCache, ScenarioSet,
 };
 use correctbench_verilog::ast::SourceFile;
 use correctbench_verilog::hash::{debug_hash, structural_hash, StructuralHash};
-use correctbench_verilog::{elaborate, parse, CompiledDesign, ExecMode, SimLimits, Simulator};
+use correctbench_verilog::{
+    elaborate, lint_file, parse, CompiledDesign, ExecMode, SimLimits, Simulator,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -182,6 +197,9 @@ struct Row {
     session_pooled_ns: u64,
     golden_derive_ns: u64,
     golden_cached_ns: u64,
+    lint_cold_ns: u64,
+    lint_cached_ns: u64,
+    lint_warn_ns: u64,
     pre_pr_ns: Option<u64>,
 }
 
@@ -218,6 +236,11 @@ impl Row {
         self.golden_derive_ns as f64 / self.golden_cached_ns.max(1) as f64
     }
 
+    /// Memoized lint-report fetch vs. running the analysis cold.
+    fn speedup_lint(&self) -> f64 {
+        self.lint_cold_ns as f64 / self.lint_cached_ns.max(1) as f64
+    }
+
     /// Cost of a live observability collector on the steady-state hot
     /// path, in percent over the unobserved run.
     fn obs_overhead_pct(&self) -> f64 {
@@ -244,6 +267,7 @@ fn main() {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut baselines: Vec<(String, u64)> = Vec::new();
     let mut baseline_commit = String::new();
+    let mut lint_warn_overhead: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -271,6 +295,13 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--baseline-commit needs a hash"))
             }
+            "--lint-warn-overhead" => {
+                lint_warn_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--lint-warn-overhead needs a percentage")),
+                )
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -297,7 +328,18 @@ fn main() {
         // Prime the golden shard so the cached arm measures steady-state
         // hits, not the first derivation.
         std::hint::black_box(golden_artifacts(&case.problem, GOLDEN_SEED));
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, hot_path_obs_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns] =
+        // The combined (DUT + driver) source the worker's lint pass
+        // analyzes: pre-parsed for the cold/cached pair; the warn-mode
+        // arm rebuilds it from the texts, as the worker does per job.
+        let driver_text = generate_driver(&case.problem, &case.scenarios);
+        let combined_lint = parse(&format!("{}\n{}", case.problem.golden_rtl, driver_text))
+            .expect("combined parses");
+        let lint_cache = LintCache::new();
+        let _lint_guard = lint_cache.install();
+        // Prime the lint shard so the cached arm measures steady-state
+        // fetches.
+        std::hint::black_box(lint_cached(&combined_lint));
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, hot_path_obs_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns, lint_cold_ns, lint_cached_ns, lint_warn_ns] =
             medians_interleaved(
                 samples,
                 &mut [
@@ -413,6 +455,24 @@ fn main() {
                         // the first).
                         std::hint::black_box(golden_artifacts(&case.problem, GOLDEN_SEED));
                     },
+                    &mut || {
+                        // The static-analysis pass from scratch: the
+                        // lint-cache miss cost.
+                        std::hint::black_box(lint_file(&combined_lint));
+                    },
+                    &mut || {
+                        // Fetch the primed report from the installed
+                        // lint cache (steady state: every cell of a
+                        // problem after the first).
+                        std::hint::black_box(lint_cached(&combined_lint));
+                    },
+                    &mut || {
+                        // Exactly what `--lint=warn` adds per job:
+                        // combine, parse, fetch the memoized report.
+                        let combined = format!("{}\n{}", case.problem.golden_rtl, driver_text);
+                        let parsed = parse(&combined).expect("combined parses");
+                        std::hint::black_box(lint_cached(&parsed));
+                    },
                 ],
             );
         let row = Row {
@@ -436,6 +496,9 @@ fn main() {
             session_pooled_ns,
             golden_derive_ns,
             golden_cached_ns,
+            lint_cold_ns,
+            lint_cached_ns,
+            lint_warn_ns,
             pre_pr_ns: baselines
                 .iter()
                 .find(|(n, _)| n == &case.problem.name)
@@ -446,11 +509,11 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x | obs {:+.2}%{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x | lint {:.2}x | lint warn {:>7} ns | obs {:+.2}%{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
             row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
             row.speedup_fingerprint(), row.speedup_pool(), row.speedup_golden(),
-            row.obs_overhead_pct(),
+            row.speedup_lint(), row.lint_warn_ns, row.obs_overhead_pct(),
         );
         rows.push(row);
     }
@@ -463,6 +526,7 @@ fn main() {
         median_f64(rows.iter().map(Row::speedup_fingerprint).collect()).expect("rows");
     let median_pool = median_f64(rows.iter().map(Row::speedup_pool).collect()).expect("rows");
     let median_golden = median_f64(rows.iter().map(Row::speedup_golden).collect()).expect("rows");
+    let median_lint = median_f64(rows.iter().map(Row::speedup_lint).collect()).expect("rows");
     let median_obs = median_f64(rows.iter().map(Row::obs_overhead_pct).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
@@ -495,6 +559,17 @@ fn main() {
         json,
         "  \"median_speedup_golden_cached_vs_derived\": {median_golden:.2},"
     );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_lint_cached_vs_cold\": {median_lint:.2},"
+    );
+    if let Some(pct) = lint_warn_overhead {
+        let _ = writeln!(json, "  \"lint_warn_overhead_pct\": {pct:.2},");
+        let _ = writeln!(
+            json,
+            "  \"lint_warn_overhead_method\": \"lint-phase share of total phase-attributed time in metrics.json over a correctbench-run sweep (--problems 24 --reps 2 --lint warn), same machine and binary\","
+        );
+    }
     let _ = writeln!(json, "  \"median_obs_overhead_pct\": {median_obs:.2},");
     if let Some(m) = median_vs_pre_pr {
         let _ = writeln!(json, "  \"median_speedup_vs_pre_pr\": {m:.2},");
@@ -513,13 +588,15 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2},\"hot_path_obs_ns\":{},\"obs_overhead_pct\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2},\"lint_cold_ns\":{},\"lint_cached_ns\":{},\"speedup_lint_cached\":{:.2},\"lint_warn_ns\":{},\"hot_path_obs_ns\":{},\"obs_overhead_pct\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
             r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
             r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
             r.key_debug_hash_ns, r.key_fingerprint_ns, r.speedup_fingerprint(),
             r.session_fresh_ns, r.session_pooled_ns, r.speedup_pool(),
             r.golden_derive_ns, r.golden_cached_ns, r.speedup_golden(),
+            r.lint_cold_ns, r.lint_cached_ns, r.speedup_lint(),
+            r.lint_warn_ns,
             r.hot_path_obs_ns, r.obs_overhead_pct(),
         );
     }
@@ -534,15 +611,19 @@ fn main() {
         Some(m) => format!(", {m:.2}x vs pre-PR"),
         None => String::new(),
     };
+    let lint_tail = match lint_warn_overhead {
+        Some(pct) => format!(", lint warn overhead {pct:+.2}%"),
+        None => String::new(),
+    };
     eprintln!(
-        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x, obs overhead {median_obs:+.2}%{tail} -> {out_path}"
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x, cached lint {median_lint:.2}x, obs overhead {median_obs:+.2}%{lint_tail}{tail} -> {out_path}"
     );
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: bench_sim [--quick] [--samples N] [--out FILE] [--baseline NAME=NS]... [--baseline-commit HASH]"
+        "usage: bench_sim [--quick] [--samples N] [--out FILE] [--baseline NAME=NS]... [--baseline-commit HASH] [--lint-warn-overhead PCT]"
     );
     std::process::exit(2)
 }

@@ -3,6 +3,7 @@
 //! `fig6a`, `fig6b`, `fig7`, `ablate_nr`, `ablate_iters`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod experiment;
 pub mod valacc;

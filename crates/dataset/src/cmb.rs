@@ -35,6 +35,7 @@ fn p(
         ports,
         difficulty,
         scenario_spec: scenario_spec_for(difficulty, CircuitKind::Combinational),
+        lint_allow: Vec::new(),
     }
 }
 

@@ -21,6 +21,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cmb;
 mod seq;
@@ -146,6 +147,11 @@ pub struct Problem {
     pub difficulty: Difficulty,
     /// Canonical scenario sizing.
     pub scenario_spec: ScenarioSpec,
+    /// Intentional lint findings in the golden RTL, as `"rule:signal"`
+    /// entries (e.g. `"unused-signal:arg"`). The static-analysis gate
+    /// over the golden dataset skips allowlisted findings; anything else
+    /// it reports is a real defect.
+    pub lint_allow: Vec<String>,
 }
 
 impl Problem {
@@ -184,6 +190,14 @@ impl Problem {
     /// `true` when the DUT has a `clk` input.
     pub fn has_clock(&self) -> bool {
         self.ports.iter().any(|p| p.name == "clk")
+    }
+
+    /// `true` when the golden-dataset allowlist covers a finding of
+    /// `rule` against `signal`.
+    pub fn lint_allowed(&self, rule: &str, signal: &str) -> bool {
+        self.lint_allow
+            .iter()
+            .any(|entry| entry == &format!("{rule}:{signal}"))
     }
 }
 

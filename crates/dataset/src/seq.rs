@@ -39,6 +39,7 @@ fn p(
         ports,
         difficulty,
         scenario_spec: scenario_spec_for(difficulty, CircuitKind::Sequential),
+        lint_allow: Vec::new(),
     }
 }
 
@@ -364,10 +365,19 @@ pub fn problems() -> Vec<Problem> {
         "A request/acknowledge handshake: from IDLE, req moves to BUSY where ack_out is asserted; the machine stays in BUSY until req drops, then returns to IDLE and deasserts ack_out. Synchronous reset to IDLE.",
         "module req_ack (\n    input clk,\n    input rst,\n    input req,\n    output ack_out\n);\n    reg busy;\n    always @(posedge clk) begin\n        if (rst) busy <= 1'b0;\n        else if (!busy && req) busy <= 1'b1;\n        else if (busy && !req) busy <= 1'b0;\n    end\n    assign ack_out = busy;\nendmodule\n".into(),
         vec![inp("clk", 1), inp("rst", 1), inp("req", 1), out("ack_out", 1)]));
-    v.push(p("cmd_fsm", Difficulty::Hard,
+    // The golden two-phase FSM intentionally latches `cmd` but never
+    // consumes it (and `arg` is captured by the spec's phase-1 cycle
+    // without influencing `exec`); the reference checker agrees, so the
+    // linter's findings are annotated rather than "fixed".
+    let mut cmd_fsm = p("cmd_fsm", Difficulty::Hard,
         "A two-phase command interface: in phase 0 a cycle with valid=1 captures cmd; in phase 1 the next valid cycle captures arg and pulses exec for one cycle while returning to phase 0. Outputs expose exec; synchronous reset returns to phase 0.",
         "module cmd_fsm (\n    input clk,\n    input rst,\n    input valid,\n    input [3:0] cmd,\n    input [3:0] arg,\n    output exec\n);\n    reg phase;\n    reg fired;\n    reg [3:0] cmd_r;\n    always @(posedge clk) begin\n        if (rst) begin\n            phase <= 1'b0;\n            fired <= 1'b0;\n            cmd_r <= 4'd0;\n        end\n        else begin\n            fired <= 1'b0;\n            if (!phase && valid) begin\n                cmd_r <= cmd;\n                phase <= 1'b1;\n            end\n            else if (phase && valid) begin\n                fired <= 1'b1;\n                phase <= 1'b0;\n            end\n        end\n    end\n    assign exec = fired;\nendmodule\n".into(),
-        vec![inp("clk", 1), inp("rst", 1), inp("valid", 1), inp("cmd", 4), inp("arg", 4), out("exec", 1)]));
+        vec![inp("clk", 1), inp("rst", 1), inp("valid", 1), inp("cmd", 4), inp("arg", 4), out("exec", 1)]);
+    cmd_fsm.lint_allow = vec![
+        "unused-signal:arg".to_string(),
+        "unused-signal:cmd_r".to_string(),
+    ];
+    v.push(cmd_fsm);
     v.push(p("lemmings_walk", Difficulty::Hard,
         "A Lemmings-style walker: the creature walks left (walk_left=1) or right (walk_right=1). Bumping bump_left while walking left turns it right; bump_right while walking right turns it left; bumping both reverses direction. Synchronous reset starts walking left.",
         "module lemmings_walk (\n    input clk,\n    input rst,\n    input bump_left,\n    input bump_right,\n    output walk_left,\n    output walk_right\n);\n    reg dir;\n    always @(posedge clk) begin\n        if (rst) dir <= 1'b0;\n        else if (!dir && bump_left) dir <= 1'b1;\n        else if (dir && bump_right) dir <= 1'b0;\n    end\n    assign walk_left = ~dir;\n    assign walk_right = dir;\nendmodule\n".into(),

@@ -1,12 +1,16 @@
 //! Structured JSONL artifacts.
 //!
-//! A run writes three machine-readable files plus a human summary:
+//! A run writes four machine-readable files plus a human summary:
 //!
 //! * `outcomes.jsonl` — one JSON object per job in canonical job order.
 //!   Every field is a pure function of the plan, so the file is
 //!   **byte-identical across thread counts, cache layers, re-runs and
 //!   observability settings** (the determinism contract the harness
 //!   integration tests pin down).
+//! * `diagnostics.jsonl` — one JSON object per static-analysis finding
+//!   (`verilog::lint`), jobs in canonical order, each job's findings in
+//!   the report's sorted order. The lint pass is pure, so this file
+//!   shares the determinism contract above.
 //! * `timings.jsonl` (schema v2) — measured run metadata and per-job
 //!   wall times. The first line describes the run (`run_wall_ms`,
 //!   `threads`, `jobs`, one counter object or `null` per cache layer);
@@ -225,6 +229,7 @@ pub fn parse_outcome_line(line: &str) -> Result<TaskOutcome, String> {
         },
         wall: std::time::Duration::ZERO,
         obs: None,
+        lint: Vec::new(),
     })
 }
 
@@ -235,6 +240,37 @@ pub fn outcomes_jsonl(outcomes: &[TaskOutcome]) -> String {
     for o in outcomes {
         s.push_str(&outcome_json(o));
         s.push('\n');
+    }
+    s
+}
+
+/// Renders the deterministic static-analysis sidecar: one line per lint
+/// diagnostic, jobs in canonical order and diagnostics in the report's
+/// sorted order within each job. The lint pass is pure, so this file
+/// shares `outcomes.jsonl`'s determinism contract (byte-identical
+/// across thread counts and cache layers). Empty — but still written —
+/// under `--lint=off` or when no job produced findings. Replayed
+/// (`--resume`) jobs contribute no lines: diagnostics are not
+/// journaled, so the sidecar covers the jobs this process ran.
+pub fn diagnostics_jsonl(outcomes: &[TaskOutcome]) -> String {
+    let mut s = String::new();
+    for o in outcomes {
+        for d in &o.lint {
+            let _ = writeln!(
+                s,
+                "{{\"job\":{},\"problem\":\"{}\",\"method\":\"{}\",\"rep\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"module\":\"{}\",\"signal\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+                o.job_id,
+                json_escape(&o.problem),
+                o.method.name(),
+                o.rep,
+                d.rule.name(),
+                d.severity.name(),
+                json_escape(&d.module),
+                json_escape(&d.signal),
+                json_escape(&d.location),
+                json_escape(&d.message),
+            );
+        }
     }
     s
 }
@@ -292,7 +328,7 @@ pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{}}}",
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{}}}",
         result.wall.as_millis(),
         result.threads,
         result.outcomes.len(),
@@ -300,6 +336,7 @@ pub fn timings_jsonl(result: &RunResult) -> String {
         cache_json(result.caches.elab),
         cache_json(result.caches.sessions),
         cache_json(result.caches.golden),
+        cache_json(result.caches.lint),
     );
     for o in &result.outcomes {
         let _ = writeln!(
@@ -352,11 +389,32 @@ pub fn metrics_json(result: &RunResult) -> String {
     let _ = writeln!(s, "  \"counter_totals\": {{{}}},", counter_fields.join(","));
     let _ = writeln!(
         s,
-        "  \"caches\": {{\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{}}},",
+        "  \"caches\": {{\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{}}},",
         cache_json(result.caches.sim),
         cache_json(result.caches.elab),
         cache_json(result.caches.sessions),
         cache_json(result.caches.golden),
+        cache_json(result.caches.lint),
+    );
+    // Per-rule diagnostic totals over the deterministic lint findings,
+    // every rule of the taxonomy present (zeros included) so consumers
+    // never need to guess the rule set.
+    let rule_fields: Vec<String> = correctbench_verilog::Rule::ALL
+        .iter()
+        .map(|rule| {
+            let n: usize = result
+                .outcomes
+                .iter()
+                .map(|o| o.lint.iter().filter(|d| d.rule == *rule).count())
+                .sum();
+            format!("\"{}\":{n}", rule.name())
+        })
+        .collect();
+    let total: usize = result.outcomes.iter().map(|o| o.lint.len()).sum();
+    let _ = writeln!(
+        s,
+        "  \"lint\": {{\"diagnostics\":{total},\"rules\":{{{}}}}},",
+        rule_fields.join(",")
     );
     let _ = writeln!(s, "  \"latency\": [");
     let groups = crate::report::latency_groups(&result.outcomes);
@@ -385,6 +443,8 @@ pub fn metrics_json(result: &RunResult) -> String {
 pub struct ArtifactPaths {
     /// Deterministic outcome stream.
     pub outcomes: PathBuf,
+    /// Deterministic static-analysis diagnostic stream.
+    pub diagnostics: PathBuf,
     /// Measured timing sidecar.
     pub timings: PathBuf,
     /// Run-level aggregated metrics.
@@ -417,6 +477,7 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
 fn artifact_paths(dir: &Path) -> ArtifactPaths {
     ArtifactPaths {
         outcomes: dir.join("outcomes.jsonl"),
+        diagnostics: dir.join("diagnostics.jsonl"),
         timings: dir.join("timings.jsonl"),
         metrics: dir.join("metrics.json"),
         summary: dir.join("summary.txt"),
@@ -446,6 +507,7 @@ pub fn write_artifacts(dir: &Path, result: &RunResult, summary: &str) -> io::Res
 pub fn write_sidecars(dir: &Path, result: &RunResult, summary: &str) -> io::Result<ArtifactPaths> {
     std::fs::create_dir_all(dir)?;
     let paths = artifact_paths(dir);
+    write_atomic(&paths.diagnostics, &diagnostics_jsonl(&result.outcomes))?;
     write_atomic(&paths.timings, &timings_jsonl(result))?;
     write_atomic(&paths.metrics, &metrics_json(result))?;
     write_atomic(&paths.summary, summary)?;
@@ -640,7 +702,8 @@ pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
         concat!(
             "{{\"schema\":\"correctbench-plan-v1\",\"name\":\"{}\",",
             "\"problems\":[{}],\"methods\":[{}],\"model\":\"{}\",",
-            "\"reps\":{},\"base_seed\":{},\"sim_budget\":{},\"job_deadline_ms\":{}}}\n"
+            "\"reps\":{},\"base_seed\":{},\"sim_budget\":{},\"job_deadline_ms\":{},",
+            "\"lint\":\"{}\"}}\n"
         ),
         json_escape(&plan.name),
         problems.join(","),
@@ -650,6 +713,7 @@ pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
         plan.base_seed,
         opt(plan.sim_budget),
         opt(plan.job_deadline_ms),
+        plan.lint.name(),
     )
 }
 
@@ -721,6 +785,14 @@ pub fn parse_plan_manifest(src: &str) -> Result<crate::plan::RunPlan, String> {
     plan.base_seed = raw_u64_field(src, "base_seed").ok_or("missing field `base_seed`")?;
     plan.sim_budget = opt("sim_budget")?;
     plan.job_deadline_ms = opt("job_deadline_ms")?;
+    // Manifests written before the lint pass existed lack the field;
+    // they replay with the pass off, matching their original run.
+    plan.lint = match v.get("lint") {
+        None => crate::plan::LintMode::Off,
+        Some(crate::json::Value::Str(name)) => crate::plan::LintMode::from_name(name)
+            .ok_or_else(|| format!("unknown lint mode `{name}`"))?,
+        _ => return Err("bad field `lint`".to_string()),
+    };
     Ok(plan)
 }
 

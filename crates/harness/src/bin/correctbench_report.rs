@@ -9,8 +9,10 @@
 //! live run puts in `summary.txt`/`metrics.json`: per-`(problem,
 //! method)` job-latency percentiles (p50/p90/p99/max, from the same
 //! deterministic-structure log-bucketed histogram) plus phase and
-//! counter totals when the sidecar carries observability data. Works on
-//! any past run's artifact — no re-execution.
+//! counter totals when the sidecar carries observability data. When a
+//! `diagnostics.jsonl` sits next to the timings file (as `--out` writes
+//! it), its static-analysis findings are re-aggregated per rule too.
+//! Works on any past run's artifact — no re-execution.
 
 use correctbench_harness::json::{parse, Value};
 use correctbench_obs::{Counter, Histogram, Phase};
@@ -154,5 +156,45 @@ fn main() {
         }
     } else {
         println!("no observability data in this sidecar (run without --no-obs to collect it)");
+    }
+    report_diagnostics(&path);
+}
+
+/// Re-aggregates the `diagnostics.jsonl` sibling of the timings file,
+/// when present: one count per lint rule plus a total. A run with
+/// `--lint=off` writes the file empty, so "0 diagnostics" and "no
+/// sidecar" are distinguishable states.
+fn report_diagnostics(timings_path: &str) {
+    let diag_path = std::path::Path::new(timings_path).with_file_name("diagnostics.jsonl");
+    let Ok(text) = std::fs::read_to_string(&diag_path) else {
+        return;
+    };
+    let mut rules: Vec<(String, u64)> = Vec::new();
+    let mut total = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "warning: {}:{}: skipping bad diagnostics line ({e})",
+                    diag_path.display(),
+                    lineno + 1
+                );
+                continue;
+            }
+        };
+        let rule = v.get("rule").and_then(Value::as_str).unwrap_or("?");
+        total += 1;
+        match rules.iter_mut().find(|(r, _)| r == rule) {
+            Some((_, n)) => *n += 1,
+            None => rules.push((rule.to_string(), 1)),
+        }
+    }
+    println!("lint diagnostics: {total}");
+    for (rule, n) in &rules {
+        println!("  {rule:<24} {n:>6}");
     }
 }

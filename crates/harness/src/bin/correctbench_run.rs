@@ -4,24 +4,30 @@
 //! correctbench-run [--full] [--problems N] [--reps N] [--seed N]
 //!                  [--threads N] [--methods cb,ab,base] [--model NAME]
 //!                  [--out DIR] [--resume DIR] [--sim-budget N]
-//!                  [--job-deadline-ms N] [--faults SPEC] [--no-cache]
-//!                  [--no-sim-cache] [--no-elab-cache]
-//!                  [--no-session-pool] [--no-golden-cache] [--no-obs]
+//!                  [--job-deadline-ms N] [--lint off|warn|gate]
+//!                  [--faults SPEC] [--no-cache] [--no-sim-cache]
+//!                  [--no-elab-cache] [--no-session-pool]
+//!                  [--no-golden-cache] [--no-lint-cache] [--no-obs]
 //!                  [--progress] [--quiet]
 //! ```
 //!
 //! Expands (problems × methods × reps) into a job graph and runs it on a
 //! worker pool with one shared `CacheStack` (simulation cache,
-//! elaboration cache, session pool, golden-artifact cache). Each layer
-//! has its own `--no-*-cache` switch; `--no-cache` is the alias that
-//! disables all four. Prints the aggregate summary, and (with `--out`)
-//! writes `outcomes.jsonl` (deterministic, thread-count and cache
-//! independent), `timings.jsonl` (measured: per-layer cache counters
-//! plus per-job phase self-times and work counters), `metrics.json`
-//! (aggregated phase/counter totals and latency percentiles) and
-//! `summary.txt`. `--no-obs` disarms the per-job observability
-//! collectors; `--progress` draws a live done/throughput/ETA line on
-//! stderr (only when stderr is a terminal).
+//! elaboration cache, session pool, golden-artifact cache, lint-report
+//! cache). Each layer has its own `--no-*-cache` switch; `--no-cache`
+//! is the alias that disables all five. Prints the aggregate summary,
+//! and (with `--out`) writes `outcomes.jsonl` (deterministic,
+//! thread-count and cache independent), `diagnostics.jsonl` (the
+//! equally deterministic static-analysis findings), `timings.jsonl`
+//! (measured: per-layer cache counters plus per-job phase self-times
+//! and work counters), `metrics.json` (aggregated phase/counter totals,
+//! per-rule lint counts and latency percentiles) and `summary.txt`.
+//! `--lint` selects the static-analysis mode: `warn` (default) records
+//! `verilog::lint` findings for every job, `gate` additionally aborts
+//! jobs with deny-level findings (`failure: "lint_rejected"`) before
+//! any simulation, `off` skips the pass. `--no-obs` disarms the per-job
+//! observability collectors; `--progress` draws a live
+//! done/throughput/ETA line on stderr (only when stderr is a terminal).
 //!
 //! # Robustness
 //!
@@ -44,16 +50,16 @@ use correctbench::Method;
 use correctbench_harness::cli::{numeric_flag, usage, RunArgs};
 use correctbench_harness::{
     parse_plan_manifest, plan_manifest_json, render_summary, replay_journal, write_atomic,
-    write_sidecars, Engine, FaultPlan, OutcomeJournal, RunPlan, RunResult,
+    write_sidecars, Engine, FaultPlan, LintMode, OutcomeJournal, RunPlan, RunResult,
 };
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 use std::io::IsTerminal as _;
 use std::path::PathBuf;
 
 const EXTRA_USAGE: &str = "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] \
-     [--resume DIR] [--sim-budget N] [--job-deadline-ms N] [--faults SPEC] \
+     [--resume DIR] [--sim-budget N] [--job-deadline-ms N] [--lint off|warn|gate] [--faults SPEC] \
      [--no-cache] [--no-sim-cache] [--no-elab-cache] [--no-session-pool] [--no-golden-cache] \
-     [--no-obs] [--progress] [--quiet]";
+     [--no-lint-cache] [--no-obs] [--progress] [--quiet]";
 
 fn parse_methods(spec: &str) -> Vec<Method> {
     let methods: Vec<Method> = spec
@@ -94,6 +100,7 @@ struct LayerFlags {
     elab: bool,
     sessions: bool,
     golden: bool,
+    lint: bool,
 }
 
 impl LayerFlags {
@@ -103,11 +110,12 @@ impl LayerFlags {
             elab: true,
             sessions: true,
             golden: true,
+            lint: true,
         }
     }
 
     fn any_on(self) -> bool {
-        self.sim || self.elab || self.sessions || self.golden
+        self.sim || self.elab || self.sessions || self.golden || self.lint
     }
 }
 
@@ -120,6 +128,7 @@ fn main() {
     let mut quiet = false;
     let mut sim_budget: Option<u64> = None;
     let mut job_deadline_ms: Option<u64> = None;
+    let mut lint = LintMode::default();
     let mut faults = FaultPlan::none();
     let mut resume: Option<PathBuf> = None;
     let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
@@ -145,6 +154,14 @@ fn main() {
             job_deadline_ms = Some(numeric_flag("--job-deadline-ms", it, EXTRA_USAGE));
             true
         }
+        "--lint" => {
+            let spec = it
+                .next()
+                .unwrap_or_else(|| usage("--lint needs a mode (off|warn|gate)", EXTRA_USAGE));
+            lint = LintMode::from_name(&spec)
+                .unwrap_or_else(|| usage(&format!("unknown lint mode `{spec}`"), EXTRA_USAGE));
+            true
+        }
         "--faults" => {
             let spec = it
                 .next()
@@ -165,6 +182,7 @@ fn main() {
                 elab: false,
                 sessions: false,
                 golden: false,
+                lint: false,
             };
             true
         }
@@ -182,6 +200,10 @@ fn main() {
         }
         "--no-golden-cache" => {
             layers.golden = false;
+            true
+        }
+        "--no-lint-cache" => {
+            layers.lint = false;
             true
         }
         "--no-obs" => {
@@ -229,6 +251,7 @@ fn main() {
             plan.base_seed = args.seed;
             plan.sim_budget = sim_budget;
             plan.job_deadline_ms = job_deadline_ms;
+            plan.lint = lint;
             (plan, Vec::new())
         }
     };
@@ -236,20 +259,22 @@ fn main() {
 
     if !quiet {
         eprintln!(
-            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, caches {}){}",
+            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, lint {}, caches {}){}",
             plan.problems.len(),
             plan.methods.len(),
             plan.reps,
             plan.num_jobs(),
             args.threads,
             plan.model,
+            plan.lint,
             if layers.any_on() {
                 format!(
-                    "sim:{} elab:{} pool:{} golden:{}",
+                    "sim:{} elab:{} pool:{} golden:{} lint:{}",
                     if layers.sim { "on" } else { "off" },
                     if layers.elab { "on" } else { "off" },
                     if layers.sessions { "on" } else { "off" },
                     if layers.golden { "on" } else { "off" },
+                    if layers.lint { "on" } else { "off" },
                 )
             } else {
                 "off".to_string()
@@ -282,6 +307,9 @@ fn main() {
     }
     if !layers.golden {
         engine = engine.without_golden_cache();
+    }
+    if !layers.lint {
+        engine = engine.without_lint_cache();
     }
     let factory = SimulatedClientFactory::for_model(plan.model);
 
@@ -330,8 +358,9 @@ fn main() {
         });
         if !quiet {
             eprintln!(
-                "artifacts: {} | {} | {}",
+                "artifacts: {} | {} | {} | {}",
                 paths.outcomes.display(),
+                paths.diagnostics.display(),
                 paths.timings.display(),
                 paths.summary.display()
             );

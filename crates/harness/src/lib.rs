@@ -12,9 +12,10 @@
 //! * [`worker`] — single-job execution with per-job clients and RNGs;
 //! * [`cache`] — re-exports of the [`CacheStack`] reuse layers the
 //!   engine installs on every worker (simulation cache, elaboration
-//!   cache, session pool, golden-artifact cache);
-//! * [`artifact`] — deterministic `outcomes.jsonl` plus the measured
-//!   `timings.jsonl` sidecar and the aggregated `metrics.json`;
+//!   cache, session pool, golden-artifact cache, lint-report cache);
+//! * [`artifact`] — deterministic `outcomes.jsonl` and
+//!   `diagnostics.jsonl` plus the measured `timings.jsonl` sidecar and
+//!   the aggregated `metrics.json`;
 //! * [`report`] — aggregate summaries and latency percentile tables;
 //! * [`json`] — the minimal JSON reader matching the artifact encoder.
 //!
@@ -43,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod artifact;
 pub mod cli;
@@ -66,22 +68,25 @@ pub mod cache {
     pub use correctbench_tbgen::golden::{
         with_active as with_active_golden, GoldenArtifacts, GoldenCache, GoldenKey,
     };
+    pub use correctbench_tbgen::lintcache::{
+        lint_cached, with_active as with_active_lint, LintCache,
+    };
     pub use correctbench_tbgen::{CacheStack, StackGuard, StackStats};
 }
 
 pub use artifact::{
-    metrics_json, outcome_json, outcomes_jsonl, parse_outcome_line, parse_plan_manifest,
-    plan_manifest_json, replay_journal, timings_jsonl, write_artifacts, write_atomic,
-    write_sidecars, ArtifactPaths, OutcomeJournal,
+    diagnostics_jsonl, metrics_json, outcome_json, outcomes_jsonl, parse_outcome_line,
+    parse_plan_manifest, plan_manifest_json, replay_journal, timings_jsonl, write_artifacts,
+    write_atomic, write_sidecars, ArtifactPaths, OutcomeJournal,
 };
 pub use cache::{
-    CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, SimCache, StackStats,
+    CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, LintCache, SimCache, StackStats,
 };
 pub use cli::RunArgs;
 pub use correctbench_obs::{Histogram, JobObs, ObsStack};
 pub use correctbench_tbgen::AbortKind;
 pub use fault::{FaultKind, FaultPlan, FAULT_EXIT_CODE};
-pub use plan::{mix_seed, problem_subset, Job, RunPlan};
+pub use plan::{mix_seed, problem_subset, Job, LintMode, RunPlan};
 pub use report::{latency_groups, render_latency_table, render_summary, summarize, MethodSummary};
 pub use scheduler::{parallel_map, Engine, RunResult};
 pub use worker::{run_job, run_job_guarded, TaskOutcome};

@@ -11,6 +11,52 @@ use correctbench::{Config, Method};
 use correctbench_dataset::Problem;
 use correctbench_llm::ModelKind;
 
+/// How the run treats static-analysis diagnostics from `verilog::lint`
+/// (`--lint=off|warn|gate`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LintMode {
+    /// Skip the lint pass entirely.
+    Off,
+    /// Lint every job's RTL and record diagnostics in the
+    /// `diagnostics.jsonl` sidecar, but never block a job (the
+    /// default).
+    #[default]
+    Warn,
+    /// Like `warn`, but deny-level diagnostics abort the job with
+    /// `lint_rejected` before any simulation runs.
+    Gate,
+}
+
+impl LintMode {
+    /// Every mode, in flag order.
+    pub const ALL: [LintMode; 3] = [LintMode::Off, LintMode::Warn, LintMode::Gate];
+
+    /// The stable flag/manifest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintMode::Off => "off",
+            LintMode::Warn => "warn",
+            LintMode::Gate => "gate",
+        }
+    }
+
+    /// The mode with flag name `name`, if any.
+    pub fn from_name(name: &str) -> Option<LintMode> {
+        LintMode::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// `true` unless the pass is [`LintMode::Off`].
+    pub fn is_enabled(self) -> bool {
+        self != LintMode::Off
+    }
+}
+
+impl std::fmt::Display for LintMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A declarative evaluation sweep: the cross product of problems,
 /// methods and repetitions under one configuration.
 #[derive(Clone, Debug)]
@@ -43,6 +89,12 @@ pub struct RunPlan {
     /// off (`None`) by default and excluded from the determinism
     /// contract when set.
     pub job_deadline_ms: Option<u64>,
+    /// Static-analysis mode (`--lint`): whether each job's RTL runs
+    /// through `verilog::lint` before simulation, and whether
+    /// deny-level findings abort the job. The pass is pure, so the
+    /// `diagnostics.jsonl` sidecar it feeds is as deterministic as
+    /// `outcomes.jsonl`.
+    pub lint: LintMode,
 }
 
 impl RunPlan {
@@ -58,6 +110,7 @@ impl RunPlan {
             config: Config::default(),
             sim_budget: None,
             job_deadline_ms: None,
+            lint: LintMode::default(),
         }
     }
 

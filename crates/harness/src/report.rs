@@ -158,6 +158,27 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
         );
     }
     let _ = writeln!(s, "wall: {:?} on {} threads", result.wall, result.threads);
+    // Static-analysis rollup: total findings plus per-rule counts in
+    // taxonomy order (nonzero rules only — the full zero-filled table
+    // lives in metrics.json).
+    let lint_total: usize = result.outcomes.iter().map(|o| o.lint.len()).sum();
+    let _ = writeln!(s, "lint ({}): {} diagnostics", plan.lint.name(), lint_total);
+    for rule in correctbench_verilog::Rule::ALL {
+        let n: usize = result
+            .outcomes
+            .iter()
+            .map(|o| o.lint.iter().filter(|d| d.rule == rule).count())
+            .sum();
+        if n > 0 {
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>6}  ({})",
+                rule.name(),
+                n,
+                rule.severity().name()
+            );
+        }
+    }
     // One line per stack layer, in the canonical StackStats order —
     // summary.txt and timings.jsonl share the same layer enumeration.
     for (label, stats) in result.caches.layers() {

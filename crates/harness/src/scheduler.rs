@@ -13,7 +13,9 @@ use crate::plan::RunPlan;
 use crate::worker::{run_job_guarded, TaskOutcome};
 use correctbench_llm::ClientFactory;
 use correctbench_obs::ObsStack;
-use correctbench_tbgen::{CacheStack, ElabCache, EvalContext, GoldenCache, SimCache, StackStats};
+use correctbench_tbgen::{
+    CacheStack, ElabCache, EvalContext, GoldenCache, LintCache, SimCache, StackStats,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -74,7 +76,8 @@ impl Engine {
     }
 
     /// Disables every reuse layer (simulation cache, elaboration cache,
-    /// session pool, golden cache) — the harness `--no-cache` behavior.
+    /// session pool, golden cache, lint cache) — the harness
+    /// `--no-cache` behavior.
     pub fn without_cache(mut self) -> Self {
         self.stack = CacheStack::empty();
         self
@@ -101,6 +104,13 @@ impl Engine {
     /// Disables only the golden-artifact cache.
     pub fn without_golden_cache(mut self) -> Self {
         self.stack = self.stack.without_golden_cache();
+        self
+    }
+
+    /// Disables only the lint-report cache (the pass still runs when the
+    /// plan asks for it — every job just pays the analysis itself).
+    pub fn without_lint_cache(mut self) -> Self {
+        self.stack = self.stack.without_lint_cache();
         self
     }
 
@@ -187,6 +197,7 @@ impl Engine {
                 plan.sim_budget,
                 plan.job_deadline_ms,
                 self.faults.get(job.id),
+                plan.lint,
             );
             if let Some(journal) = journal {
                 journal.push(outcome.job_id, outcome_json(&outcome));
@@ -240,6 +251,11 @@ impl Engine {
     /// The engine's shared golden-artifact cache, if enabled.
     pub fn golden_cache(&self) -> Option<&Arc<GoldenCache>> {
         self.stack.golden_cache()
+    }
+
+    /// The engine's shared lint-report cache, if enabled.
+    pub fn lint_cache(&self) -> Option<&Arc<LintCache>> {
+        self.stack.lint_cache()
     }
 }
 

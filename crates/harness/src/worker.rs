@@ -7,7 +7,7 @@
 //! any order and the collected outcomes are identical.
 
 use crate::fault::{FaultKind, FAULT_EXIT_CODE};
-use crate::plan::Job;
+use crate::plan::{Job, LintMode};
 use correctbench::Method;
 use correctbench::{run_method, Action, Config};
 use correctbench_autoeval::{evaluate, EvalLevel, EvalTb};
@@ -17,9 +17,10 @@ use correctbench_llm::{
 };
 use correctbench_obs::Counter;
 use correctbench_tbgen::{install_budget, AbortKind, JobAbort, JobBudget};
+use correctbench_verilog::Diagnostic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 use std::time::{Duration, Instant};
@@ -78,12 +79,93 @@ pub struct TaskOutcome {
     /// emitted only into `timings.jsonl`/`metrics.json`, never
     /// `outcomes.jsonl`.
     pub obs: Option<correctbench_obs::JobObs>,
+    /// Static-analysis diagnostics for the job's RTL (empty under
+    /// `--lint=off` or when the source does not parse). Deterministic —
+    /// a pure function of the job and the lint mode — but emitted into
+    /// the separate `diagnostics.jsonl` sidecar so the `outcomes.jsonl`
+    /// schema stays fixed.
+    pub lint: Vec<Diagnostic>,
 }
 
 /// Runs one job to completion, unguarded: a panic propagates to the
-/// caller. The engine runs jobs through [`run_job_guarded`] instead.
+/// caller (a `--lint=gate` rejection unwinds too). The engine runs jobs
+/// through [`run_job_guarded`] instead.
 pub fn run_job(job: &Job, cfg: &Config, factory: &dyn ClientFactory) -> TaskOutcome {
-    run_job_inner(job, cfg, factory, None)
+    run_job_inner(job, cfg, factory, None, LintMode::Off)
+}
+
+thread_local! {
+    /// Findings of a lint pass that is about to gate-abort its job:
+    /// stashed just before `abort_job(LintRejected)` unwinds so the
+    /// aborted outcome still carries the diagnostics that rejected it
+    /// into `diagnostics.jsonl`.
+    static LINT_STASH: RefCell<Vec<Diagnostic>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Lints the job's combined RTL (golden DUT + candidate driver) through
+/// the worker's lint cache, filtering findings the problem's allowlist
+/// marks intentional. Under [`LintMode::Gate`] deny-level findings
+/// abort the job with [`AbortKind::LintRejected`] *before* any
+/// simulation — stashing the findings first so the aborted outcome
+/// still reports them. A driver that does not parse is skipped here:
+/// syntax failures are AutoEval's `Failed` verdict, not lint subjects.
+/// The pre-generation half of the `--lint=gate` contract: deny-level
+/// findings in the golden DUT alone abort the job *before* it costs a
+/// single LLM token or reaches the generation path's dataset
+/// invariants (which assume well-formed golden RTL). Warn mode records
+/// golden findings through [`lint_pass`] instead, so this half is
+/// gate-only and leaves the diagnostics counter to the combined pass.
+fn lint_golden_gate(job: &Job, mode: LintMode) {
+    if mode != LintMode::Gate {
+        return;
+    }
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Lint);
+    let Ok(file) = correctbench_verilog::parse(&job.problem.golden_rtl) else {
+        return;
+    };
+    let report = correctbench_tbgen::lint_cached(&file);
+    let deny: Vec<Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            d.severity == correctbench_verilog::Severity::Error
+                && !job.problem.lint_allowed(d.rule.name(), &d.signal)
+        })
+        .cloned()
+        .collect();
+    if !deny.is_empty() {
+        correctbench_obs::add(Counter::LintDiags, deny.len() as u64);
+        LINT_STASH.with(|s| *s.borrow_mut() = deny);
+        correctbench_tbgen::abort_job(AbortKind::LintRejected);
+    }
+}
+
+fn lint_pass(job: &Job, driver: &str, mode: LintMode) -> Vec<Diagnostic> {
+    if !mode.is_enabled() {
+        return Vec::new();
+    }
+    let _span = correctbench_obs::span(correctbench_obs::Phase::Lint);
+    let combined = format!("{}\n{}", job.problem.golden_rtl, driver);
+    let Ok(file) = correctbench_verilog::parse(&combined) else {
+        return Vec::new();
+    };
+    let report = correctbench_tbgen::lint_cached(&file);
+    let diags: Vec<Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !job.problem.lint_allowed(d.rule.name(), &d.signal))
+        .cloned()
+        .collect();
+    correctbench_obs::add(Counter::LintDiags, diags.len() as u64);
+    if mode == LintMode::Gate
+        && diags
+            .iter()
+            .any(|d| d.severity == correctbench_verilog::Severity::Error)
+    {
+        LINT_STASH.with(|s| *s.borrow_mut() = diags);
+        correctbench_tbgen::abort_job(AbortKind::LintRejected);
+    }
+    diags
 }
 
 /// Builds the job's client, wiring injected LLM faults through the
@@ -112,8 +194,10 @@ fn run_job_inner(
     cfg: &Config,
     factory: &dyn ClientFactory,
     fault: Option<FaultKind>,
+    lint_mode: LintMode,
 ) -> TaskOutcome {
     let t0 = Instant::now();
+    lint_golden_gate(job, lint_mode);
     let mut llm = build_client(factory, job.seed, fault);
     let mut rng = StdRng::seed_from_u64(job.seed ^ 0x777);
     let outcome = run_method(job.method, &job.problem, &mut *llm, cfg, &mut rng);
@@ -122,6 +206,10 @@ fn run_job_inner(
         driver: outcome.tb.driver.clone(),
         checker: outcome.tb.checker.clone(),
     };
+    // The static-analysis gate sits between generation and evaluation:
+    // under `--lint=gate` a deny-level finding unwinds here, before the
+    // first simulation.
+    let lint = lint_pass(job, &tb.driver, lint_mode);
     let level = evaluate(&job.problem, &tb, job.eval_seed);
     TaskOutcome {
         job_id: job.id,
@@ -146,6 +234,7 @@ fn run_job_inner(
         // guard is still installed — the snapshot is exactly this job's
         // spans and counters.
         obs: correctbench_obs::take_job(),
+        lint,
     }
 }
 
@@ -193,6 +282,9 @@ impl Drop for InJobGuard {
 /// the job and the failure kind — never on how far the job got before
 /// dying.
 fn aborted_outcome(job: &Job, kind: AbortKind, wall: Duration) -> TaskOutcome {
+    // A gate rejection stashed its findings just before unwinding; every
+    // other abort finds the stash empty (it is cleared at job start).
+    let lint = LINT_STASH.with(|s| std::mem::take(&mut *s.borrow_mut()));
     TaskOutcome {
         job_id: job.id,
         problem: job.problem.name.clone(),
@@ -213,6 +305,7 @@ fn aborted_outcome(job: &Job, kind: AbortKind, wall: Duration) -> TaskOutcome {
         tokens: TokenUsage::default(),
         wall,
         obs: correctbench_obs::take_job(),
+        lint,
     }
 }
 
@@ -238,9 +331,11 @@ pub fn run_job_guarded(
     sim_budget: Option<u64>,
     deadline_ms: Option<u64>,
     fault: Option<FaultKind>,
+    lint_mode: LintMode,
 ) -> TaskOutcome {
     install_quiet_panic_hook();
     let t0 = Instant::now();
+    LINT_STASH.with(|s| s.borrow_mut().clear());
     let result = catch_unwind(AssertUnwindSafe(|| {
         let _in_job = InJobGuard::enter();
         let _budget = install_budget(JobBudget {
@@ -258,7 +353,7 @@ pub fn run_job_guarded(
             }
             _ => {}
         }
-        run_job_inner(job, cfg, factory, fault)
+        run_job_inner(job, cfg, factory, fault, lint_mode)
     }));
     match result {
         Ok(outcome) => outcome,

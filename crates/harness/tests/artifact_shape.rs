@@ -72,6 +72,7 @@ fn timings_lines_pin_field_set_and_order() {
             "elab_cache",
             "session_pool",
             "golden_cache",
+            "lint_cache",
         ],
         "timings.jsonl run-line field drift"
     );
@@ -92,7 +93,10 @@ fn timings_lines_pin_field_set_and_order() {
         let phases = v.get("phases").expect("phases");
         assert_eq!(
             phases.keys(),
-            vec!["parse", "elab", "compile", "simulate", "judge", "llm", "validate", "autoeval"],
+            vec![
+                "parse", "elab", "compile", "simulate", "judge", "llm", "validate", "autoeval",
+                "lint",
+            ],
             "phase taxonomy drift:\n{line}"
         );
         let counters = v.get("counters").expect("counters");
@@ -113,6 +117,7 @@ fn timings_lines_pin_field_set_and_order() {
                 "golden_misses",
                 "llm_retries",
                 "job_aborts",
+                "lint_diags",
             ],
             "counter taxonomy drift:\n{line}"
         );
@@ -153,6 +158,7 @@ fn metrics_json_pins_field_set_and_order() {
             "phase_totals_us",
             "counter_totals",
             "caches",
+            "lint",
             "latency",
         ],
         "metrics.json field drift"
@@ -163,7 +169,24 @@ fn metrics_json_pins_field_set_and_order() {
     );
     assert_eq!(
         v.get("caches").expect("caches").keys(),
-        vec!["sim_cache", "elab_cache", "session_pool", "golden_cache"]
+        vec![
+            "sim_cache",
+            "elab_cache",
+            "session_pool",
+            "golden_cache",
+            "lint_cache"
+        ]
+    );
+    // The lint rollup is zero-filled over the whole rule taxonomy so
+    // downstream joins never branch on key presence.
+    let lint = v.get("lint").expect("lint");
+    assert_eq!(lint.keys(), vec!["diagnostics", "rules"]);
+    assert_eq!(
+        lint.get("rules").expect("rules").keys(),
+        correctbench_verilog::Rule::ALL
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
     );
     let Some(Value::Arr(latency)) = v.get("latency") else {
         panic!("latency is not an array");
@@ -177,6 +200,37 @@ fn metrics_json_pins_field_set_and_order() {
             "latency cell field drift"
         );
         assert_eq!(cell.get("count").and_then(Value::as_u64), Some(1));
+    }
+}
+
+#[test]
+fn diagnostics_lines_pin_field_set_and_order() {
+    let result = smoke_result(Engine::new(2));
+    let stream = correctbench_harness::diagnostics_jsonl(&result.outcomes);
+    let total: usize = result.outcomes.iter().map(|o| o.lint.len()).sum();
+    assert_eq!(stream.lines().count(), total);
+    for line in stream.lines() {
+        let v = parse(line).expect("diagnostics line parses");
+        assert_eq!(
+            v.keys(),
+            vec![
+                "job", "problem", "method", "rep", "rule", "severity", "module", "signal",
+                "location", "message",
+            ],
+            "diagnostics.jsonl field drift:\n{line}"
+        );
+        let rule = v.get("rule").and_then(Value::as_str).expect("rule");
+        assert!(
+            correctbench_verilog::Rule::ALL
+                .iter()
+                .any(|r| r.name() == rule),
+            "rule outside the closed taxonomy: {rule}"
+        );
+        let severity = v.get("severity").and_then(Value::as_str).expect("severity");
+        assert!(
+            matches!(severity, "warning" | "error"),
+            "bad severity: {severity}"
+        );
     }
 }
 

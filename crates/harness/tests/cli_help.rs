@@ -30,6 +30,7 @@ fn help_lists_every_cache_layer_flag() {
         "--no-elab-cache",
         "--no-session-pool",
         "--no-golden-cache",
+        "--no-lint-cache",
     ] {
         assert!(
             help.contains(flag),
@@ -74,6 +75,23 @@ fn help_lists_the_robustness_flags() {
         assert!(
             help.contains(flag),
             "--help output is missing robustness flag `{flag}`:\n{help}"
+        );
+    }
+}
+
+#[test]
+fn help_documents_the_lint_gate() {
+    // `--lint` and its three modes are the static-analysis gate's CLI
+    // contract; the golden-dataset CI gate scripts against them.
+    let help = help_output();
+    assert!(
+        help.contains("--lint"),
+        "--help output is missing `--lint`:\n{help}"
+    );
+    for mode in ["off", "warn", "gate"] {
+        assert!(
+            help.contains(mode),
+            "--help output is missing lint mode `{mode}`:\n{help}"
         );
     }
 }

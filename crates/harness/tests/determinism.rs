@@ -1,10 +1,11 @@
-//! The harness's central contract: the JSONL artifact stream of a plan
-//! is **byte-identical** regardless of worker count, and independent of
-//! which [`CacheStack`] layers (simulation cache, elaboration cache,
-//! session pool, golden-artifact cache) are enabled — caching is a pure
-//! memoization: it may change wall time, never results.
+//! The harness's central contract: the JSONL artifact streams of a plan
+//! (`outcomes.jsonl` and `diagnostics.jsonl`) are **byte-identical**
+//! regardless of worker count, and independent of which [`CacheStack`]
+//! layers (simulation cache, elaboration cache, session pool,
+//! golden-artifact cache, lint-report cache) are enabled — caching is a
+//! pure memoization: it may change wall time, never results.
 
-use correctbench_harness::{outcomes_jsonl, Engine, RunPlan};
+use correctbench_harness::{diagnostics_jsonl, outcomes_jsonl, Engine, LintMode, RunPlan};
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 
 fn plan() -> RunPlan {
@@ -141,6 +142,79 @@ fn golden_cache_is_semantically_transparent_across_thread_counts() {
     assert!(
         golden_off_2 == golden_on_8,
         "golden cache x thread count changed outcomes:\n--- off@2 ---\n{golden_off_2}\n--- on@8 ---\n{golden_on_8}"
+    );
+}
+
+fn diagnostics_with(engine: Engine, lint: LintMode) -> String {
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let mut p = plan();
+    p.lint = lint;
+    let result = engine.execute(&p, &factory);
+    diagnostics_jsonl(&result.outcomes)
+}
+
+#[test]
+fn diagnostics_stream_is_byte_identical_across_threads_and_caches() {
+    // The lint pass is pure, so diagnostics.jsonl shares outcomes.jsonl's
+    // determinism contract: byte-identical across worker counts, with the
+    // lint cache on or off, and with the whole stack stripped.
+    let two = diagnostics_with(Engine::new(2), LintMode::Warn);
+    let four = diagnostics_with(Engine::new(4), LintMode::Warn);
+    let eight = diagnostics_with(Engine::new(8), LintMode::Warn);
+    assert!(
+        two == four && four == eight,
+        "diagnostics stream depends on thread count:\n--- 2 ---\n{two}\n--- 4 ---\n{four}\n--- 8 ---\n{eight}"
+    );
+    let no_lint_cache = diagnostics_with(Engine::new(4).without_lint_cache(), LintMode::Warn);
+    assert!(
+        four == no_lint_cache,
+        "lint cache changed diagnostics:\n--- cached ---\n{four}\n--- uncached ---\n{no_lint_cache}"
+    );
+    let stripped = diagnostics_with(Engine::new(4).without_cache(), LintMode::Warn);
+    assert!(
+        four == stripped,
+        "cache stack changed diagnostics:\n--- full ---\n{four}\n--- stripped ---\n{stripped}"
+    );
+}
+
+#[test]
+fn lint_off_writes_an_empty_diagnostics_stream() {
+    // `--lint=off` still writes the sidecar (the artifact set is fixed)
+    // but it must carry zero lines — the pass never ran.
+    let off = diagnostics_with(Engine::new(4), LintMode::Off);
+    assert_eq!(off, "", "diagnostics under --lint=off:\n{off}");
+}
+
+#[test]
+fn lint_mode_does_not_change_outcomes_on_clean_rtl() {
+    // The golden dataset is lint-clean at deny level, so warn and gate
+    // runs take the same path as off: the outcome stream must be
+    // byte-identical across all three modes.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let mut streams = Vec::new();
+    for mode in LintMode::ALL {
+        let mut p = plan();
+        p.lint = mode;
+        let result = Engine::new(4).execute(&p, &factory);
+        streams.push(outcomes_jsonl(&result.outcomes));
+    }
+    assert!(
+        streams[0] == streams[1] && streams[1] == streams[2],
+        "lint mode changed outcomes on clean RTL"
+    );
+}
+
+#[test]
+fn sweep_plan_shows_lint_cache_hits() {
+    // Every (method, rep) cell of a problem lints the same golden RTL +
+    // generated driver pair, so the fingerprint-keyed report cache must
+    // convert the repeats into hits.
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let result = Engine::new(1).execute(&plan(), &factory);
+    let stats = result.caches.lint.expect("lint cache enabled by default");
+    assert!(
+        stats.hits > 0,
+        "no lint-cache hits in a multi-rep sweep: {stats}"
     );
 }
 

@@ -8,7 +8,7 @@
 
 use correctbench_harness::json::{parse, Value};
 use correctbench_harness::{
-    outcomes_jsonl, AbortKind, CacheStack, Engine, FaultPlan, RunPlan, TaskOutcome,
+    outcomes_jsonl, AbortKind, CacheStack, Engine, FaultPlan, LintMode, RunPlan, TaskOutcome,
 };
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 
@@ -165,6 +165,120 @@ fn aborted_jobs_never_poison_the_shared_cache_stack() {
     assert!(
         reused == fresh,
         "cache stack poisoned by aborted jobs:\n--- reused stack ---\n{reused}\n--- fresh stack ---\n{fresh}"
+    );
+}
+
+/// A plan whose first problem's golden RTL carries a deny-level
+/// `multiple-drivers` finding (a second continuous driver on `y`).
+fn dirty_plan(lint: LintMode) -> RunPlan {
+    let mut plan = plan();
+    plan.lint = lint;
+    let p = &mut plan.problems[0];
+    p.golden_rtl = p
+        .golden_rtl
+        .replace("endmodule", "assign y = a;\nendmodule");
+    plan
+}
+
+#[test]
+fn lint_gate_aborts_with_lint_rejected_deterministically() {
+    // Every job of the dirty problem must abort with the structured
+    // `lint_rejected` kind — carrying the findings that condemned it —
+    // while the clean problem's jobs stay untouched; and the whole
+    // stream must be byte-identical across thread counts and caches.
+    let plan = dirty_plan(LintMode::Gate);
+    let outcomes = run(Engine::new(2), &plan);
+    let dirty_name = &plan.problems[0].name;
+    for o in &outcomes {
+        if &o.problem == dirty_name {
+            assert_eq!(o.failure, Some(AbortKind::LintRejected), "job {}", o.job_id);
+            assert!(
+                o.lint.iter().any(|d| d.rule.name() == "multiple-drivers"),
+                "job {}: gate abort lost its findings: {:?}",
+                o.job_id,
+                o.lint
+            );
+        } else {
+            assert!(
+                o.failure.is_none(),
+                "clean problem disturbed: job {}",
+                o.job_id
+            );
+        }
+    }
+    let baseline = outcomes_jsonl(&outcomes);
+    for engine in [
+        Engine::new(4),
+        Engine::new(8),
+        Engine::new(4).without_cache(),
+    ] {
+        let other = stream(engine, &plan);
+        assert!(
+            baseline == other,
+            "gate aborts are not deterministic:\n--- 2 threads ---\n{baseline}\n--- variant ---\n{other}"
+        );
+    }
+}
+
+#[test]
+fn lint_warn_records_findings_without_aborting() {
+    // A warning-level defect (a driven-but-never-read scratch wire):
+    // warn mode records it on every job and aborts none.
+    let mut plan = plan();
+    plan.lint = LintMode::Warn;
+    let p = &mut plan.problems[0];
+    p.golden_rtl = p.golden_rtl.replace(
+        "endmodule",
+        "wire [7:0] scratch;\nassign scratch = a;\nendmodule",
+    );
+    let outcomes = run(Engine::new(2), &plan);
+    assert!(
+        outcomes.iter().all(|o| o.failure.is_none()),
+        "warn mode must never abort: {:?}",
+        outcomes.iter().map(|o| o.failure).collect::<Vec<_>>()
+    );
+    let dirty_name = &plan.problems[0].name;
+    for o in outcomes.iter().filter(|o| &o.problem == dirty_name) {
+        assert!(
+            o.lint
+                .iter()
+                .any(|d| d.rule.name() == "unused-signal" && d.signal == "scratch"),
+            "job {}: warn mode lost the finding: {:?}",
+            o.job_id,
+            o.lint
+        );
+    }
+}
+
+#[test]
+fn lint_gate_aborts_never_poison_the_shared_cache_stack() {
+    // Same shape as the budget-starvation poison test: a gate pass that
+    // rejects every job of the dirty problem shares its stack with a
+    // later clean pass. The aborted jobs must leave nothing behind —
+    // not even lint-report entries keyed on fingerprints the clean pass
+    // will also compute.
+    let stack = CacheStack::full();
+    let factory = SimulatedClientFactory::for_model(ModelKind::Gpt4o);
+    let first = Engine::new(4)
+        .with_stack(stack.clone())
+        .execute(&dirty_plan(LintMode::Gate), &factory);
+    assert!(
+        first
+            .outcomes
+            .iter()
+            .any(|o| o.failure == Some(AbortKind::LintRejected)),
+        "the gate pass must reject jobs for this test to mean anything"
+    );
+    let reused = outcomes_jsonl(
+        &Engine::new(4)
+            .with_stack(stack)
+            .execute(&plan(), &factory)
+            .outcomes,
+    );
+    let fresh = stream(Engine::new(4), &plan());
+    assert!(
+        reused == fresh,
+        "cache stack poisoned by lint-gate aborts:\n--- reused stack ---\n{reused}\n--- fresh stack ---\n{fresh}"
     );
 }
 

@@ -1,0 +1,29 @@
+//! Source-scan guard for the job hot path.
+//!
+//! `worker.rs` is the code every job runs under the panic guard: an
+//! input-dependent `unwrap()`/`expect()` there turns an ordinary bad
+//! input into a `panic` abort — misclassifying it in `outcomes.jsonl`
+//! and hiding the real failure. Fallible cases on this path must be
+//! matched and folded into structured outcomes (or aborted with a
+//! typed `AbortKind`), never unwrapped. The type system cannot express
+//! "no panics on this path", so this scan pins it; test code below the
+//! `#[cfg(test)]` marker is exempt.
+
+/// The non-test half of a source file (everything before its
+/// `#[cfg(test)]` module).
+fn runtime_half(src: &str) -> &str {
+    src.split("#[cfg(test)]").next().unwrap_or(src)
+}
+
+#[test]
+fn no_unwrap_or_expect_on_the_job_hot_path() {
+    let runtime = runtime_half(include_str!("../src/worker.rs"));
+    for (lineno, line) in runtime.lines().enumerate() {
+        assert!(
+            !line.contains(".unwrap()") && !line.contains(".expect("),
+            "worker.rs:{}: `unwrap`/`expect` on the job hot path — fold \
+             the failure into the outcome or abort with a typed AbortKind:\n{line}",
+            lineno + 1
+        );
+    }
+}

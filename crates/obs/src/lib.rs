@@ -24,6 +24,8 @@
 //! measurements, so `outcomes.jsonl` is byte-identical with
 //! observability on or off (pinned by the harness determinism suite).
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -47,11 +49,13 @@ pub enum Phase {
     Validate,
     /// AutoEval Eval0/1/2 ladder.
     Autoeval,
+    /// Static RTL analysis (`verilog::lint`).
+    Lint,
 }
 
 impl Phase {
     /// Number of phases (array-index domain).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every phase, in canonical (artifact) order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -63,6 +67,7 @@ impl Phase {
         Phase::Llm,
         Phase::Validate,
         Phase::Autoeval,
+        Phase::Lint,
     ];
 
     /// The artifact field name of this phase.
@@ -76,6 +81,7 @@ impl Phase {
             Phase::Llm => "llm",
             Phase::Validate => "validate",
             Phase::Autoeval => "autoeval",
+            Phase::Lint => "lint",
         }
     }
 }
@@ -112,11 +118,13 @@ pub enum Counter {
     LlmRetries,
     /// Jobs that ended in a structured abort instead of an outcome.
     JobAborts,
+    /// Static-analysis diagnostics emitted for the job's RTL.
+    LintDiags,
 }
 
 impl Counter {
     /// Number of counters (array-index domain).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in canonical (artifact) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -134,6 +142,7 @@ impl Counter {
         Counter::GoldenMisses,
         Counter::LlmRetries,
         Counter::JobAborts,
+        Counter::LintDiags,
     ];
 
     /// The artifact field name of this counter.
@@ -153,6 +162,7 @@ impl Counter {
             Counter::GoldenMisses => "golden_misses",
             Counter::LlmRetries => "llm_retries",
             Counter::JobAborts => "job_aborts",
+            Counter::LintDiags => "lint_diags",
         }
     }
 }
@@ -602,9 +612,11 @@ mod tests {
         let phases: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(phases[0], "parse");
         assert_eq!(phases[Phase::Autoeval as usize], "autoeval");
+        assert_eq!(phases[Phase::Lint as usize], "lint");
         let counters: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(counters[0], "sim_events");
         assert_eq!(counters[Counter::GoldenMisses as usize], "golden_misses");
+        assert_eq!(counters[Counter::LintDiags as usize], "lint_diags");
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(*p as usize, i, "Phase::ALL order matches discriminants");
         }

@@ -36,16 +36,20 @@ pub enum AbortKind {
     DeadlineExceeded,
     /// The LLM client's retry budget was exhausted by transport errors.
     LlmError,
+    /// The static-analysis gate (`--lint=gate`) found deny-level
+    /// diagnostics in the job's RTL before simulation.
+    LintRejected,
 }
 
 impl AbortKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [AbortKind; 5] = [
+    pub const ALL: [AbortKind; 6] = [
         AbortKind::Panic,
         AbortKind::ParseError,
         AbortKind::SimBudgetExhausted,
         AbortKind::DeadlineExceeded,
         AbortKind::LlmError,
+        AbortKind::LintRejected,
     ];
 
     /// The stable artifact name.
@@ -56,6 +60,7 @@ impl AbortKind {
             AbortKind::SimBudgetExhausted => "sim_budget_exhausted",
             AbortKind::DeadlineExceeded => "deadline_exceeded",
             AbortKind::LlmError => "llm_error",
+            AbortKind::LintRejected => "lint_rejected",
         }
     }
 

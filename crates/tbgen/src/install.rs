@@ -15,6 +15,7 @@ use crate::cache::{CacheStats, SimCache};
 use crate::context::EvalContext;
 use crate::elab::ElabCache;
 use crate::golden::GoldenCache;
+use crate::lintcache::LintCache;
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::thread::LocalKey;
@@ -34,6 +35,9 @@ thread_local! {
     /// The active golden-artifact cache (consulted by
     /// `correctbench_autoeval::golden_artifacts`).
     pub(crate) static GOLDEN: RefCell<Option<Arc<GoldenCache>>> = const { RefCell::new(None) };
+    /// The active lint-report cache (consulted by
+    /// [`crate::lint_cached`]).
+    pub(crate) static LINT: RefCell<Option<Arc<LintCache>>> = const { RefCell::new(None) };
     /// The one-shot escape hatch (see [`crate::force_one_shot`]) — not a
     /// cache slot, but thread-local session state lives here with the
     /// rest of the install machinery.
@@ -147,6 +151,7 @@ impl<T> Drop for InstallGuard<T> {
 /// | elaboration cache | [`ElabCache`] | compiled (DUT, driver) designs |
 /// | session pool | [`EvalContext`] | leased evaluation sessions |
 /// | golden cache | [`GoldenCache`] | per-problem golden artifacts |
+/// | lint cache | [`LintCache`] | static-analysis reports per source |
 ///
 /// A `CacheStack` is the *handle* a harness holds and shares: build one
 /// ([`CacheStack::full`] or [`CacheStack::empty`] plus the `with_*` /
@@ -173,16 +178,18 @@ pub struct CacheStack {
     elab: Option<Arc<ElabCache>>,
     sessions: Option<Arc<EvalContext>>,
     golden: Option<Arc<GoldenCache>>,
+    lint: Option<Arc<LintCache>>,
 }
 
 impl CacheStack {
-    /// A stack with all four layers enabled and fresh.
+    /// A stack with all five layers enabled and fresh.
     pub fn full() -> CacheStack {
         CacheStack {
             sim: Some(SimCache::new()),
             elab: Some(ElabCache::new()),
             sessions: Some(EvalContext::new()),
             golden: Some(GoldenCache::new()),
+            lint: Some(LintCache::new()),
         }
     }
 
@@ -217,6 +224,12 @@ impl CacheStack {
         self
     }
 
+    /// Replaces the lint-report-cache layer.
+    pub fn with_lint_cache(mut self, cache: Arc<LintCache>) -> Self {
+        self.lint = Some(cache);
+        self
+    }
+
     /// Disables the simulation-cache layer.
     pub fn without_sim_cache(mut self) -> Self {
         self.sim = None;
@@ -241,6 +254,12 @@ impl CacheStack {
         self
     }
 
+    /// Disables the lint-report-cache layer.
+    pub fn without_lint_cache(mut self) -> Self {
+        self.lint = None;
+        self
+    }
+
     /// The simulation-cache layer, if enabled.
     pub fn sim_cache(&self) -> Option<&Arc<SimCache>> {
         self.sim.as_ref()
@@ -261,6 +280,11 @@ impl CacheStack {
         self.golden.as_ref()
     }
 
+    /// The lint-report-cache layer, if enabled.
+    pub fn lint_cache(&self) -> Option<&Arc<LintCache>> {
+        self.lint.as_ref()
+    }
+
     /// Makes every enabled layer the active instance of its slot on the
     /// *current thread* until the returned guard drops. Disabled layers
     /// leave their slots untouched, so a partial stack can be nested
@@ -268,6 +292,7 @@ impl CacheStack {
     /// slots). One guard restores all of them, in reverse order.
     pub fn install(&self) -> StackGuard {
         StackGuard {
+            _lint: self.lint.as_ref().map(|c| install(&LINT, c)),
             _golden: self.golden.as_ref().map(|c| install(&GOLDEN, c)),
             _sessions: self.sessions.as_ref().map(|c| install(&POOL, c)),
             _elab: self.elab.as_ref().map(|c| install(&ELAB, c)),
@@ -282,6 +307,7 @@ impl CacheStack {
             elab: self.elab.as_ref().map(|c| c.stats()),
             sessions: self.sessions.as_ref().map(|c| c.stats()),
             golden: self.golden.as_ref().map(|c| c.stats()),
+            lint: self.lint.as_ref().map(|c| c.stats()),
         }
     }
 }
@@ -290,6 +316,7 @@ impl CacheStack {
 /// [`CacheStack::install`] replaced (field drop order is declaration
 /// order, the reverse of installation).
 pub struct StackGuard {
+    _lint: Option<InstallGuard<LintCache>>,
     _golden: Option<InstallGuard<GoldenCache>>,
     _sessions: Option<InstallGuard<EvalContext>>,
     _elab: Option<InstallGuard<ElabCache>>,
@@ -298,7 +325,7 @@ pub struct StackGuard {
 
 /// Aggregated per-layer counters of one [`CacheStack`] — `None` marks a
 /// disabled layer. This is the unified shape harnesses report: each
-/// layer keeps its own [`CacheStats`], the stack snapshots all four.
+/// layer keeps its own [`CacheStats`], the stack snapshots all five.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct StackStats {
     /// Simulation-cache counters, when the layer is enabled.
@@ -309,18 +336,21 @@ pub struct StackStats {
     pub sessions: Option<CacheStats>,
     /// Golden-artifact-cache counters, when the layer is enabled.
     pub golden: Option<CacheStats>,
+    /// Lint-report-cache counters, when the layer is enabled.
+    pub lint: Option<CacheStats>,
 }
 
 impl StackStats {
     /// The layers in canonical order with their display labels — the
     /// single definition reports and artifacts iterate so layer naming
     /// cannot drift between `summary.txt` and `timings.jsonl`.
-    pub fn layers(&self) -> [(&'static str, Option<CacheStats>); 4] {
+    pub fn layers(&self) -> [(&'static str, Option<CacheStats>); 5] {
         [
             ("simulation cache", self.sim),
             ("elaboration cache", self.elab),
             ("session pool", self.sessions),
             ("golden cache", self.golden),
+            ("lint cache", self.lint),
         ]
     }
 }
@@ -356,11 +386,13 @@ mod tests {
             assert!(crate::elab::with_active(|_| ()).is_some());
             assert!(crate::context::with_active(|_| ()).is_some());
             assert!(crate::golden::with_active(|_| ()).is_some());
+            assert!(crate::lintcache::with_active(|_| ()).is_some());
         }
         assert!(crate::cache::with_active(|_| ()).is_none());
         assert!(crate::elab::with_active(|_| ()).is_none());
         assert!(crate::context::with_active(|_| ()).is_none());
         assert!(crate::golden::with_active(|_| ()).is_none());
+        assert!(crate::lintcache::with_active(|_| ()).is_none());
     }
 
     #[test]

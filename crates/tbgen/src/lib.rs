@@ -25,6 +25,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod abort;
 pub mod cache;
@@ -34,6 +35,7 @@ pub mod driver;
 pub mod elab;
 pub mod golden;
 mod install;
+pub mod lintcache;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
@@ -49,6 +51,7 @@ pub use golden::{problem_fingerprint, GoldenArtifacts, GoldenCache, GoldenKey};
 pub use install::{
     active_budget, install_budget, BudgetGuard, CacheStack, JobBudget, StackGuard, StackStats,
 };
+pub use lintcache::{lint_cached, LintCache};
 pub use record::{parse_record, parse_records, FieldValue, Record, RecordBinding};
 pub use runner::{
     compile_pair, judge_records, limits_for, run_testbench, run_testbench_parsed, simulate_records,

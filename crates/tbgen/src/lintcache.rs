@@ -1,0 +1,228 @@
+//! The lint-report cache: static-analysis results, memoized per source
+//! fingerprint.
+//!
+//! `verilog::lint` is a pure function of the parsed source, so its
+//! [`LintReport`] is memoizable under the source's structural
+//! [`Fingerprint`] — the same typed key the elaboration cache trusts.
+//! Every `(method, rep)` cell of a problem lints the same combined
+//! (DUT + driver) source, so with the layer enabled only the first cell
+//! per distinct source pays the analysis; mutated candidates miss and
+//! are analyzed once each. The container follows the shape of the
+//! sibling layers ([`GoldenCache`](crate::GoldenCache) in particular):
+//! sharded, bounded, never-hit-first eviction, installed per worker
+//! thread through the [`CacheStack`](crate::CacheStack).
+
+use crate::cache::CacheStats;
+use crate::install;
+use correctbench_verilog::hash::Fingerprint;
+use correctbench_verilog::LintReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently-locked shards (power of two).
+const SHARDS: usize = 8;
+
+/// Maximum entries one shard holds before cold entries are evicted.
+/// Reports are small (a handful of diagnostics), so the global bound
+/// (`SHARDS * MAX_ENTRIES_PER_SHARD` = 1024) covers a full 156-problem
+/// run with every candidate distinct.
+pub const MAX_ENTRIES_PER_SHARD: usize = 128;
+
+struct Entry {
+    value: Arc<LintReport>,
+    hits: u32,
+}
+
+/// A sharded, thread-safe, bounded memo table for lint reports keyed on
+/// the analyzed source's structural [`Fingerprint`].
+pub struct LintCache {
+    shards: Vec<Mutex<HashMap<Fingerprint, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn shard_of(key: &Fingerprint) -> usize {
+    key.0 as usize & (SHARDS - 1)
+}
+
+impl LintCache {
+    /// An empty cache, ready to share across worker threads.
+    pub fn new() -> Arc<LintCache> {
+        Arc::new(LintCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a report, counting a hit or a miss.
+    pub fn get(&self, key: &Fingerprint) -> Option<Arc<LintReport>> {
+        let found = self.shards[shard_of(key)]
+            .lock()
+            .expect("lint cache shard poisoned")
+            .get_mut(key)
+            .map(|e| {
+                e.hits += 1;
+                Arc::clone(&e.value)
+            });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a report. A full shard first evicts a never-hit entry (or,
+    /// when every entry has hits, an arbitrary one). When two workers
+    /// race the same analysis, last-write-wins is sound: the report is a
+    /// pure function of the key.
+    pub fn put(&self, key: Fingerprint, value: Arc<LintReport>) {
+        let mut shard = self.shards[shard_of(&key)]
+            .lock()
+            .expect("lint cache shard poisoned");
+        if shard.len() >= MAX_ENTRIES_PER_SHARD && !shard.contains_key(&key) {
+            let victim = shard
+                .iter()
+                .find(|(_, e)| e.hits == 0)
+                .or_else(|| shard.iter().next())
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(key, Entry { value, hits: 0 });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("lint cache shard poisoned").len() as u64)
+                .sum(),
+        }
+    }
+
+    /// Makes `self` the active lint cache of the *current thread* until
+    /// the returned guard drops — a thin shim over
+    /// [`CacheStack`](crate::CacheStack), which is the preferred way to
+    /// install a full layer set.
+    pub fn install(self: &Arc<Self>) -> LintCacheGuard {
+        crate::CacheStack::empty()
+            .with_lint_cache(Arc::clone(self))
+            .install()
+    }
+}
+
+/// Lints `file`, consulting the thread's active [`LintCache`] (if any)
+/// keyed on the file's structural fingerprint. Pure either way — the
+/// cache only changes who pays for the analysis, never its result.
+pub fn lint_cached(file: &correctbench_verilog::ast::SourceFile) -> Arc<LintReport> {
+    let Some(cache) = active() else {
+        return Arc::new(correctbench_verilog::lint_file(file));
+    };
+    let key = file.fingerprint();
+    if let Some(report) = cache.get(&key) {
+        return report;
+    }
+    let report = Arc::new(correctbench_verilog::lint_file(file));
+    cache.put(key, Arc::clone(&report));
+    report
+}
+
+/// Runs `f` with the thread's active lint cache, if one is installed.
+pub fn with_active<R>(f: impl FnOnce(&LintCache) -> R) -> Option<R> {
+    install::with_active(&install::LINT, f)
+}
+
+/// The thread's active lint cache itself, if one is installed.
+pub fn active() -> Option<Arc<LintCache>> {
+    install::active(&install::LINT)
+}
+
+/// Re-activates the previous cache (usually none) when dropped.
+pub type LintCacheGuard = crate::install::StackGuard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use correctbench_verilog::parse;
+
+    fn report(n: u64) -> Arc<LintReport> {
+        let _ = n;
+        Arc::new(LintReport::default())
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let cache = LintCache::new();
+        assert!(cache.get(&Fingerprint(1)).is_none());
+        let r = report(1);
+        cache.put(Fingerprint(1), Arc::clone(&r));
+        let hit = cache.get(&Fingerprint(1)).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &r), "hit shares the stored report");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_bounds_entries_and_keeps_hot_keys() {
+        let cache = LintCache::new();
+        cache.put(Fingerprint(u64::MAX), report(0));
+        assert!(cache.get(&Fingerprint(u64::MAX)).is_some());
+        let flood = (SHARDS * MAX_ENTRIES_PER_SHARD + 64) as u64;
+        for n in 0..flood {
+            cache.put(Fingerprint(n), report(n));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= (SHARDS * MAX_ENTRIES_PER_SHARD) as u64,
+            "cache exceeded its bound: {stats}"
+        );
+        assert!(
+            cache.get(&Fingerprint(u64::MAX)).is_some(),
+            "hot key was evicted"
+        );
+    }
+
+    #[test]
+    fn lint_cached_memoizes_per_fingerprint() {
+        let src = "module m(input a, output y); assign y = a; endmodule";
+        let file = parse(src).expect("parses");
+        // Without a cache: fresh report each call.
+        let cold = lint_cached(&file);
+        assert!(cold.is_clean());
+        let cache = LintCache::new();
+        let _guard = cache.install();
+        let first = lint_cached(&file);
+        let second = lint_cached(&file);
+        assert!(Arc::ptr_eq(&first, &second), "second call hits the cache");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different source misses.
+        let other = parse("module n(input a, output y); assign y = ~a; endmodule").expect("parses");
+        let _ = lint_cached(&other);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn install_is_scoped_and_nested() {
+        let outer = LintCache::new();
+        let inner = LintCache::new();
+        assert!(with_active(|_| ()).is_none());
+        {
+            let _g1 = outer.install();
+            with_active(|c| c.put(Fingerprint(7), report(7))).expect("outer active");
+            {
+                let _g2 = inner.install();
+                assert!(!with_active(|c| c.get(&Fingerprint(7)).is_some()).expect("inner active"));
+            }
+            assert!(with_active(|c| c.get(&Fingerprint(7)).is_some()).expect("outer restored"));
+        }
+        assert!(with_active(|_| ()).is_none());
+    }
+}

@@ -13,6 +13,7 @@ const KEY_PATH_SOURCES: &[(&str, &str)] = &[
     ("cache.rs", include_str!("../src/cache.rs")),
     ("elab.rs", include_str!("../src/elab.rs")),
     ("golden.rs", include_str!("../src/golden.rs")),
+    ("lintcache.rs", include_str!("../src/lintcache.rs")),
     ("session.rs", include_str!("../src/session.rs")),
     ("runner.rs", include_str!("../src/runner.rs")),
     ("context.rs", include_str!("../src/context.rs")),
@@ -29,6 +30,7 @@ const NON_INSTALL_SOURCES: &[(&str, &str)] = &[
     ("driver.rs", include_str!("../src/driver.rs")),
     ("elab.rs", include_str!("../src/elab.rs")),
     ("golden.rs", include_str!("../src/golden.rs")),
+    ("lintcache.rs", include_str!("../src/lintcache.rs")),
     ("record.rs", include_str!("../src/record.rs")),
     ("runner.rs", include_str!("../src/runner.rs")),
     ("scenarios.rs", include_str!("../src/scenarios.rs")),

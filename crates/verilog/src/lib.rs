@@ -15,7 +15,9 @@
 //! * [`pretty`] — AST → source rendering (artifacts round-trip as text);
 //! * [`mutate`] — semantic mutation (Eval2 mutants, validator RTL groups,
 //!   simulated-LLM defect injection);
-//! * [`corrupt`] — source-level syntax corruption (Eval0 failures).
+//! * [`corrupt`] — source-level syntax corruption (Eval0 failures);
+//! * [`dataflow`] / [`lint`] — per-module driver/reader dataflow tables
+//!   and the deterministic static-analysis pass built on them.
 //!
 //! # Examples
 //!
@@ -42,15 +44,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod compile;
 pub mod corrupt;
+pub mod dataflow;
 pub mod design;
 pub mod elaborate;
 pub mod error;
 pub mod hash;
 pub mod lexer;
+pub mod lint;
 pub mod logic;
 pub mod mutate;
 pub mod parser;
@@ -63,6 +68,7 @@ pub use design::{Design, SignalId};
 pub use elaborate::elaborate;
 pub use error::{ElabError, ParseError, SimError, VerilogError};
 pub use hash::{fnv1a64, structural_hash, Fingerprint, FingerprintHasher, StructuralHash};
+pub use lint::{lint_file, Diagnostic, LintReport, Rule, Severity};
 pub use logic::{Bit, LogicVec};
 pub use parser::parse;
 pub use sim::{run_source, ExecMode, SimLimits, SimOutput, Simulator};

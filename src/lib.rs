@@ -15,6 +15,7 @@
 //!   pool, content-addressed simulation cache, JSONL artifacts).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use correctbench as core;
 pub use correctbench_autoeval as autoeval;
