@@ -51,6 +51,11 @@
 //!   (`lint_file`, the lint-cache miss cost) and fetching the memoized
 //!   report from an installed `LintCache` (steady state: a fingerprint
 //!   probe plus an `Arc` clone).
+//! * `store_cold_job_ns` vs `store_warm_hit_ns` — one full evaluation
+//!   job of the problem (CorrectBench method, rep 0) executed from
+//!   scratch and replayed from a primed persistent outcome store
+//!   (probe + cell decode): the cost a warm `correctbench-run --store`
+//!   restart pays per content-identical cell instead of re-executing it.
 //! * `lint_warn_ns` — the absolute per-job cost `--lint=warn` adds on
 //!   top of a job (combine the sources, parse, fetch the memoized
 //!   report — the parse dominates). Its *relative* overhead only means
@@ -80,6 +85,10 @@
 use correctbench_autoeval::{derive_golden_artifacts, golden_artifacts};
 use correctbench_checker::CheckerProgram;
 use correctbench_dataset::Problem;
+use correctbench_harness::{
+    cell_key, config_fingerprint, decode_cell, encode_cell, run_job, OutcomeStore, RunPlan,
+};
+use correctbench_llm::SimulatedClientFactory;
 use correctbench_obs::ObsStack;
 use correctbench_tbgen::{
     acquire_session, compile_pair, force_one_shot, generate_driver, generate_scenarios,
@@ -200,6 +209,8 @@ struct Row {
     lint_cold_ns: u64,
     lint_cached_ns: u64,
     lint_warn_ns: u64,
+    store_cold_job_ns: u64,
+    store_warm_hit_ns: u64,
     pre_pr_ns: Option<u64>,
 }
 
@@ -239,6 +250,11 @@ impl Row {
     /// Memoized lint-report fetch vs. running the analysis cold.
     fn speedup_lint(&self) -> f64 {
         self.lint_cold_ns as f64 / self.lint_cached_ns.max(1) as f64
+    }
+
+    /// Persistent-store cell replay vs. executing the job from scratch.
+    fn speedup_store(&self) -> f64 {
+        self.store_cold_job_ns as f64 / self.store_warm_hit_ns.max(1) as f64
     }
 
     /// Cost of a live observability collector on the steady-state hot
@@ -339,7 +355,26 @@ fn main() {
         // Prime the lint shard so the cached arm measures steady-state
         // fetches.
         std::hint::black_box(lint_cached(&combined_lint));
-        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, hot_path_obs_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns, lint_cold_ns, lint_cached_ns, lint_warn_ns] =
+        // The persistent-store pair: one full job of this problem
+        // (CorrectBench, rep 0) executed cold vs replayed from a store
+        // primed with its published cell.
+        let store_plan = RunPlan::new("bench-store", vec![case.problem.clone()]);
+        let store_jobs = store_plan.jobs();
+        let store_job = &store_jobs[0];
+        let store_factory = SimulatedClientFactory::for_model(store_plan.model);
+        let store_dir = std::env::temp_dir().join(format!(
+            "correctbench_bench_store_{}_{}",
+            std::process::id(),
+            case.problem.name
+        ));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let store = OutcomeStore::open(&store_dir).expect("open store");
+        let store_key = cell_key(store_job, config_fingerprint(&store_plan));
+        let primed = run_job(store_job, &store_plan.config, &store_factory);
+        store
+            .put(&store_key, &encode_cell(&primed))
+            .expect("publish primed cell");
+        let [tree_walk_ns, bytecode_ns, bytecode_cached_ns, hot_path_obs_ns, one_shot_sweep_ns, session_sweep_ns, judge_interp_ns, judge_session_ns, key_debug_hash_ns, key_fingerprint_ns, session_fresh_ns, session_pooled_ns, golden_derive_ns, golden_cached_ns, lint_cold_ns, lint_cached_ns, lint_warn_ns, store_cold_job_ns, store_warm_hit_ns] =
             medians_interleaved(
                 samples,
                 &mut [
@@ -473,8 +508,26 @@ fn main() {
                         let parsed = parse(&combined).expect("combined parses");
                         std::hint::black_box(lint_cached(&parsed));
                     },
+                    &mut || {
+                        // The cold side: the full job a warm restart
+                        // gets to skip.
+                        std::hint::black_box(run_job(
+                            store_job,
+                            &store_plan.config,
+                            &store_factory,
+                        ));
+                    },
+                    &mut || {
+                        // The warm side: probe the open store and decode
+                        // the cell back into a TaskOutcome.
+                        let payload = store.get(&store_key).expect("primed cell");
+                        std::hint::black_box(
+                            decode_cell(&payload, store_job, false).expect("cell decodes"),
+                        );
+                    },
                 ],
             );
+        let _ = std::fs::remove_dir_all(&store_dir);
         let row = Row {
             name: case.problem.name.clone(),
             kind: if case.problem.kind.is_combinational() {
@@ -499,6 +552,8 @@ fn main() {
             lint_cold_ns,
             lint_cached_ns,
             lint_warn_ns,
+            store_cold_job_ns,
+            store_warm_hit_ns,
             pre_pr_ns: baselines
                 .iter()
                 .find(|(n, _)| n == &case.problem.name)
@@ -509,11 +564,11 @@ fn main() {
             .map(|s| format!(" | vs pre-PR {s:.2}x"))
             .unwrap_or_default();
         eprintln!(
-            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x | lint {:.2}x | lint warn {:>7} ns | obs {:+.2}%{vs_pre_pr}",
+            "{:<12} tree-walk {:>9} ns | bytecode {:>9} ns | +elab-cache {:>9} ns | vs tree {:.2}x | session sweep {:.2}x | judge {:.2}x | key fp {:.2}x | pool {:.2}x | golden {:.2}x | lint {:.2}x | lint warn {:>7} ns | store warm {:.0}x | obs {:+.2}%{vs_pre_pr}",
             row.name, row.tree_walk_ns, row.bytecode_ns, row.bytecode_cached_ns,
             row.speedup_vs_tree_walk(), row.speedup_session(), row.speedup_judge(),
             row.speedup_fingerprint(), row.speedup_pool(), row.speedup_golden(),
-            row.speedup_lint(), row.lint_warn_ns, row.obs_overhead_pct(),
+            row.speedup_lint(), row.lint_warn_ns, row.speedup_store(), row.obs_overhead_pct(),
         );
         rows.push(row);
     }
@@ -527,6 +582,7 @@ fn main() {
     let median_pool = median_f64(rows.iter().map(Row::speedup_pool).collect()).expect("rows");
     let median_golden = median_f64(rows.iter().map(Row::speedup_golden).collect()).expect("rows");
     let median_lint = median_f64(rows.iter().map(Row::speedup_lint).collect()).expect("rows");
+    let median_store = median_f64(rows.iter().map(Row::speedup_store).collect()).expect("rows");
     let median_obs = median_f64(rows.iter().map(Row::obs_overhead_pct).collect()).expect("rows");
     let median_vs_pre_pr = median_f64(rows.iter().filter_map(Row::speedup_vs_pre_pr).collect());
 
@@ -563,6 +619,10 @@ fn main() {
         json,
         "  \"median_speedup_lint_cached_vs_cold\": {median_lint:.2},"
     );
+    let _ = writeln!(
+        json,
+        "  \"median_speedup_store_warm_vs_cold\": {median_store:.2},"
+    );
     if let Some(pct) = lint_warn_overhead {
         let _ = writeln!(json, "  \"lint_warn_overhead_pct\": {pct:.2},");
         let _ = writeln!(
@@ -588,7 +648,7 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2},\"lint_cold_ns\":{},\"lint_cached_ns\":{},\"speedup_lint_cached\":{:.2},\"lint_warn_ns\":{},\"hot_path_obs_ns\":{},\"obs_overhead_pct\":{:.2}{pre}}}{comma}",
+            "    {{\"name\":\"{}\",\"kind\":\"{}\",\"tree_walk_ns\":{},\"bytecode_ns\":{},\"bytecode_cached_ns\":{},\"speedup_vs_tree_walk\":{:.2},\"one_shot_sweep_ns\":{},\"session_sweep_ns\":{},\"speedup_session_vs_one_shot\":{:.2},\"judge_interp_ns\":{},\"judge_session_ns\":{},\"speedup_judge_compiled_vs_interp\":{:.2},\"key_debug_hash_ns\":{},\"key_fingerprint_ns\":{},\"speedup_key_fingerprint\":{:.2},\"session_fresh_ns\":{},\"session_pooled_ns\":{},\"speedup_session_pooled\":{:.2},\"golden_derive_ns\":{},\"golden_cached_ns\":{},\"speedup_golden_cached\":{:.2},\"lint_cold_ns\":{},\"lint_cached_ns\":{},\"speedup_lint_cached\":{:.2},\"lint_warn_ns\":{},\"store_cold_job_ns\":{},\"store_warm_hit_ns\":{},\"speedup_store_warm_vs_cold\":{:.2},\"hot_path_obs_ns\":{},\"obs_overhead_pct\":{:.2}{pre}}}{comma}",
             r.name, r.kind, r.tree_walk_ns, r.bytecode_ns, r.bytecode_cached_ns,
             r.speedup_vs_tree_walk(), r.one_shot_sweep_ns, r.session_sweep_ns,
             r.speedup_session(), r.judge_interp_ns, r.judge_session_ns, r.speedup_judge(),
@@ -597,6 +657,7 @@ fn main() {
             r.golden_derive_ns, r.golden_cached_ns, r.speedup_golden(),
             r.lint_cold_ns, r.lint_cached_ns, r.speedup_lint(),
             r.lint_warn_ns,
+            r.store_cold_job_ns, r.store_warm_hit_ns, r.speedup_store(),
             r.hot_path_obs_ns, r.obs_overhead_pct(),
         );
     }
@@ -616,7 +677,7 @@ fn main() {
         None => String::new(),
     };
     eprintln!(
-        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x, cached lint {median_lint:.2}x, obs overhead {median_obs:+.2}%{lint_tail}{tail} -> {out_path}"
+        "median speedups: {median_vs_tree:.2}x vs tree-walk, session sweep {median_session:.2}x, compiled judge {median_judge:.2}x, fingerprint keys {median_fingerprint:.2}x, pooled sessions {median_pool:.2}x, cached golden {median_golden:.2}x, cached lint {median_lint:.2}x, warm store {median_store:.2}x, obs overhead {median_obs:+.2}%{lint_tail}{tail} -> {out_path}"
     );
 }
 

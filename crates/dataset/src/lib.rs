@@ -130,6 +130,25 @@ pub struct ScenarioSpec {
     pub stimuli_per_scenario: usize,
 }
 
+impl correctbench_verilog::StructuralHash for CircuitKind {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl correctbench_verilog::StructuralHash for Difficulty {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl correctbench_verilog::StructuralHash for ScenarioSpec {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_usize(self.scenarios);
+        h.write_usize(self.stimuli_per_scenario);
+    }
+}
+
 /// One benchmark problem.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Problem {
@@ -152,6 +171,25 @@ pub struct Problem {
     /// over the golden dataset skips allowlisted findings; anything else
     /// it reports is a real defect.
     pub lint_allow: Vec<String>,
+}
+
+/// Full-content identity: every field, with `spec` and `golden_rtl`
+/// hashed as raw bytes. Unlike `tbgen`'s structural golden-cache key
+/// (which deliberately ignores text that cannot change simulation),
+/// this fingerprint moves when *anything* about the problem moves —
+/// even a comment edit in the golden RTL — which is exactly the
+/// conservatism a persistent cross-run store needs.
+impl correctbench_verilog::StructuralHash for Problem {
+    fn hash_structure(&self, h: &mut correctbench_verilog::FingerprintHasher) {
+        h.write_str(&self.name);
+        self.kind.hash_structure(h);
+        h.write_str(&self.spec);
+        h.write_str(&self.golden_rtl);
+        self.ports.hash_structure(h);
+        self.difficulty.hash_structure(h);
+        self.scenario_spec.hash_structure(h);
+        self.lint_allow.hash_structure(h);
+    }
 }
 
 impl Problem {

@@ -244,32 +244,80 @@ pub fn outcomes_jsonl(outcomes: &[TaskOutcome]) -> String {
     s
 }
 
+/// Renders one lint diagnostic as its canonical `diagnostics.jsonl`
+/// line (no trailing newline). Split out of [`diagnostics_jsonl`] so
+/// the persistent outcome store serializes sidecar fragments with the
+/// exact same codec the artifact stream uses — one renderer, no second
+/// copy to drift.
+pub fn diagnostic_json(o: &TaskOutcome, d: &correctbench_verilog::Diagnostic) -> String {
+    format!(
+        "{{\"job\":{},\"problem\":\"{}\",\"method\":\"{}\",\"rep\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"module\":\"{}\",\"signal\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
+        o.job_id,
+        json_escape(&o.problem),
+        o.method.name(),
+        o.rep,
+        d.rule.name(),
+        d.severity.name(),
+        json_escape(&d.module),
+        json_escape(&d.signal),
+        json_escape(&d.location),
+        json_escape(&d.message),
+    )
+}
+
+/// Parses one `diagnostics.jsonl` line back into its [`Diagnostic`] —
+/// the exact inverse of [`diagnostic_json`] over the diagnostic's own
+/// fields (the `job`/`problem`/`method`/`rep` join keys belong to the
+/// outcome the line rides with). The persistent outcome store replays
+/// stored sidecar fragments through this.
+///
+/// # Errors
+///
+/// A human-readable message when the line is not a well-formed
+/// diagnostic object.
+pub fn parse_diagnostic_line(line: &str) -> Result<correctbench_verilog::Diagnostic, String> {
+    use correctbench_verilog::{Rule, Severity};
+    let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+    let string = |key: &str| {
+        v.get(key)
+            .and_then(crate::json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    };
+    let rule_name = string("rule")?;
+    let rule = Rule::from_name(&rule_name).ok_or_else(|| format!("unknown rule `{rule_name}`"))?;
+    let severity = match string("severity")?.as_str() {
+        "warning" => Severity::Warning,
+        "error" => Severity::Error,
+        other => return Err(format!("unknown severity `{other}`")),
+    };
+    Ok(correctbench_verilog::Diagnostic {
+        rule,
+        severity,
+        module: string("module")?,
+        signal: string("signal")?,
+        location: string("location")?,
+        message: string("message")?,
+    })
+}
+
 /// Renders the deterministic static-analysis sidecar: one line per lint
 /// diagnostic, jobs in canonical order and diagnostics in the report's
 /// sorted order within each job. The lint pass is pure, so this file
 /// shares `outcomes.jsonl`'s determinism contract (byte-identical
 /// across thread counts and cache layers). Empty — but still written —
-/// under `--lint=off` or when no job produced findings. Replayed
-/// (`--resume`) jobs contribute no lines: diagnostics are not
-/// journaled, so the sidecar covers the jobs this process ran.
+/// under `--lint=off` or when no job produced findings. Journal-replayed
+/// (`--resume`) jobs contribute no lines — diagnostics are not
+/// journaled, so the sidecar covers the jobs this process ran — but
+/// store-replayed cells do: the persistent store keeps each cell's
+/// sidecar fragments, so a warm run's `diagnostics.jsonl` matches the
+/// cold run byte for byte.
 pub fn diagnostics_jsonl(outcomes: &[TaskOutcome]) -> String {
     let mut s = String::new();
     for o in outcomes {
         for d in &o.lint {
-            let _ = writeln!(
-                s,
-                "{{\"job\":{},\"problem\":\"{}\",\"method\":\"{}\",\"rep\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"module\":\"{}\",\"signal\":\"{}\",\"location\":\"{}\",\"message\":\"{}\"}}",
-                o.job_id,
-                json_escape(&o.problem),
-                o.method.name(),
-                o.rep,
-                d.rule.name(),
-                d.severity.name(),
-                json_escape(&d.module),
-                json_escape(&d.signal),
-                json_escape(&d.location),
-                json_escape(&d.message),
-            );
+            s.push_str(&diagnostic_json(o, d));
+            s.push('\n');
         }
     }
     s
@@ -282,6 +330,19 @@ fn cache_json(stats: Option<correctbench_tbgen::CacheStats>) -> String {
         Some(s) => format!(
             "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
             s.hits, s.misses, s.entries
+        ),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the persistent outcome store's counters as a JSON object
+/// (`null` when no store was attached to the run) for the timing
+/// sidecar's run line and `metrics.json`.
+fn store_json(stats: Option<correctbench_store::StoreStats>) -> String {
+    match stats {
+        Some(s) => format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{}}}",
+            s.hits, s.misses, s.entries, s.bytes
         ),
         None => "null".to_string(),
     }
@@ -328,7 +389,7 @@ pub fn timings_jsonl(result: &RunResult) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{}}}",
+        "{{\"run_wall_ms\":{},\"threads\":{},\"jobs\":{},\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{},\"outcome_store\":{}}}",
         result.wall.as_millis(),
         result.threads,
         result.outcomes.len(),
@@ -337,6 +398,7 @@ pub fn timings_jsonl(result: &RunResult) -> String {
         cache_json(result.caches.sessions),
         cache_json(result.caches.golden),
         cache_json(result.caches.lint),
+        store_json(result.store),
     );
     for o in &result.outcomes {
         let _ = writeln!(
@@ -389,12 +451,13 @@ pub fn metrics_json(result: &RunResult) -> String {
     let _ = writeln!(s, "  \"counter_totals\": {{{}}},", counter_fields.join(","));
     let _ = writeln!(
         s,
-        "  \"caches\": {{\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{}}},",
+        "  \"caches\": {{\"sim_cache\":{},\"elab_cache\":{},\"session_pool\":{},\"golden_cache\":{},\"lint_cache\":{},\"outcome_store\":{}}},",
         cache_json(result.caches.sim),
         cache_json(result.caches.elab),
         cache_json(result.caches.sessions),
         cache_json(result.caches.golden),
         cache_json(result.caches.lint),
+        store_json(result.store),
     );
     // Per-rule diagnostic totals over the deterministic lint findings,
     // every rule of the taxonomy present (zeros included) so consumers
@@ -683,9 +746,13 @@ pub fn replay_journal(path: &Path) -> io::Result<Vec<TaskOutcome>> {
 
 /// Renders the `plan.json` run manifest: everything `--resume` needs to
 /// rebuild the interrupted run's plan (problems by name, methods,
-/// model, seeds, budgets). The pipeline `Config` is not recorded — the
-/// run binary always uses the default configuration, which the manifest
-/// schema version pins.
+/// model, seeds, budgets, store attachment). The pipeline `Config` is
+/// not recorded — the run binary always uses the default configuration,
+/// whose knobs the recorded `config_fingerprint` covers: `--resume`
+/// recomputes the fingerprint from the rebuilt plan and refuses to
+/// replay a directory whose manifest fingerprint no longer matches
+/// (problem content, defaults or schema drifted since the original
+/// run).
 pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
     let problems: Vec<String> = plan
         .problems
@@ -698,12 +765,20 @@ pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
         .map(|m| format!("\"{}\"", m.name()))
         .collect();
     let opt = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    let store = match &plan.store {
+        Some(s) => format!(
+            "{{\"dir\":\"{}\",\"readonly\":{}}}",
+            json_escape(&s.dir),
+            s.readonly
+        ),
+        None => "null".to_string(),
+    };
     format!(
         concat!(
             "{{\"schema\":\"correctbench-plan-v1\",\"name\":\"{}\",",
             "\"problems\":[{}],\"methods\":[{}],\"model\":\"{}\",",
             "\"reps\":{},\"base_seed\":{},\"sim_budget\":{},\"job_deadline_ms\":{},",
-            "\"lint\":\"{}\"}}\n"
+            "\"lint\":\"{}\",\"config_fingerprint\":\"{}\",\"store\":{}}}\n"
         ),
         json_escape(&plan.name),
         problems.join(","),
@@ -714,7 +789,18 @@ pub fn plan_manifest_json(plan: &crate::plan::RunPlan) -> String {
         opt(plan.sim_budget),
         opt(plan.job_deadline_ms),
         plan.lint.name(),
+        crate::storebridge::plan_fingerprint(plan),
+        store,
     )
+}
+
+/// The `config_fingerprint` a manifest recorded, if it has one
+/// (manifests written before the persistent store existed do not).
+pub fn manifest_fingerprint(src: &str) -> Option<String> {
+    let v = crate::json::parse(src.trim_end()).ok()?;
+    v.get("config_fingerprint")
+        .and_then(crate::json::Value::as_str)
+        .map(str::to_string)
 }
 
 /// Parses a `plan.json` manifest back into the [`RunPlan`] it recorded.
@@ -792,6 +878,26 @@ pub fn parse_plan_manifest(src: &str) -> Result<crate::plan::RunPlan, String> {
         Some(crate::json::Value::Str(name)) => crate::plan::LintMode::from_name(name)
             .ok_or_else(|| format!("unknown lint mode `{name}`"))?,
         _ => return Err("bad field `lint`".to_string()),
+    };
+    // Manifests written before the persistent store existed lack the
+    // field; they replay with no store attached, matching their
+    // original run.
+    plan.store = match v.get("store") {
+        None | Some(crate::json::Value::Null) => None,
+        Some(crate::json::Value::Obj(_)) => {
+            let store = v.get("store").expect("just matched");
+            let dir = store
+                .get("dir")
+                .and_then(crate::json::Value::as_str)
+                .ok_or("bad field `store.dir`")?
+                .to_string();
+            let readonly = match store.get("readonly") {
+                Some(crate::json::Value::Bool(b)) => *b,
+                _ => return Err("bad field `store.readonly`".to_string()),
+            };
+            Some(crate::plan::StoreConfig { dir, readonly })
+        }
+        _ => return Err("bad field `store`".to_string()),
     };
     Ok(plan)
 }

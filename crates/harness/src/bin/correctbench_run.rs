@@ -5,10 +5,11 @@
 //!                  [--threads N] [--methods cb,ab,base] [--model NAME]
 //!                  [--out DIR] [--resume DIR] [--sim-budget N]
 //!                  [--job-deadline-ms N] [--lint off|warn|gate]
-//!                  [--faults SPEC] [--no-cache] [--no-sim-cache]
-//!                  [--no-elab-cache] [--no-session-pool]
-//!                  [--no-golden-cache] [--no-lint-cache] [--no-obs]
-//!                  [--progress] [--quiet]
+//!                  [--store DIR] [--no-store] [--store-readonly]
+//!                  [--faults SPEC] [--mutate-golden NAME] [--no-cache]
+//!                  [--no-sim-cache] [--no-elab-cache]
+//!                  [--no-session-pool] [--no-golden-cache]
+//!                  [--no-lint-cache] [--no-obs] [--progress] [--quiet]
 //! ```
 //!
 //! Expands (problems × methods × reps) into a job graph and runs it on a
@@ -29,6 +30,22 @@
 //! observability collectors; `--progress` draws a live
 //! done/throughput/ETA line on stderr (only when stderr is a terminal).
 //!
+//! # Persistent store
+//!
+//! `--store DIR` attaches the on-disk content-addressed outcome store:
+//! before scheduling, every job is probed by its `(job fingerprint,
+//! config fingerprint)` cell key and content-identical cells replay
+//! from disk instead of executing — across processes, run directories
+//! and plan shapes. Replayed lines flow through the same journal, so a
+//! warm run's `outcomes.jsonl` and `diagnostics.jsonl` are
+//! byte-identical to a cold run's. Completed (never aborted) outcomes
+//! the run executes are published back as they finish.
+//! `--store-readonly` probes without publishing; `--no-store` detaches
+//! a store a resumed manifest would otherwise reattach. The test-only
+//! `--mutate-golden NAME` appends a comment to that problem's golden
+//! RTL, moving exactly its cells' fingerprints — the selective
+//! re-execution smoke.
+//!
 //! # Robustness
 //!
 //! Every job runs inside a fault barrier: a panic (or a structured
@@ -40,24 +57,31 @@
 //! complete — and a `plan.json` manifest is written up front, so a run
 //! killed at any instant can be finished with `--resume DIR` (replays
 //! the journal, skips completed jobs, appends the rest; the final file
-//! is byte-identical to an uninterrupted run). `--faults` injects
-//! test-only failures (see the fault module docs for the grammar).
+//! is byte-identical to an uninterrupted run). The manifest records the
+//! plan's config fingerprint; `--resume` recomputes it and refuses a
+//! directory whose problems or configuration drifted since the
+//! interrupted run. `--faults` injects test-only failures (see the
+//! fault module docs for the grammar).
 //!
 //! Exit codes: 0 all jobs ok; 1 infrastructure/IO failure; 2 usage
 //! error; 3 run completed but at least one job aborted.
 
 use correctbench::Method;
 use correctbench_harness::cli::{numeric_flag, usage, RunArgs};
+use correctbench_harness::storebridge::{cell_key, config_fingerprint, decode_cell, encode_cell};
 use correctbench_harness::{
-    parse_plan_manifest, plan_manifest_json, render_summary, replay_journal, write_atomic,
-    write_sidecars, Engine, FaultPlan, LintMode, OutcomeJournal, RunPlan, RunResult,
+    manifest_fingerprint, parse_plan_manifest, plan_fingerprint, plan_manifest_json,
+    render_summary, replay_journal, write_atomic, write_sidecars, CellKey, Engine, FaultPlan,
+    LintMode, OutcomeJournal, OutcomeStore, RunPlan, RunResult, StoreConfig, TaskOutcome,
 };
 use correctbench_llm::{ModelKind, SimulatedClientFactory};
 use std::io::IsTerminal as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const EXTRA_USAGE: &str = "[--methods cb,ab,base] [--model gpt-4o|claude-3.5-sonnet|gpt-4o-mini] \
-     [--resume DIR] [--sim-budget N] [--job-deadline-ms N] [--lint off|warn|gate] [--faults SPEC] \
+     [--resume DIR] [--sim-budget N] [--job-deadline-ms N] [--lint off|warn|gate] \
+     [--store DIR] [--no-store] [--store-readonly] [--faults SPEC] [--mutate-golden NAME] \
      [--no-cache] [--no-sim-cache] [--no-elab-cache] [--no-session-pool] [--no-golden-cache] \
      [--no-lint-cache] [--no-obs] [--progress] [--quiet]";
 
@@ -131,6 +155,10 @@ fn main() {
     let mut lint = LintMode::default();
     let mut faults = FaultPlan::none();
     let mut resume: Option<PathBuf> = None;
+    let mut store_dir: Option<String> = None;
+    let mut no_store = false;
+    let mut store_readonly = false;
+    let mut mutate_golden: Option<String> = None;
     let args = RunArgs::parse_with(Some(48), 2, EXTRA_USAGE, |flag, it| match flag {
         "--methods" => {
             methods = parse_methods(
@@ -173,6 +201,32 @@ fn main() {
             resume = Some(PathBuf::from(it.next().unwrap_or_else(|| {
                 usage("--resume needs a run directory", EXTRA_USAGE)
             })));
+            true
+        }
+        "--store" => {
+            store_dir = Some(
+                it.next()
+                    .unwrap_or_else(|| usage("--store needs a store directory", EXTRA_USAGE)),
+            );
+            true
+        }
+        "--no-store" => {
+            no_store = true;
+            true
+        }
+        "--store-readonly" => {
+            store_readonly = true;
+            true
+        }
+        // Test-only: appends a comment to one problem's golden RTL so
+        // exactly that problem's cell fingerprints move (the selective
+        // re-execution smoke). The comment never reaches simulation, so
+        // artifacts stay byte-identical.
+        "--mutate-golden" => {
+            mutate_golden = Some(
+                it.next()
+                    .unwrap_or_else(|| usage("--mutate-golden needs a problem name", EXTRA_USAGE)),
+            );
             true
         }
         // The alias: disable every layer of the stack at once.
@@ -220,11 +274,17 @@ fn main() {
         }
         _ => false,
     });
+    if no_store && (store_dir.is_some() || store_readonly) {
+        usage(
+            "--no-store conflicts with --store/--store-readonly",
+            EXTRA_USAGE,
+        );
+    }
 
     // `--resume DIR` rebuilds the plan from DIR's manifest (the sweep
     // flags of the original invocation win over any given now) and
     // replays the journal; a fresh run shapes the plan from the flags.
-    let (plan, prior) = match &resume {
+    let (mut plan, prior, manifest_src) = match &resume {
         Some(dir) => {
             let manifest_path = dir.join("plan.json");
             let manifest = std::fs::read_to_string(&manifest_path).unwrap_or_else(|e| {
@@ -241,7 +301,7 @@ fn main() {
                     plan.num_jobs()
                 ));
             }
-            (plan, prior)
+            (plan, prior, Some(manifest))
         }
         None => {
             let mut plan = RunPlan::new("correctbench-run", args.problem_set());
@@ -252,14 +312,104 @@ fn main() {
             plan.sim_budget = sim_budget;
             plan.job_deadline_ms = job_deadline_ms;
             plan.lint = lint;
-            (plan, Vec::new())
+            (plan, Vec::new(), None)
         }
     };
+
+    // Store attachment: explicit flags win; a resumed manifest's
+    // attachment is honored otherwise; `--no-store` detaches.
+    if no_store {
+        plan.store = None;
+    } else if let Some(dir) = store_dir {
+        plan.store = Some(StoreConfig {
+            dir,
+            readonly: store_readonly,
+        });
+    } else if store_readonly {
+        match &mut plan.store {
+            Some(cfg) => cfg.readonly = true,
+            None => usage("--store-readonly needs --store DIR", EXTRA_USAGE),
+        }
+    }
+
+    if let Some(name) = &mutate_golden {
+        let p = plan
+            .problems
+            .iter_mut()
+            .find(|p| &p.name == name)
+            .unwrap_or_else(|| {
+                usage(
+                    &format!("--mutate-golden: unknown problem `{name}`"),
+                    EXTRA_USAGE,
+                )
+            });
+        p.golden_rtl.push_str("\n// mutation probe\n");
+    }
+
+    // The fingerprint check runs after any mutation, so resuming a
+    // mutated run with the same --mutate-golden flag still matches —
+    // and resuming it *without* the flag is correctly refused.
+    if let (Some(dir), Some(manifest)) = (&resume, &manifest_src) {
+        match manifest_fingerprint(manifest) {
+            Some(recorded) => {
+                let current = plan_fingerprint(&plan).to_string();
+                if recorded != current {
+                    infra(&format!(
+                        "{}: config fingerprint mismatch (manifest {recorded}, current {current}): \
+                         the dataset or configuration changed since this run was interrupted; \
+                         refusing to mix outcomes",
+                        dir.join("plan.json").display()
+                    ));
+                }
+            }
+            None => eprintln!(
+                "warning: {}: manifest predates config fingerprints; resuming unchecked",
+                dir.join("plan.json").display()
+            ),
+        }
+    }
+
     let out = resume.clone().or_else(|| args.out.clone());
+
+    // Open the store (if any) and probe every scheduled job's cell key
+    // before the engine sees the plan.
+    let store: Option<Arc<OutcomeStore>> = plan.store.as_ref().map(|cfg| {
+        let dir = Path::new(&cfg.dir);
+        let handle = if cfg.readonly {
+            OutcomeStore::open_readonly(dir)
+        } else {
+            OutcomeStore::open(dir)
+        }
+        .unwrap_or_else(|e| infra(&format!("cannot open store {}: {e}", dir.display())));
+        for w in handle.warnings() {
+            eprintln!("warning: store: {w}");
+        }
+        Arc::new(handle)
+    });
+    let config_fp = config_fingerprint(&plan);
+    let jobs = plan.jobs();
+    let mut replayed: Vec<TaskOutcome> = Vec::new();
+    if let Some(store) = &store {
+        for job in &jobs[prior.len().min(jobs.len())..] {
+            let key = cell_key(job, config_fp);
+            let Some(payload) = store.get(&key) else {
+                continue;
+            };
+            match decode_cell(&payload, job, obs) {
+                Ok(outcome) => replayed.push(outcome),
+                Err(e) => {
+                    // A cell that cannot replay reads as a miss and the
+                    // job executes (then republishes over the bad cell).
+                    eprintln!("warning: store: cell {key} unusable ({e}); re-executing");
+                    store.discount_hit(&key);
+                }
+            }
+        }
+    }
 
     if !quiet {
         eprintln!(
-            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, lint {}, caches {}){}",
+            "correctbench-run: {} problems x {} methods x {} reps = {} jobs on {} threads ({}, lint {}, caches {}, store {}){}{}",
             plan.problems.len(),
             plan.methods.len(),
             plan.reps,
@@ -279,10 +429,20 @@ fn main() {
             } else {
                 "off".to_string()
             },
+            match &plan.store {
+                Some(cfg) if cfg.readonly => format!("{} (readonly)", cfg.dir),
+                Some(cfg) => cfg.dir.clone(),
+                None => "off".to_string(),
+            },
             if prior.is_empty() {
                 String::new()
             } else {
                 format!(", resuming after {} journaled jobs", prior.len())
+            },
+            if replayed.is_empty() {
+                String::new()
+            } else {
+                format!(", {} cells replayed from the store", replayed.len())
             },
         );
     }
@@ -292,7 +452,8 @@ fn main() {
     let live = progress && std::io::stderr().is_terminal();
     let mut engine = Engine::new(args.threads)
         .with_progress(live && !quiet)
-        .with_faults(faults);
+        .with_faults(faults)
+        .with_store_active(store.is_some());
     if !obs {
         engine = engine.without_obs();
     }
@@ -310,6 +471,22 @@ fn main() {
     }
     if !layers.lint {
         engine = engine.without_lint_cache();
+    }
+    // The publish path: as each executed job completes, its cell is
+    // appended to the store — crash-safe incremental warming. Aborted
+    // outcomes are never published (the never-poison rule on disk).
+    if let Some(store) = &store {
+        if !store.readonly() {
+            let store = Arc::clone(store);
+            let keys: Vec<CellKey> = jobs.iter().map(|j| cell_key(j, config_fp)).collect();
+            engine = engine.with_outcome_hook(Box::new(move |o: &TaskOutcome| {
+                if o.failure.is_none() {
+                    if let Err(e) = store.put(&keys[o.job_id], &encode_cell(o)) {
+                        eprintln!("warning: store publish failed: {e}");
+                    }
+                }
+            }));
+        }
     }
     let factory = SimulatedClientFactory::for_model(plan.model);
 
@@ -331,16 +508,25 @@ fn main() {
         }
     });
 
-    let result = engine.execute_streamed(&plan, &factory, journal.as_ref(), prior.len());
+    let result = engine.execute_replayed(&plan, &factory, journal.as_ref(), prior.len(), replayed);
     if let Some(e) = journal.as_ref().and_then(|j| j.take_error()) {
         infra(&format!("journal write failed: {e}"));
     }
+    // Persist the store's hit counts (gc eviction order) and pick up
+    // its final counters for the summary and metrics.
+    let store_stats = store.as_ref().map(|s| {
+        if let Err(e) = s.flush() {
+            eprintln!("warning: store flush failed: {e}");
+        }
+        s.stats()
+    });
 
     // Replayed outcomes rejoin the fresh ones so the summary and the
     // sidecars describe the whole run (their wall times are unknown —
     // measured data from a previous process — and read as zero).
     let result = RunResult {
         outcomes: prior.into_iter().chain(result.outcomes).collect(),
+        store: store_stats,
         ..result
     };
     let summary = render_summary(&plan, &result);

@@ -17,6 +17,10 @@
 //!   `diagnostics.jsonl` plus the measured `timings.jsonl` sidecar and
 //!   the aggregated `metrics.json`;
 //! * [`report`] — aggregate summaries and latency percentile tables;
+//! * [`storebridge`] — content fingerprints and the cell payload codec
+//!   connecting runs to the persistent on-disk outcome store
+//!   (`correctbench_store`), which replays content-identical cells
+//!   across processes and run directories;
 //! * [`json`] — the minimal JSON reader matching the artifact encoder.
 //!
 //! Observability (`correctbench_obs`) is threaded through the whole
@@ -53,6 +57,7 @@ pub mod json;
 pub mod plan;
 pub mod report;
 pub mod scheduler;
+pub mod storebridge;
 pub mod worker;
 
 /// The cache-stack layers shared by worker threads.
@@ -75,18 +80,21 @@ pub mod cache {
 }
 
 pub use artifact::{
-    diagnostics_jsonl, metrics_json, outcome_json, outcomes_jsonl, parse_outcome_line,
-    parse_plan_manifest, plan_manifest_json, replay_journal, timings_jsonl, write_artifacts,
-    write_atomic, write_sidecars, ArtifactPaths, OutcomeJournal,
+    diagnostic_json, diagnostics_jsonl, manifest_fingerprint, metrics_json, outcome_json,
+    outcomes_jsonl, parse_diagnostic_line, parse_outcome_line, parse_plan_manifest,
+    plan_manifest_json, replay_journal, timings_jsonl, write_artifacts, write_atomic,
+    write_sidecars, ArtifactPaths, OutcomeJournal,
 };
 pub use cache::{
     CacheStack, CacheStats, ElabCache, EvalContext, GoldenCache, LintCache, SimCache, StackStats,
 };
 pub use cli::RunArgs;
 pub use correctbench_obs::{Histogram, JobObs, ObsStack};
+pub use correctbench_store::{CellKey, OutcomeStore, StoreStats};
 pub use correctbench_tbgen::AbortKind;
 pub use fault::{FaultKind, FaultPlan, FAULT_EXIT_CODE};
-pub use plan::{mix_seed, problem_subset, Job, LintMode, RunPlan};
+pub use plan::{mix_seed, problem_subset, Job, LintMode, RunPlan, StoreConfig};
 pub use report::{latency_groups, render_latency_table, render_summary, summarize, MethodSummary};
-pub use scheduler::{parallel_map, Engine, RunResult};
+pub use scheduler::{parallel_map, Engine, OutcomeHook, RunResult};
+pub use storebridge::{cell_key, config_fingerprint, decode_cell, encode_cell, plan_fingerprint};
 pub use worker::{run_job, run_job_guarded, TaskOutcome};

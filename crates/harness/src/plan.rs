@@ -95,6 +95,21 @@ pub struct RunPlan {
     /// `diagnostics.jsonl` sidecar it feeds is as deterministic as
     /// `outcomes.jsonl`.
     pub lint: LintMode,
+    /// Persistent outcome-store attachment (`--store DIR`), recorded in
+    /// the manifest so `--resume` reattaches the same store. `None` =
+    /// no store. Pure memoization: the store never changes an outcome
+    /// byte, so it is deliberately *excluded* from the config
+    /// fingerprint.
+    pub store: Option<StoreConfig>,
+}
+
+/// How a run attaches to a persistent outcome store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Store directory.
+    pub dir: String,
+    /// `--store-readonly`: consult the store but never publish to it.
+    pub readonly: bool,
 }
 
 impl RunPlan {
@@ -111,6 +126,7 @@ impl RunPlan {
             sim_budget: None,
             job_deadline_ms: None,
             lint: LintMode::default(),
+            store: None,
         }
     }
 

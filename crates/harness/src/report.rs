@@ -191,6 +191,16 @@ pub fn render_summary(plan: &RunPlan, result: &RunResult) -> String {
             }
         }
     }
+    // The persistent store is the one reuse layer that outlives the
+    // process; it reports after the in-memory stack.
+    match result.store {
+        Some(stats) => {
+            let _ = writeln!(s, "outcome store: {stats}");
+        }
+        None => {
+            let _ = writeln!(s, "outcome store: off");
+        }
+    }
     s.push_str(&render_latency_table(&result.outcomes));
     s
 }

@@ -12,13 +12,17 @@ use crate::fault::FaultPlan;
 use crate::plan::RunPlan;
 use crate::worker::{run_job_guarded, TaskOutcome};
 use correctbench_llm::ClientFactory;
-use correctbench_obs::ObsStack;
+use correctbench_obs::{Counter, ObsStack};
 use correctbench_tbgen::{
     CacheStack, ElabCache, EvalContext, GoldenCache, LintCache, SimCache, StackStats,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A per-outcome callback installed with [`Engine::with_outcome_hook`]:
+/// runs on the worker thread that executed the job.
+pub type OutcomeHook = Box<dyn Fn(&TaskOutcome) + Send + Sync>;
 
 /// Executes [`RunPlan`]s over a worker pool with one shared
 /// [`CacheStack`]: the simulation cache (whole testbench runs), the
@@ -35,6 +39,13 @@ pub struct Engine {
     progress: bool,
     one_shot: bool,
     faults: FaultPlan,
+    /// Called once per *executed* (never replayed) outcome, from the
+    /// worker that produced it — the persistent store's publish path.
+    outcome_hook: Option<OutcomeHook>,
+    /// Whether a persistent store is consulted for this run: executed
+    /// jobs then count one `store_misses` each (replayed jobs carry
+    /// their `store_hits` in the restored obs fragment).
+    store_active: bool,
 }
 
 impl Engine {
@@ -48,7 +59,28 @@ impl Engine {
             progress: false,
             one_shot: false,
             faults: FaultPlan::none(),
+            outcome_hook: None,
+            store_active: false,
         }
+    }
+
+    /// Installs a per-outcome hook, called from the worker thread for
+    /// every outcome this engine *executes* (replayed outcomes never
+    /// reach it). The run binary publishes completed cells to the
+    /// persistent store through this — as each job finishes, not at run
+    /// end, so a killed warm run has already banked everything it
+    /// executed.
+    pub fn with_outcome_hook(mut self, hook: OutcomeHook) -> Self {
+        self.outcome_hook = Some(hook);
+        self
+    }
+
+    /// Marks a persistent outcome store as attached to this run, so
+    /// executed jobs each count one `store_misses` in their
+    /// observability fragment.
+    pub fn with_store_active(mut self, active: bool) -> Self {
+        self.store_active = active;
+        self
     }
 
     /// Injects a test-only [`FaultPlan`]: the listed jobs are broken on
@@ -178,18 +210,54 @@ impl Engine {
         journal: Option<&OutcomeJournal>,
         skip: usize,
     ) -> RunResult {
+        self.execute_replayed(plan, factory, journal, skip, Vec::new())
+    }
+
+    /// Like [`Engine::execute_streamed`], but additionally takes
+    /// outcomes `replayed` from the persistent store (job ids within
+    /// the scheduled tail): their lines go straight to the journal —
+    /// the reorder buffer interleaves them with executed lines in
+    /// canonical order — and only the remaining jobs are scheduled. The
+    /// returned outcome vector is the canonical merge of both, so every
+    /// artifact downstream is byte-identical to a run that executed
+    /// everything.
+    pub fn execute_replayed(
+        &self,
+        plan: &RunPlan,
+        factory: &dyn ClientFactory,
+        journal: Option<&OutcomeJournal>,
+        skip: usize,
+        replayed: Vec<TaskOutcome>,
+    ) -> RunResult {
         let t0 = Instant::now();
         let jobs = plan.jobs();
-        let jobs = &jobs[skip.min(jobs.len())..];
-        let total = jobs.len();
+        let tail = &jobs[skip.min(jobs.len())..];
+        let mut replayed_by_id: std::collections::HashMap<usize, TaskOutcome> =
+            replayed.into_iter().map(|o| (o.job_id, o)).collect();
+        if let Some(journal) = journal {
+            for (id, o) in &replayed_by_id {
+                journal.push(*id, outcome_json(o));
+            }
+        }
+        let to_run: Vec<&crate::plan::Job> = tail
+            .iter()
+            .filter(|j| !replayed_by_id.contains_key(&j.id))
+            .collect();
+        let total = to_run.len();
         let done = AtomicUsize::new(0);
         let stack = self.effective_stack();
-        let outcomes = parallel_map(self.threads, Some(&stack), jobs, |_, job| {
+        let executed = parallel_map(self.threads, Some(&stack), &to_run, |_, job| {
+            let job: &crate::plan::Job = job;
             let _one_shot_guard = self.one_shot.then(correctbench_tbgen::force_one_shot);
             // One collector per job (not per worker): the worker drains
             // it at job end, so measurements are attributed to the job
             // that incurred them no matter which worker ran it.
             let _obs_guard = self.obs.install();
+            if self.store_active {
+                // Reaching a worker means the store probe missed; the
+                // count lands in this job's own collector.
+                correctbench_obs::add(Counter::StoreMisses, 1);
+            }
             let outcome = run_job_guarded(
                 job,
                 &plan.config,
@@ -199,6 +267,9 @@ impl Engine {
                 self.faults.get(job.id),
                 plan.lint,
             );
+            if let Some(hook) = &self.outcome_hook {
+                hook(&outcome);
+            }
             if let Some(journal) = journal {
                 journal.push(outcome.job_id, outcome_json(&outcome));
             }
@@ -217,6 +288,16 @@ impl Engine {
             }
             outcome
         });
+        // Merge executed and replayed outcomes back into canonical job
+        // order (both sides are already internally ordered).
+        let mut executed = executed.into_iter();
+        let outcomes: Vec<TaskOutcome> = tail
+            .iter()
+            .map(|job| match replayed_by_id.remove(&job.id) {
+                Some(o) => o,
+                None => executed.next().expect("one executed outcome per job"),
+            })
+            .collect();
         RunResult {
             outcomes,
             threads: self.threads,
@@ -224,6 +305,7 @@ impl Engine {
             // used the pool, so it reports "disabled", not "on with
             // zeros".
             caches: stack.stats(),
+            store: None,
             wall: t0.elapsed(),
         }
     }
@@ -270,6 +352,10 @@ pub struct RunResult {
     /// Per-layer counters of the installed [`CacheStack`] at the end of
     /// the run (`None` per layer that was disabled).
     pub caches: StackStats,
+    /// Persistent outcome-store counters (`None` when no store was
+    /// attached). The engine itself never touches the store — the run
+    /// binary owns the handle and fills this in after flushing it.
+    pub store: Option<correctbench_store::StoreStats>,
     /// Total wall time of the run.
     pub wall: Duration,
 }

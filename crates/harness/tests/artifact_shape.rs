@@ -73,6 +73,7 @@ fn timings_lines_pin_field_set_and_order() {
             "session_pool",
             "golden_cache",
             "lint_cache",
+            "outcome_store",
         ],
         "timings.jsonl run-line field drift"
     );
@@ -118,6 +119,8 @@ fn timings_lines_pin_field_set_and_order() {
                 "llm_retries",
                 "job_aborts",
                 "lint_diags",
+                "store_hits",
+                "store_misses",
             ],
             "counter taxonomy drift:\n{line}"
         );
@@ -174,7 +177,8 @@ fn metrics_json_pins_field_set_and_order() {
             "elab_cache",
             "session_pool",
             "golden_cache",
-            "lint_cache"
+            "lint_cache",
+            "outcome_store"
         ]
     );
     // The lint rollup is zero-filled over the whole rule taxonomy so

@@ -97,6 +97,19 @@ fn help_documents_the_lint_gate() {
 }
 
 #[test]
+fn help_lists_the_store_flags() {
+    // The persistent-store attachment flags are the warm-restart CLI
+    // contract; CI's store matrix smoke scripts against them.
+    let help = help_output();
+    for flag in ["--store", "--no-store", "--store-readonly"] {
+        assert!(
+            help.contains(flag),
+            "--help output is missing store flag `{flag}`:\n{help}"
+        );
+    }
+}
+
+#[test]
 fn help_lists_the_core_sweep_flags() {
     let help = help_output();
     for flag in [

@@ -185,6 +185,66 @@ fn killed_run_resumes_to_a_byte_identical_outcome_stream() {
 }
 
 #[test]
+fn resume_rejects_a_run_dir_whose_fingerprint_drifted() {
+    let dir = tmpdir("resume_fp_drift");
+    let out = run_binary(&[
+        "--problems",
+        "1",
+        "--reps",
+        "1",
+        "--threads",
+        "2",
+        "--quiet",
+        "--out",
+        dir.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "seed run failed: {out:?}");
+
+    // Tamper the recorded fingerprint: the manifest now claims the run
+    // was produced under a different dataset/configuration, and resume
+    // must refuse rather than silently mix outcome streams.
+    let manifest_path = dir.join("plan.json");
+    let manifest = std::fs::read_to_string(&manifest_path).expect("manifest");
+    let marker = "\"config_fingerprint\":\"";
+    let at = manifest.find(marker).expect("manifest has a fingerprint") + marker.len();
+    let mut tampered = manifest.clone();
+    tampered.replace_range(at..at + 16, "0123456789abcdef");
+    assert_ne!(tampered, manifest, "tampering must change the manifest");
+    std::fs::write(&manifest_path, &tampered).expect("write tampered manifest");
+
+    let resumed = run_binary(&["--resume", dir.to_str().expect("utf8 path"), "--quiet"]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(1),
+        "drifted fingerprint must be an infra error: {resumed:?}"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("config fingerprint mismatch"),
+        "stderr must explain the refusal:\n{stderr}"
+    );
+
+    // A manifest that predates fingerprints (no field at all) resumes
+    // with a warning instead — old run dirs stay usable.
+    let legacy = manifest.replace(
+        &manifest[at - marker.len()..at + 16 + 1],
+        "\"legacy_probe\":\"x\"",
+    );
+    std::fs::write(&manifest_path, &legacy).expect("write legacy manifest");
+    let resumed = run_binary(&["--resume", dir.to_str().expect("utf8 path"), "--quiet"]);
+    assert!(
+        resumed.status.success(),
+        "legacy manifest must still resume: {resumed:?}"
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("predates config fingerprints"),
+        "legacy resume must warn: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn aborted_jobs_set_exit_code_three() {
     let out = run_binary(&[
         "--problems",

@@ -120,11 +120,15 @@ pub enum Counter {
     JobAborts,
     /// Static-analysis diagnostics emitted for the job's RTL.
     LintDiags,
+    /// Jobs replayed from the persistent outcome store.
+    StoreHits,
+    /// Jobs the persistent outcome store could not serve.
+    StoreMisses,
 }
 
 impl Counter {
     /// Number of counters (array-index domain).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Every counter, in canonical (artifact) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -143,6 +147,8 @@ impl Counter {
         Counter::LlmRetries,
         Counter::JobAborts,
         Counter::LintDiags,
+        Counter::StoreHits,
+        Counter::StoreMisses,
     ];
 
     /// The artifact field name of this counter.
@@ -163,6 +169,8 @@ impl Counter {
             Counter::LlmRetries => "llm_retries",
             Counter::JobAborts => "job_aborts",
             Counter::LintDiags => "lint_diags",
+            Counter::StoreHits => "store_hits",
+            Counter::StoreMisses => "store_misses",
         }
     }
 }
@@ -617,6 +625,8 @@ mod tests {
         assert_eq!(counters[0], "sim_events");
         assert_eq!(counters[Counter::GoldenMisses as usize], "golden_misses");
         assert_eq!(counters[Counter::LintDiags as usize], "lint_diags");
+        assert_eq!(counters[Counter::StoreHits as usize], "store_hits");
+        assert_eq!(counters[Counter::StoreMisses as usize], "store_misses");
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(*p as usize, i, "Phase::ALL order matches discriminants");
         }

@@ -1,0 +1,117 @@
+//! Property tests for the segment record codec: arbitrary payloads
+//! (newlines, unicode, empty strings included) must round-trip exactly
+//! through encode + scan, concatenated records must frame cleanly, any
+//! truncation must read as a torn tail of the good prefix, and any
+//! single-byte payload flip must be rejected by the checksum.
+
+use correctbench_store::{encode_record, scan_segment, CellKey, ScanStop};
+use correctbench_verilog::Fingerprint;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn arb_payload() -> BoxedStrategy<String> {
+    // Mix of printable ascii, embedded newlines, arbitrary unicode and
+    // empties — shaped like (but not limited to) the outcome and
+    // diagnostic payloads the harness actually stores.
+    let printable = vec(0x20u8..0x7f, 0..120)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect::<String>());
+    let multiline = vec(any::<char>(), 0..60).prop_map(|mut chars| {
+        for c in chars.iter_mut().step_by(7) {
+            *c = '\n';
+        }
+        chars.into_iter().collect::<String>()
+    });
+    let unicode = vec(any::<char>(), 0..40).prop_map(|chars| chars.into_iter().collect::<String>());
+    prop_oneof![printable, multiline, unicode, Just(String::new())].boxed()
+}
+
+fn arb_key() -> impl Strategy<Value = CellKey> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| CellKey {
+        job: Fingerprint(a),
+        config: Fingerprint(b),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn single_record_roundtrips(key in arb_key(), payload in arb_payload()) {
+        let bytes = encode_record(&key, &payload);
+        let (records, end, stop) = scan_segment(&bytes);
+        prop_assert_eq!(stop, None);
+        prop_assert_eq!(end, bytes.len());
+        prop_assert_eq!(records.len(), 1);
+        prop_assert_eq!(records[0].key, key);
+        prop_assert_eq!(records[0].payload.clone(), payload);
+    }
+
+    #[test]
+    fn concatenated_records_frame_cleanly(
+        cells in vec((arb_key(), arb_payload()), 0..8)
+    ) {
+        let mut bytes = Vec::new();
+        for (key, payload) in &cells {
+            bytes.extend_from_slice(&encode_record(key, payload));
+        }
+        let (records, end, stop) = scan_segment(&bytes);
+        prop_assert_eq!(stop, None);
+        prop_assert_eq!(end, bytes.len());
+        prop_assert_eq!(records.len(), cells.len());
+        for (record, (key, payload)) in records.iter().zip(&cells) {
+            prop_assert_eq!(&record.key, key);
+            prop_assert_eq!(&record.payload, payload);
+        }
+    }
+
+    #[test]
+    fn truncation_reads_as_torn_tail(
+        cells in vec((arb_key(), arb_payload()), 1..5),
+        cut_back in 1usize..40
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (key, payload) in &cells {
+            bytes.extend_from_slice(&encode_record(key, payload));
+            boundaries.push(bytes.len());
+        }
+        let cut = bytes.len().saturating_sub(cut_back);
+        bytes.truncate(cut);
+        let (records, end, stop) = scan_segment(&bytes);
+        // Every surviving record is an exact prefix of the originals...
+        for (record, (key, payload)) in records.iter().zip(&cells) {
+            prop_assert_eq!(&record.key, key);
+            prop_assert_eq!(&record.payload, payload);
+        }
+        // ...the good prefix ends on a record boundary...
+        prop_assert!(records.len() <= cells.len());
+        prop_assert_eq!(end, boundaries[records.len()]);
+        // ...and anything cut mid-record reads as torn (a crash
+        // artifact), never as corruption and never as a bogus record.
+        if cut < boundaries[cells.len()] && stop.is_some() {
+            prop_assert_eq!(stop, Some(ScanStop::Torn));
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_rejected(
+        key in arb_key(),
+        payload_bytes in vec(0x20u8..0x7f, 1..80),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..7
+    ) {
+        let payload: String = payload_bytes.iter().copied().map(char::from).collect();
+        let clean = encode_record(&key, &payload);
+        let header_len = clean.len() - payload.len() - 1;
+        let mut bytes = clean.clone();
+        // Flip one bit inside the payload (low 7 bits keep it possibly
+        // ascii — the checksum must still catch it).
+        let at = header_len + flip_at % payload.len();
+        bytes[at] ^= 1 << flip_bit;
+        prop_assume!(bytes != clean);
+        let (records, _, stop) = scan_segment(&bytes);
+        prop_assert!(records.is_empty(), "flipped record must not decode");
+        prop_assert_eq!(stop, Some(ScanStop::Corrupt));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`tbgen`] — scenarios, driver codegen, hybrid-TB runner;
 //! * [`core`] — the CorrectBench pipeline (generator/validator/corrector/agent);
 //! * [`autoeval`] — Eval0/1/2 harness;
+//! * [`store`] — the persistent content-addressed outcome store behind
+//!   `correctbench-run --store` (warm restarts across processes);
 //! * [`harness`] — the parallel evaluation engine (run plans, worker
 //!   pool, content-addressed simulation cache, JSONL artifacts).
 
@@ -23,5 +25,6 @@ pub use correctbench_checker as checker;
 pub use correctbench_dataset as dataset;
 pub use correctbench_harness as harness;
 pub use correctbench_llm as llm;
+pub use correctbench_store as store;
 pub use correctbench_tbgen as tbgen;
 pub use correctbench_verilog as verilog;
